@@ -1,0 +1,55 @@
+"""Ablation: offline inference and fine-tuning sharing one fleet.
+
+The paper's PipeStore handles both near-data jobs on the same hardware
+(§5); operators will overlap a relabelling campaign with a continuous-
+training round.  The event-driven simulation quantifies the interference
+across fleet sizes: both jobs slow down, but total work is conserved —
+the accelerator is simply time-shared.
+"""
+
+from repro.analysis.tables import format_table
+from repro.models.catalog import model_graph
+from repro.sim.cluster_sim import simulate_mixed_workload
+
+
+def run_sweep():
+    graph = model_graph("ResNet50")
+    rows = []
+    for stores in (2, 4, 8):
+        res = simulate_mixed_workload(graph, stores, 150_000, 150_000)
+        rows.append({
+            "stores": stores,
+            "inf_s": res.inference.makespan_s,
+            "inf_solo_s": res.inference_solo_s,
+            "inf_slowdown": res.inference_slowdown,
+            "ft_s": res.finetune.makespan_s,
+            "ft_solo_s": res.finetune_solo_s,
+            "ft_slowdown": res.finetune_slowdown,
+            "accel_util": res.inference.utilization_of("store0-accel"),
+        })
+    return rows
+
+
+def test_ablation_mixed_workload(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+
+    table = format_table(
+        ["#stores", "inference s (shared)", "inference s (solo)",
+         "slowdown", "fine-tune s (shared)", "fine-tune s (solo)",
+         "slowdown", "accel util"],
+        [[r["stores"], r["inf_s"], r["inf_solo_s"], r["inf_slowdown"],
+          r["ft_s"], r["ft_solo_s"], r["ft_slowdown"], r["accel_util"]]
+         for r in rows],
+        title=("Ablation: concurrent relabel + fine-tune on shared "
+               "PipeStores (ResNet50, 150K images each)"),
+    )
+    report("ablation_mixed", table)
+
+    for r in rows:
+        # contention slows the latency-visible job but never deadlocks
+        assert 1.0 <= r["inf_slowdown"] < 3.0
+        assert 1.0 <= r["ft_slowdown"] < 3.0
+        # the shared accelerator stays near-saturated — time-sharing, not
+        # waste (at large fleets the Tuner's trailing epoch lowers the
+        # store-side fraction of the measured window slightly)
+        assert r["accel_util"] > 0.8

@@ -1,0 +1,77 @@
+"""Ablation: pipelined vs unpipelined FT-DMP on the event-driven cluster.
+
+Beyond Fig. 17's accuracy story, this quantifies the §5.2 design choice
+purely in systems terms on the DES: run-count sweep, agreement with the
+closed-form pipeline model, and the NPE buffer-depth sensitivity (deep
+queues are pointless once stages are balanced).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.partition import FinetunePlanConfig, evaluate_partition
+from repro.models.catalog import model_graph
+from repro.sim.cluster_sim import (
+    simulate_ftdmp_finetune,
+    simulate_offline_inference,
+)
+from repro.sim.specs import TEN_GBE, TESLA_T4, TESLA_V100
+
+IMAGES = 200_000
+STORES = 4
+
+
+def run_sweep():
+    # tuner_epochs=2 balances the Store and Tuner stages at 4 stores,
+    # which is where pipelining pays most (the Fig. 17 configuration)
+    graph = model_graph("ResNet50")
+    rows = []
+    for num_runs in (1, 2, 3, 4, 6, 8):
+        des = simulate_ftdmp_finetune(graph, STORES, IMAGES,
+                                      num_runs=num_runs, tuner_epochs=2)
+        analytic = evaluate_partition(
+            graph, 5, STORES, TESLA_T4, TESLA_V100, TEN_GBE,
+            FinetunePlanConfig(dataset_images=IMAGES, num_runs=num_runs,
+                               tuner_epochs=2),
+        ).training_time_s
+        rows.append({
+            "num_runs": num_runs,
+            "des_s": des.makespan_s,
+            "analytic_s": analytic,
+            "error_pct": 100 * abs(des.makespan_s - analytic) / analytic,
+        })
+    return rows
+
+
+def test_ablation_pipelined_runs(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+
+    base = rows[0]["des_s"]
+    table = format_table(
+        ["N_run", "DES time (s)", "analytic (s)", "model error %",
+         "reduction vs serial %"],
+        [[r["num_runs"], r["des_s"], r["analytic_s"], r["error_pct"],
+          100 * (1 - r["des_s"] / base)] for r in rows],
+        title="Ablation: pipelined FT-DMP run count (ResNet50, 4 stores, DES)",
+    )
+
+    graph = model_graph("ResNet50")
+    depth_rows = []
+    for depth in (1, 2, 4, 16):
+        des = simulate_offline_inference(graph, 2, 60_000, queue_depth=depth)
+        depth_rows.append([depth, des.throughput_ips])
+    table += "\n\n" + format_table(
+        ["NPE queue depth", "inference IPS (2 stores)"], depth_rows,
+        title="Ablation: NPE inter-stage buffer depth",
+    )
+    report("ablation_pipelining", table)
+
+    # the DES validates the closed-form model everywhere
+    assert all(r["error_pct"] < 10 for r in rows)
+    # pipelining monotonically shortens the job with diminishing returns
+    times = [r["des_s"] for r in rows]
+    assert times == sorted(times, reverse=True)
+    assert times[2] < 0.75 * times[0]    # N_run=3 saves >25%
+    assert times[-1] > 0.5 * times[0]    # but it cannot halve the job
+    # queue depth beyond 2 buys nearly nothing once stages are balanced
+    assert depth_rows[-1][1] == pytest.approx(depth_rows[1][1], rel=0.05)

@@ -1,0 +1,90 @@
+"""Ablation: maintenance policies — scheduled vs detection-triggered (§2.2).
+
+The paper argues detection-based retraining 'may degrade the prediction
+quality as the training starts after sufficient drift is observed', while
+NDPipe's cheap fine-tuning makes aggressive schedules affordable.  This
+ablation runs real fine-tuning over the drift horizon under three
+policies and compares mean accuracy vs update count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.driftdetect import (
+    DetectionPolicy,
+    MaintenanceLog,
+    NeverPolicy,
+    ScheduledPolicy,
+)
+from repro.core.ftdmp import FTDMPTrainer
+from repro.data.datasets import IMAGENET1K_LIKE
+from repro.data.loader import normalize_images
+from repro.analysis.accuracy import make_model
+from repro.train.fulltrain import full_train
+from repro.workloads.scenarios import evaluate_model
+
+
+def run_policies(scale, horizon_days: int = 12):
+    world = IMAGENET1K_LIKE.world(seed=0)
+    num_classes = world.config.max_classes
+
+    def factory():
+        return make_model("ResNet50", num_classes, scale)
+
+    base = factory()
+    x0, y0 = world.sample(scale.train, 0, rng=np.random.default_rng(7))
+    full_train(base, normalize_images(x0), y0, epochs=scale.base_epochs,
+               lr=scale.lr, seed=0)
+    base_state = base.state_dict()
+
+    policies = [
+        NeverPolicy(),
+        ScheduledPolicy(period_days=2),
+        DetectionPolicy(tolerance=0.05),
+    ]
+    logs = []
+    for policy in policies:
+        model = factory()
+        model.load_state_dict(base_state)
+        trainer = FTDMPTrainer(model, lr=scale.lr, seed=0)
+        log = MaintenanceLog(policy=policy.name)
+        rng = np.random.default_rng(99)
+        for day in range(0, horizon_days + 1, 2):
+            x_test, y_test = world.sample(
+                scale.test, day, rng=np.random.default_rng(500 + day))
+            top1, _ = evaluate_model(model, x_test, y_test)
+            if day > 0 and policy.should_update(day, top1):
+                x_new, y_new = world.sample(scale.finetune, day, rng=rng)
+                trainer.finetune(normalize_images(x_new), y_new,
+                                 epochs=scale.finetune_epochs)
+                policy.notify_updated(day)
+                log.triggered_days.append(day)
+                top1, _ = evaluate_model(model, x_test, y_test)
+            log.accuracies.append(top1)
+        logs.append(log)
+    return logs
+
+
+def test_ablation_policies(benchmark, report, bench_scale):
+    logs = benchmark.pedantic(lambda: run_policies(bench_scale),
+                              iterations=1, rounds=1)
+
+    table = format_table(
+        ["policy", "updates run", "update days", "mean top-1 %"],
+        [[log.policy, log.num_updates,
+          ",".join(map(str, log.triggered_days)) or "-",
+          log.mean_accuracy * 100] for log in logs],
+        title="Ablation: maintenance policy under two weeks of drift",
+    )
+    report("ablation_policies", table)
+
+    by_name = {log.policy: log for log in logs}
+    never = by_name["never"]
+    scheduled = next(v for k, v in by_name.items() if k.startswith("sched"))
+    # the scheduled policy actually maintains the model
+    assert scheduled.num_updates >= 4
+    assert never.num_updates == 0
+    if bench_scale.train >= 400:
+        # maintenance pays: scheduled >= never on mean accuracy
+        assert scheduled.mean_accuracy >= never.mean_accuracy - 0.01

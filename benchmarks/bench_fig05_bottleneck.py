@@ -1,0 +1,30 @@
+"""Fig. 5 — impact of the network bottleneck (Typical vs Ideal strawmen).
+
+Paper: Typical fine-tuning is 3.7x slower than Ideal; offline inference
+runs at 94 IPS (Typical) vs 123 IPS (Ideal).
+"""
+
+from repro.analysis.perf import fig05_bottleneck
+from repro.analysis.tables import format_table
+
+
+def test_fig05_bottleneck(benchmark, report):
+    out = benchmark(fig05_bottleneck)
+
+    rows = [
+        ["Fine-tuning time (min, 1.2M images)",
+         out["finetune_time_min"]["Typical"],
+         out["finetune_time_min"]["Ideal"]],
+        ["Offline inference throughput (IPS)",
+         out["inference_ips"]["Typical"],
+         out["inference_ips"]["Ideal"]],
+    ]
+    text = format_table(["metric", "Typical", "Ideal"], rows,
+                        title="Fig. 5: Typical vs Ideal (ResNet50)")
+    ratio = (out["finetune_time_min"]["Typical"]
+             / out["finetune_time_min"]["Ideal"])
+    text += f"\nfine-tune slowdown: {ratio:.2f}x (paper: 3.7x)"
+    report("fig05_bottleneck", text)
+
+    assert 3.0 < ratio < 4.6
+    assert out["inference_ips"]["Typical"] < out["inference_ips"]["Ideal"]

@@ -1,0 +1,36 @@
+"""Fig. 6 — per-subprocess execution time: naive NDP vs Typical.
+
+Paper: NDP eliminates data transfer; FE&CT is only ~36% slower on the
+storage-side accelerators; weight synchronisation explodes (the new
+bottleneck); 1-core preprocessing dominates naive NDP inference.
+"""
+
+from repro.analysis.perf import fig06_breakdown
+from repro.analysis.tables import format_table
+
+
+def test_fig06_breakdown(benchmark, report):
+    out = benchmark(fig06_breakdown)
+
+    parts = []
+    for task_kind, title in (("finetune", "Fig. 6a: fine-tuning"),
+                             ("inference", "Fig. 6b: offline inference")):
+        rows = [
+            [r["task"], r["typical_s_per_img"] * 1e3,
+             r["ndp_s_per_img"] * 1e3, r["ndp_over_typical"]]
+            for r in out[task_kind]
+        ]
+        parts.append(format_table(
+            ["task", "Typical (ms/img)", "naive NDP (ms/img)",
+             "NDP / Typical"],
+            rows, title=title,
+        ))
+    report("fig06_ndp_breakdown", "\n\n".join(parts))
+
+    ft = {r["task"]: r for r in out["finetune"]}
+    assert ft["Data Trans."]["ndp_s_per_img"] == 0.0
+    assert 1.2 < ft["FE&CT"]["ndp_over_typical"] < 1.6   # paper: 1.36x
+    assert ft["Weight Sync."]["ndp_over_typical"] > 20   # paper: 60-70x
+    inf = {r["task"]: r for r in out["inference"]}
+    assert inf["Preproc."]["ndp_over_typical"] > 1.4     # paper: ~2-3x
+    assert 1.0 < inf["FE&Cl"]["ndp_over_typical"] < 1.7  # paper: 1.33x

@@ -1,0 +1,34 @@
+"""Fig. 9 — impact of layer offloading on data traffic and training time.
+
+Paper: feature traffic falls as layers are offloaded (9.16 GB at +Conv5 for
+1.2M ImageNet images), surges at +FC from weight sync, and training time is
+minimised at +Conv5 with 4 PipeStores.
+"""
+
+from repro.analysis.perf import fig09_partition_sweep
+from repro.analysis.tables import format_table
+
+
+def test_fig09_partition_sweep(benchmark, report):
+    rows = benchmark(fig09_partition_sweep)
+
+    table = format_table(
+        ["cut", "feature GB", "sync GB", "train time (s)", "store s",
+         "tuner s", "sync s"],
+        [[r["cut"], r["feature_traffic_gb"], r["sync_traffic_gb"],
+          r["training_time_s"], r["store_time_s"], r["tuner_time_s"],
+          r["sync_time_s"]] for r in rows],
+        title="Fig. 9: ResNet50 partition sweep (4 PipeStores, 10 GbE, 1.2M imgs)",
+    )
+    report("fig09_partition", table)
+
+    by_cut = {r["cut"]: r for r in rows}
+    # +Conv5 minimises training time (paper's headline for this figure)
+    best = min(rows, key=lambda r: r["training_time_s"])
+    assert best["cut"] == "+Conv5"
+    # ~9.16 GB feature traffic at +Conv5 (we compute 9.8 GB at fp32)
+    assert 8.0 < by_cut["+Conv5"]["feature_traffic_gb"] < 11.0
+    # the +FC sync surge
+    assert by_cut["+FC"]["sync_traffic_gb"] > 5 * (
+        by_cut["+Conv5"]["feature_traffic_gb"])
+    assert by_cut["+FC"]["training_time_s"] > by_cut["+Conv5"]["training_time_s"]

@@ -1,0 +1,30 @@
+"""Fig. 11 — APO: training time and energy efficiency vs #PipeStores.
+
+Paper: training time drops near-linearly until 8 PipeStores (APO's pick for
+ResNet50, where T_diff ~ 0), then flattens; IPS/kJ falls once extra
+PipeStores idle.
+"""
+
+from repro.analysis.perf import fig11_apo_sweep
+from repro.analysis.tables import format_table
+
+
+def test_fig11_apo_sweep(benchmark, report):
+    out = benchmark(fig11_apo_sweep)
+
+    table = format_table(
+        ["#PipeStores", "training time (s)", "T_diff (s)", "IPS/kJ"],
+        [[r["stores"], r["training_time_s"], r["t_diff_s"], r["ips_per_kj"]]
+         for r in out["rows"]],
+        title="Fig. 11: APO sweep (ResNet50, V100 Tuner, 10 GbE)",
+    )
+    table += (f"\nAPO pick: {out['apo_pick']} PipeStores at cut "
+              f"{out['cut']} (paper: 8, +Conv5); "
+              f"max IPS/kJ at {out['best_energy_stores']} stores")
+    report("fig11_apo", table)
+
+    assert out["apo_pick"] == 8
+    assert out["cut"] == "+Conv5"
+    times = {r["stores"]: r["training_time_s"] for r in out["rows"]}
+    assert times[8] < times[1] / 4
+    assert times[20] > 0.8 * times[8]  # flattens

@@ -1,0 +1,38 @@
+"""Fig. 12 — NPE optimisation ablation (Naive -> +Offload -> +Comp -> +Batch).
+
+Paper: naive inference is dominated by 1-core preprocessing; offloading
+removes it; compression shrinks reads; batch 128 balances the stages and
+leaves the accelerator as the (intended) bottleneck.
+"""
+
+from repro.analysis.perf import fig12_npe_ablation
+from repro.analysis.tables import format_table
+from repro.core.npe import ABLATION_LEVELS, npe_throughput_ips
+from repro.models.catalog import model_graph
+
+
+def test_fig12_npe_ablation(benchmark, report):
+    out = benchmark(fig12_npe_ablation)
+
+    parts = []
+    for task, title in (("finetune", "Fig. 12a: fine-tuning (ms/image)"),
+                        ("inference", "Fig. 12b: offline inference (ms/image)")):
+        rows = out[task]
+        keys = [k for k in rows[0] if k != "level"]
+        parts.append(format_table(
+            ["level"] + [k.replace("_ms", "") for k in keys],
+            [[r["level"]] + [r[k] for k in keys] for r in rows],
+            title=title,
+        ))
+    graph = model_graph("ResNet50")
+    rates = [f"{level}: {npe_throughput_ips(graph, level):.0f} IPS"
+             for level in ABLATION_LEVELS]
+    text = "\n\n".join(parts) + "\n\npipelined PipeStore throughput: " + ", ".join(rates)
+    report("fig12_npe_ablation", text)
+
+    inf = {r["level"]: r for r in out["inference"]}
+    assert inf["Naive"]["Preproc_ms"] == max(
+        v for k, v in inf["Naive"].items() if k.endswith("_ms"))
+    assert inf["+Offload"]["Preproc_ms"] == 0.0
+    assert inf["+Comp"]["Read_ms"] < inf["+Offload"]["Read_ms"]
+    assert inf["+Batch"]["FE&Cl_ms"] < inf["+Comp"]["FE&Cl_ms"] / 3

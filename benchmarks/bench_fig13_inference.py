@@ -1,0 +1,39 @@
+"""Fig. 13 — offline-inference throughput scaling across four models.
+
+Paper: NDPipe scales linearly in PipeStores (per-store IPS 2129 / 2439 /
+449 / 277); it matches SRV-P at P1, SRV-C at P2 (4-7 stores), and SRV-I
+(two V100s) at P3 (5-7 stores).  For ResNeXt101/ViT the host GPUs are the
+SRV bottleneck, so the three SRV variants collapse together.
+"""
+
+from repro.analysis.perf import fig13_inference_scaling
+from repro.analysis.tables import format_table
+
+
+def test_fig13_inference_scaling(benchmark, report):
+    out = benchmark(fig13_inference_scaling)
+
+    parts = []
+    for model, data in out.items():
+        rows = [
+            [n, data["ndpipe_ips"][n] / 1e3] for n in (1, 2, 4, 8, 12, 16, 20)
+        ]
+        table = format_table(
+            ["#PipeStores", "NDPipe KIPS"], rows,
+            title=(f"Fig. 13 [{model}]  SRV-I/P/C = "
+                   f"{data['srv_ips']['SRV-I'] / 1e3:.2f} / "
+                   f"{data['srv_ips']['SRV-P'] / 1e3:.2f} / "
+                   f"{data['srv_ips']['SRV-C'] / 1e3:.2f} KIPS"),
+        )
+        crossings = data["crossovers"]
+        table += (f"\nper-store {data['per_store_ips']:.0f} IPS; crossovers "
+                  f"P1={crossings['P1']} P2={crossings['P2']} "
+                  f"P3={crossings['P3']}")
+        parts.append(table)
+    report("fig13_inference", "\n\n".join(parts))
+
+    for model, data in out.items():
+        nd = data["ndpipe_ips"]
+        assert nd[20] > 19 * nd[1] * 0.99, model  # linear scaling
+        assert data["crossovers"]["P3"] is not None, model
+        assert 5 <= data["crossovers"]["P3"] <= 8, model

@@ -1,0 +1,43 @@
+"""Fig. 14 — inference power breakdown (GPU / CPU / other) at P1, P2, P3.
+
+Paper: at matched throughput NDPipe draws less power than SRV-P (1.83x
+average efficiency gain) and SRV-C (1.39x), and stays competitive with the
+impractical SRV-I thanks to the commodity GPUs' efficiency.
+"""
+
+import numpy as np
+
+from repro.analysis.perf import fig14_power_breakdown
+from repro.analysis.tables import format_table
+from repro.models.catalog import FIGURE_MODELS
+
+
+def test_fig14_power_breakdown(benchmark, report):
+    rows = benchmark(fig14_power_breakdown)
+
+    table = format_table(
+        ["point", "system", "GPU W", "CPU W", "other W", "total W", "IPS",
+         "IPS/W"],
+        [[r["operating_point"], r["system"], r["gpu_w"], r["cpu_w"],
+          r["other_w"], r["total_w"], r["ips"], r["ips_per_w"]]
+         for r in rows],
+        title="Fig. 14: power breakdown at matched throughput (ResNet50)",
+    )
+
+    # average efficiency gains across the four figure models
+    gains = {"P1": [], "P2": [], "P3": []}
+    for model in FIGURE_MODELS:
+        model_rows = fig14_power_breakdown(model)
+        for i in range(0, len(model_rows), 2):
+            point = model_rows[i]["operating_point"]
+            gains[point].append(
+                model_rows[i + 1]["ips_per_w"] / model_rows[i]["ips_per_w"])
+    summary = "; ".join(
+        f"{point} avg gain {np.mean(vals):.2f}x" for point, vals in gains.items()
+    )
+    table += ("\n4-model average NDPipe power-efficiency gain: " + summary
+              + "\n(paper: 1.83x vs SRV-P, 1.39x vs SRV-C, >1x vs SRV-I)")
+    report("fig14_power", table)
+
+    assert np.mean(gains["P1"]) > np.mean(gains["P2"]) > 1.2
+    assert np.mean(gains["P3"]) > 0.95

@@ -1,0 +1,38 @@
+"""Fig. 19 — impact of batch size on PipeStore inference throughput.
+
+Paper: throughput is poor at batch 1 (idle GPU), saturates around 128,
+InceptionV3 hits the 2-core decompression wall past 128, and ViT OOMs at
+large batches on the 16 GB T4.
+"""
+
+from repro.analysis.perf import fig19_batch_sweep
+from repro.analysis.tables import format_table
+
+
+def test_fig19_batch_sweep(benchmark, report):
+    rows = benchmark(fig19_batch_sweep)
+
+    table = format_table(
+        ["model", "batch", "IPS", "bottleneck"],
+        [[r["model"], r["batch"],
+          "OOM" if r["oom"] else f"{r['ips']:.0f}", r["bottleneck"]]
+         for r in rows],
+        title="Fig. 19: per-PipeStore inference throughput vs batch size",
+    )
+    report("fig19_batch", table)
+
+    by_model = {}
+    for r in rows:
+        by_model.setdefault(r["model"], {})[r["batch"]] = r
+
+    # batch-1 underutilisation, saturation by 128 (small models suffer the
+    # launch overhead most; big models are compute-heavy even at batch 1)
+    for model, batches in by_model.items():
+        if not batches[128]["oom"]:
+            assert batches[1]["ips"] < 0.5 * batches[128]["ips"], model
+    assert by_model["ResNet50"][1]["ips"] < 0.2 * by_model["ResNet50"][128]["ips"]
+    # ViT OOM at >= 256 based on its activation footprint
+    assert by_model["ViT"][512]["oom"]
+    assert not by_model["ViT"][128]["oom"]
+    # InceptionV3 decompression wall beyond 128
+    assert by_model["InceptionV3"][512]["bottleneck"] == "Decomp."

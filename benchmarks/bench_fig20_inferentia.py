@@ -1,0 +1,28 @@
+"""Fig. 20 — NDPipe on AWS Inferentia (NeuronCoreV1) PipeStores.
+
+Paper: the weaker NeuronCoreV1 needs 11-16 PipeStores to match SRV-C
+offline inference and 8-13 for fine-tuning, yet still delivers ~1.17x
+higher power efficiency thanks to the accelerator's tiny draw.
+"""
+
+from repro.analysis.perf import fig20_inferentia
+from repro.analysis.tables import format_table
+
+
+def test_fig20_inferentia(benchmark, report):
+    out = benchmark(fig20_inferentia)
+
+    table = format_table(
+        ["model", "per-store IPS", "stores to match SRV-C (inf.)",
+         "stores to match SRV-C (ft.)", "power-efficiency gain"],
+        [[m, d["per_store_ips"], d["inference_stores_to_match_srv_c"],
+          d["finetune_stores_to_match_srv_c"], d["inference_power_gain"]]
+         for m, d in out.items()],
+        title="Fig. 20: NDPipe-Inf1 vs SRV-C",
+    )
+    report("fig20_inferentia", table)
+
+    for model, data in out.items():
+        assert 10 <= data["inference_stores_to_match_srv_c"] <= 17, model
+        assert 10 <= data["finetune_stores_to_match_srv_c"] <= 17, model
+        assert data["inference_power_gain"] > 1.05, model  # paper: 1.17x

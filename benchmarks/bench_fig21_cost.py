@@ -1,0 +1,31 @@
+"""Fig. 21a — operational cost of fine-tuning on AWS on-demand pricing.
+
+Paper: NDPipe's cost starts above SRV-C with too few PipeStores (long jobs)
+and drops below as stores are added; NDPipe and NDPipe-Inf1 end up ~1.5x
+and ~2.5x cheaper than SRV-C respectively.
+"""
+
+from repro.analysis.perf import fig21_cost_sweep
+from repro.analysis.tables import format_table
+
+
+def test_fig21_cost_sweep(benchmark, report):
+    rows = benchmark(fig21_cost_sweep)
+
+    table = format_table(
+        ["#PipeStores", "NDPipe $", "NDPipe-Inf1 $", "SRV-C $"],
+        [[r["stores"], r["ndpipe_cost_usd"], r["ndpipe_inf1_cost_usd"],
+          r["srv_c_cost_usd"]] for r in rows],
+        title="Fig. 21a: fine-tuning cost (ResNet50, 1.2M images)",
+    )
+    at20 = rows[-1]
+    table += (f"\nat 20 stores: NDPipe {at20['srv_c_cost_usd'] / at20['ndpipe_cost_usd']:.2f}x"
+              f" cheaper, NDPipe-Inf1 "
+              f"{at20['srv_c_cost_usd'] / at20['ndpipe_inf1_cost_usd']:.2f}x"
+              " cheaper than SRV-C (paper: 1.5x / 2.5x)")
+    report("fig21_cost", table)
+
+    costs = [r["ndpipe_cost_usd"] for r in rows]
+    assert costs[0] > costs[9]  # cost falls as stores shorten the job
+    assert at20["ndpipe_cost_usd"] < at20["srv_c_cost_usd"]
+    assert at20["ndpipe_inf1_cost_usd"] < at20["srv_c_cost_usd"]

@@ -1,0 +1,30 @@
+"""Table 1 — % of outdated labels fixed by successive retrained models.
+
+Paper: 6.67% of the reference photos' labels are corrected by M1, rising
+to 8.98% with M4 — evidence that databases accumulate outdated labels.
+"""
+
+from repro.analysis.accuracy import tab01_label_refresh
+from repro.analysis.tables import format_table
+
+
+def test_tab01_label_refresh(benchmark, report, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: tab01_label_refresh(scale=bench_scale),
+        iterations=1, rounds=1,
+    )
+
+    table = format_table(
+        ["model", "% of M0 labels fixed", "accuracy on reference set"],
+        [[r["model"], r["pct_fixed"], r["ref_accuracy"] * 100] for r in rows],
+        title="Table 1: labels fixed by newer models (paper: 6.67% -> 8.98%)",
+    )
+    report("tab01_labels", table)
+
+    assert rows[0]["pct_fixed"] == 0.0
+    fixed = [r["pct_fixed"] for r in rows[1:]]
+    if bench_scale.train >= 400:  # statistically meaningful scales only
+        # every retrained model corrects a nontrivial share of old labels
+        assert all(f > 1.0 for f in fixed)
+        # later models fix at least as much as the first (allowing noise)
+        assert max(fixed[1:]) >= fixed[0] - 2.0

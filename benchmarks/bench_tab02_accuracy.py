@@ -1,0 +1,55 @@
+"""Table 2 — model accuracy matrix: Base / Outdated / NDPipe / Full.
+
+Paper: across 5 models x 3 datasets, NDPipe beats Outdated everywhere
+(avg +1.7 top-1), trails Full slightly (avg -2.3 top-1), and the dataset
+difficulty ordering is CIFAR100 > ImageNet-1K > ImageNet-21K.  The ViT /
+ImageNet-21K Full cell is omitted like the paper's.
+"""
+
+import numpy as np
+
+from repro.analysis.accuracy import tab02_accuracy_matrix
+from repro.analysis.tables import format_table
+
+
+def test_tab02_accuracy_matrix(benchmark, report, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: tab02_accuracy_matrix(scale=bench_scale),
+        iterations=1, rounds=1,
+    )
+
+    table = format_table(
+        ["dataset", "model", "Base t1", "Base t5", "Outdated t1",
+         "Outdated t5", "NDPipe t1", "NDPipe t5", "Full t1", "Full t5"],
+        [[r["dataset"], r["model"],
+          r["base_top1"] * 100, r["base_top5"] * 100,
+          r["outdated_top1"] * 100, r["outdated_top5"] * 100,
+          r["ndpipe_top1"] * 100, r["ndpipe_top5"] * 100,
+          r["full_top1"] * 100, r["full_top5"] * 100] for r in rows],
+        title="Table 2: accuracy (%) after two weeks of drift",
+    )
+
+    nd_gain = np.mean([r["ndpipe_top1"] - r["outdated_top1"] for r in rows])
+    full_gap = np.nanmean([r["full_top1"] - r["ndpipe_top1"] for r in rows])
+    table += (f"\nNDPipe vs Outdated: {nd_gain * 100:+.1f} top-1 on average "
+              "(paper: +1.7); "
+              f"Full vs NDPipe: {full_gap * 100:+.1f} (paper: +2.3)")
+    report("tab02_accuracy", table)
+
+    # NDPipe recovers accuracy relative to the outdated model on average
+    if bench_scale.train >= 400:  # statistically meaningful scales only
+        assert nd_gain > 0.0
+    # top-5 always >= top-1
+    for r in rows:
+        assert r["ndpipe_top5"] >= r["ndpipe_top1"]
+    # the ViT / ImageNet-21K Full cell is absent, like the paper
+    vit_21k = next(r for r in rows
+                   if r["model"] == "ViT" and r["dataset"] == "ImageNet-21K")
+    assert np.isnan(vit_21k["full_top1"])
+    # dataset difficulty ordering (averaged over models, Base top-1)
+    if bench_scale.train >= 400:
+        by_dataset = {}
+        for r in rows:
+            by_dataset.setdefault(r["dataset"], []).append(r["base_top1"])
+        means = {d: np.mean(v) for d, v in by_dataset.items()}
+        assert means["CIFAR100"] > means["ImageNet-1K"] > means["ImageNet-21K"]

@@ -1,0 +1,43 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one paper table/figure, prints it, and writes
+it to ``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  ``REPRO_BENCH_SCALE`` (smoke|fast|paper) sizes the runnable
+accuracy experiments; the timing experiments are exact either way.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.accuracy import FAST, PAPER, SMOKE, Scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALES = {"smoke": SMOKE, "fast": FAST, "paper": PAPER}
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "fast").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a figure's regenerated output and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Deployment planning with APO (§5.3).
+
+For each of the paper's five models, run Algorithm 1 against the calibrated
+hardware catalog (T4 PipeStores, one V100 Tuner, 10 GbE) and print the
+recommended partition point, PipeStore count, training time, and energy
+efficiency — then show how the plan shifts on a slower network and on AWS
+Inferentia PipeStores.
+
+Run:  python examples/apo_planning.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.apo import plan_organization
+from repro.core.partition import FinetunePlanConfig
+from repro.models.catalog import ALL_MODELS, model_graph
+from repro.sim.specs import INF1_2XLARGE, NetworkSpec, TEN_GBE
+
+
+def plan_row(model_name: str, **kwargs):
+    graph = model_graph(model_name)
+    plan = plan_organization(graph, **kwargs)
+    best = plan.most_energy_efficient()
+    return [
+        model_name,
+        plan.split_label,
+        plan.num_pipestores,
+        plan.best.training_time_s / 60.0,
+        best.num_pipestores,
+        best.ips_per_kj,
+    ]
+
+
+HEADERS = ["model", "cut point", "APO stores", "train time (min)",
+           "max-IPS/kJ stores", "IPS/kJ"]
+
+
+def main() -> None:
+    config = FinetunePlanConfig(dataset_images=1_200_000, num_runs=3)
+
+    rows = [plan_row(m, config=config) for m in ALL_MODELS]
+    print(format_table(HEADERS, rows,
+                       title="APO plans (T4 PipeStores, V100 Tuner, 10 GbE)"))
+
+    slow = NetworkSpec(gbps=1.0)
+    rows = [plan_row(m, network=slow, config=config) for m in ALL_MODELS]
+    print()
+    print(format_table(HEADERS, rows,
+                       title="APO plans on a 1 Gbps fabric (cuts go deeper)"))
+
+    rows = [plan_row(m, store_server=INF1_2XLARGE, config=config)
+            for m in ALL_MODELS]
+    print()
+    print(format_table(
+        HEADERS, rows,
+        title="APO plans with AWS Inferentia PipeStores (more, cheaper stores)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

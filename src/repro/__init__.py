@@ -1,0 +1,23 @@
+"""NDPipe reproduction — near-data processing for photo storage (ASPLOS '24).
+
+Top-level convenience exports.  The public API surface is:
+
+* :mod:`repro.nn` — numpy DNN substrate (autograd, layers, optimisers).
+* :mod:`repro.models` — the paper's five architectures: tiny runnable
+  variants plus full-scale FLOP/byte stage graphs.
+* :mod:`repro.data` — synthetic drifting photo datasets.
+* :mod:`repro.storage` — object store, photo label database, codecs.
+* :mod:`repro.sim` — discrete-event datacenter simulator, hardware catalog,
+  power and cost models.
+* :mod:`repro.core` — the contribution: FT-DMP, pipelined training, APO,
+  NPE, Check-N-Run, PipeStore/Tuner cluster.
+* :mod:`repro.train` / :mod:`repro.inference` — training and inference
+  engines including the SRV-I/P/C baselines.
+* :mod:`repro.analysis` — one driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import nn  # noqa: F401
+
+__all__ = ["nn", "__version__"]

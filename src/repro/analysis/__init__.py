@@ -1,0 +1,10 @@
+"""``repro.analysis`` — one experiment driver per paper table/figure."""
+
+from . import accuracy, perf
+from .accuracy import FAST, PAPER, SMOKE, Scale
+from .tables import format_bytes, format_table
+from .validate import Anchor, calibration_report, validate_calibration
+
+__all__ = ["perf", "accuracy", "Scale", "FAST", "SMOKE", "PAPER",
+           "format_table", "format_bytes",
+           "Anchor", "validate_calibration", "calibration_report"]

@@ -1,0 +1,411 @@
+"""Performance-experiment drivers: one function per timing figure.
+
+Each function returns plain data (lists of dict rows) that the matching
+benchmark prints with :func:`repro.analysis.tables.format_table`.  The
+figure numbering follows the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.apo import plan_organization
+from ..core.npe import ABLATION_LEVELS, npe_ablation
+from ..core.partition import (
+    FinetunePlanConfig,
+    evaluate_all_points,
+    evaluate_partition,
+)
+from ..models.catalog import FIGURE_MODELS, model_graph
+from ..sim.cost import run_cost
+from ..sim.power import server_power
+from ..sim.specs import (
+    DEFAULT_DATASET_IMAGES,
+    G4DN_4XLARGE,
+    G4DN_4XLARGE_NOGPU,
+    INF1_2XLARGE,
+    P3_2XLARGE,
+    P3_8XLARGE,
+    NetworkSpec,
+    ServerSpec,
+    TEN_GBE,
+    TESLA_T4,
+    TESLA_V100,
+)
+from ..train import baselines
+from ..train.baselines import (
+    ideal_finetune,
+    ideal_offline_inference,
+    inference_crossovers,
+    naive_ndp_finetune_breakdown,
+    naive_ndp_inference_breakdown,
+    ndpipe_inference,
+    srv_finetune,
+    srv_inference,
+    typical_finetune,
+    typical_finetune_breakdown,
+    typical_inference_breakdown,
+    typical_offline_inference,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — impact of the network bottleneck (Typical vs Ideal)
+# ---------------------------------------------------------------------------
+def fig05_bottleneck(model: str = "ResNet50",
+                     finetune_images: int = DEFAULT_DATASET_IMAGES,
+                     ) -> Dict[str, Dict[str, float]]:
+    graph = model_graph(model)
+    typ_ft = typical_finetune(graph)
+    idl_ft = ideal_finetune(graph)
+    typ_inf = typical_offline_inference(graph)
+    idl_inf = ideal_offline_inference(graph)
+    return {
+        "finetune_time_min": {
+            "Typical": finetune_images / typ_ft.throughput_ips / 60.0,
+            "Ideal": finetune_images / idl_ft.throughput_ips / 60.0,
+        },
+        "inference_ips": {
+            "Typical": typ_inf.throughput_ips,
+            "Ideal": idl_inf.throughput_ips,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — naive-NDP per-subprocess execution times vs Typical
+# ---------------------------------------------------------------------------
+def fig06_breakdown(model: str = "ResNet50") -> Dict[str, List[dict]]:
+    graph = model_graph(model)
+    result: Dict[str, List[dict]] = {}
+
+    typical = typical_finetune_breakdown(graph)
+    ndp = naive_ndp_finetune_breakdown(graph)
+    result["finetune"] = [
+        {
+            "task": task,
+            "typical_s_per_img": typical[task],
+            "ndp_s_per_img": ndp[task],
+            "ndp_over_typical": (ndp[task] / typical[task]
+                                 if typical[task] > 0 else float("inf")),
+        }
+        for task in ("Read", "Data Trans.", "FE&CT", "Weight Sync.")
+    ]
+
+    typical_inf = typical_inference_breakdown(graph)
+    ndp_inf = naive_ndp_inference_breakdown(graph)
+    result["inference"] = [
+        {
+            "task": task,
+            "typical_s_per_img": typical_inf[task],
+            "ndp_s_per_img": ndp_inf[task],
+            "ndp_over_typical": (ndp_inf[task] / typical_inf[task]
+                                 if typical_inf[task] > 0 else float("inf")),
+        }
+        for task in ("Read", "Data Trans.", "Preproc.", "FE&Cl")
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — layer offloading vs data traffic and training time
+# ---------------------------------------------------------------------------
+def fig09_partition_sweep(model: str = "ResNet50", num_stores: int = 4,
+                          images: int = DEFAULT_DATASET_IMAGES) -> List[dict]:
+    graph = model_graph(model)
+    config = FinetunePlanConfig(dataset_images=images, num_runs=1)
+    rows = []
+    for ev in evaluate_all_points(graph, num_stores, TESLA_T4, TESLA_V100,
+                                  TEN_GBE, config):
+        rows.append({
+            "cut": ev.point.label,
+            "feature_traffic_gb": ev.feature_traffic_bytes / 1e9,
+            "sync_traffic_gb": ev.sync_traffic_bytes / 1e9,
+            "training_time_s": ev.training_time_s,
+            "store_time_s": ev.store_time_s,
+            "tuner_time_s": ev.tuner_time_s,
+            "sync_time_s": ev.sync_time_s,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — APO: training time and energy efficiency vs #PipeStores
+# ---------------------------------------------------------------------------
+def fig11_apo_sweep(model: str = "ResNet50", max_stores: int = 20,
+                    images: int = DEFAULT_DATASET_IMAGES) -> dict:
+    graph = model_graph(model)
+    plan = plan_organization(
+        graph, max_pipestores=max_stores,
+        config=FinetunePlanConfig(dataset_images=images),
+    )
+    rows = [
+        {
+            "stores": c.num_pipestores,
+            "training_time_s": c.training_time_s,
+            "t_diff_s": c.stage_imbalance_s,
+            "ips_per_kj": c.ips_per_kj,
+        }
+        for c in plan.candidates
+    ]
+    return {
+        "rows": rows,
+        "apo_pick": plan.num_pipestores,
+        "cut": plan.split_label,
+        "best_energy_stores": plan.most_energy_efficient().num_pipestores,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — NPE optimisation ablation
+# ---------------------------------------------------------------------------
+def fig12_npe_ablation(model: str = "ResNet50") -> Dict[str, List[dict]]:
+    graph = model_graph(model)
+    out: Dict[str, List[dict]] = {}
+    for task in ("finetune", "inference"):
+        levels = npe_ablation(graph, task)
+        rows = []
+        for level in ABLATION_LEVELS:
+            row = {"level": level}
+            for key, value in levels[level].items():
+                row[f"{key}_ms"] = value
+            rows.append(row)
+        out[task] = rows
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — inference throughput scaling
+# ---------------------------------------------------------------------------
+def fig13_inference_scaling(models: Optional[Sequence[str]] = None,
+                            max_stores: int = 20) -> Dict[str, dict]:
+    models = list(models or FIGURE_MODELS)
+    out: Dict[str, dict] = {}
+    for name in models:
+        graph = model_graph(name)
+        srv = {
+            variant: srv_inference(variant, graph).throughput_ips
+            for variant in ("SRV-I", "SRV-P", "SRV-C")
+        }
+        ndpipe = {
+            n: ndpipe_inference(graph, n).throughput_ips
+            for n in range(1, max_stores + 1)
+        }
+        out[name] = {
+            "srv_ips": srv,
+            "ndpipe_ips": ndpipe,
+            "per_store_ips": ndpipe[1],
+            "crossovers": inference_crossovers(graph, max_stores),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — inference power breakdown at P1/P2/P3
+# ---------------------------------------------------------------------------
+def fig14_power_breakdown(model: str = "ResNet50") -> List[dict]:
+    graph = model_graph(model)
+    crossings = inference_crossovers(graph)
+    rows: List[dict] = []
+    for label, variant in (("P1", "SRV-P"), ("P2", "SRV-C"), ("P3", "SRV-I")):
+        stores = crossings[label]
+        if stores is None:
+            continue
+        srv_point = srv_inference(variant, graph)
+        nd_point = ndpipe_inference(graph, stores)
+        for point, system in ((srv_point, variant), (nd_point, "NDPipe")):
+            rows.append({
+                "operating_point": label,
+                "system": system if system != "NDPipe"
+                else f"NDPipe x{stores}",
+                "gpu_w": point.power.gpu_watts,
+                "cpu_w": point.power.cpu_watts,
+                "other_w": point.power.other_watts,
+                "total_w": point.power.total_watts,
+                "ips": point.throughput_ips,
+                "ips_per_w": point.ips_per_watt,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 / 16 — training time scaling and energy efficiency
+# ---------------------------------------------------------------------------
+def fig15_training_scaling(models: Optional[Sequence[str]] = None,
+                           max_stores: int = 20,
+                           images: int = DEFAULT_DATASET_IMAGES,
+                           num_runs: int = 3) -> Dict[str, dict]:
+    models = list(models or FIGURE_MODELS)
+    out: Dict[str, dict] = {}
+    for name in models:
+        graph = model_graph(name)
+        srv = srv_finetune(graph)
+        srv_time = images / srv.throughput_ips
+        plan = plan_organization(
+            graph, max_pipestores=max_stores,
+            config=FinetunePlanConfig(dataset_images=images, num_runs=num_runs),
+        )
+        times = {c.num_pipestores: c.training_time_s for c in plan.candidates}
+        crossover = next(
+            (n for n in sorted(times) if times[n] <= srv_time), None
+        )
+        best = plan.most_energy_efficient()
+        out[name] = {
+            "srv_c_time_s": srv_time,
+            "ndpipe_time_s": times,
+            "p1_stores": crossover,
+            "apo_pick": plan.num_pipestores,
+            "best_stores": best.num_pipestores,
+            "best_ips_per_kj": best.ips_per_kj,
+        }
+    return out
+
+
+def fig16_training_energy(models: Optional[Sequence[str]] = None,
+                          images: int = DEFAULT_DATASET_IMAGES,
+                          num_runs: int = 3) -> List[dict]:
+    models = list(models or FIGURE_MODELS)
+    rows: List[dict] = []
+    scaling = fig15_training_scaling(models, images=images, num_runs=num_runs)
+    for name in models:
+        graph = model_graph(name)
+        srv = srv_finetune(graph)
+        srv_kj = srv.energy_kj_for(images)
+        data = scaling[name]
+        plan = plan_organization(
+            graph, config=FinetunePlanConfig(dataset_images=images,
+                                             num_runs=num_runs),
+        )
+        by_stores = {c.num_pipestores: c for c in plan.candidates}
+        for label, stores in (("P1", data["p1_stores"]),
+                              ("BEST", data["best_stores"])):
+            if stores is None:
+                continue
+            candidate = by_stores[stores]
+            rows.append({
+                "model": name,
+                "point": label,
+                "stores": stores,
+                "srv_c_ips_per_kj": images / srv_kj,
+                "ndpipe_ips_per_kj": candidate.ips_per_kj,
+                "gain": candidate.ips_per_kj / (images / srv_kj),
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 18 — network-bandwidth sensitivity
+# ---------------------------------------------------------------------------
+def fig18_bandwidth_sweep(models: Sequence[str] = ("ResNet50", "ResNeXt101"),
+                          gbps_values: Sequence[float] = (1, 10, 20, 40),
+                          num_stores: int = 8) -> List[dict]:
+    rows: List[dict] = []
+    for name in models:
+        graph = model_graph(name)
+        nd = ndpipe_inference(graph, num_stores)
+        for gbps in gbps_values:
+            network = NetworkSpec(gbps=gbps)
+            srv = srv_inference("SRV-C", graph, network)
+            rows.append({
+                "model": name,
+                "gbps": gbps,
+                "srv_c_ips_per_w": srv.ips_per_watt,
+                "ndpipe_ips_per_w": nd.ips_per_watt,
+                "gain": nd.ips_per_watt / srv.ips_per_watt,
+                "srv_bottleneck": srv.bottleneck,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 19 — batch-size sensitivity (with the ViT OOM wall)
+# ---------------------------------------------------------------------------
+def fig19_batch_sweep(models: Optional[Sequence[str]] = None,
+                      batch_sizes: Sequence[int] = (1, 8, 32, 128, 256, 512),
+                      ) -> List[dict]:
+    models = list(models or FIGURE_MODELS)
+    rows: List[dict] = []
+    for name in models:
+        graph = model_graph(name)
+        for batch in batch_sizes:
+            try:
+                point = ndpipe_inference(graph, 1, batch_size=batch)
+                rows.append({
+                    "model": name,
+                    "batch": batch,
+                    "ips": point.throughput_ips,
+                    "bottleneck": point.bottleneck,
+                    "oom": False,
+                })
+            except MemoryError:
+                rows.append({"model": name, "batch": batch, "ips": 0.0,
+                             "bottleneck": "OOM", "oom": True})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 20 — NDPipe on AWS Inferentia (NeuronCoreV1)
+# ---------------------------------------------------------------------------
+def fig20_inferentia(models: Sequence[str] = ("ResNet50", "ResNeXt101"),
+                     max_stores: int = 20,
+                     images: int = DEFAULT_DATASET_IMAGES) -> Dict[str, dict]:
+    out: Dict[str, dict] = {}
+    for name in models:
+        graph = model_graph(name)
+        srv_inf = srv_inference("SRV-C", graph)
+        inf_match = None
+        for n in range(1, max_stores + 1):
+            point = ndpipe_inference(graph, n, store=INF1_2XLARGE)
+            if point.throughput_ips >= srv_inf.throughput_ips:
+                inf_match = n
+                break
+        srv_ft = srv_finetune(graph)
+        ft_match = None
+        for n in range(1, max_stores + 1):
+            ev = evaluate_partition(
+                graph, graph.num_partition_points() - 2, n,
+                INF1_2XLARGE.accelerator, TESLA_V100, TEN_GBE,
+                FinetunePlanConfig(dataset_images=images),
+            )
+            if images / ev.training_time_s >= srv_ft.throughput_ips:
+                ft_match = n
+                break
+        nd_point = ndpipe_inference(graph, inf_match or max_stores,
+                                    store=INF1_2XLARGE)
+        out[name] = {
+            "inference_stores_to_match_srv_c": inf_match,
+            "finetune_stores_to_match_srv_c": ft_match,
+            "inference_power_gain": nd_point.ips_per_watt / srv_inf.ips_per_watt,
+            "per_store_ips": ndpipe_inference(graph, 1,
+                                              store=INF1_2XLARGE).throughput_ips,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 21a — operational cost of fine-tuning
+# ---------------------------------------------------------------------------
+def fig21_cost_sweep(model: str = "ResNet50", max_stores: int = 20,
+                     images: int = DEFAULT_DATASET_IMAGES) -> List[dict]:
+    graph = model_graph(model)
+    srv = srv_finetune(graph)
+    srv_time = images / srv.throughput_ips
+    srv_fleet = [P3_8XLARGE] + [G4DN_4XLARGE_NOGPU] * baselines.DEFAULT_NUM_STORAGE
+    srv_cost = run_cost(srv_fleet, srv_time)
+    rows: List[dict] = []
+    for n in range(1, max_stores + 1):
+        config = FinetunePlanConfig(dataset_images=images)
+        ev_t4 = evaluate_partition(graph, graph.num_partition_points() - 2, n,
+                                   TESLA_T4, TESLA_V100, TEN_GBE, config)
+        fleet_t4 = [P3_2XLARGE] + [G4DN_4XLARGE] * n
+        ev_inf1 = evaluate_partition(graph, graph.num_partition_points() - 2, n,
+                                     INF1_2XLARGE.accelerator, TESLA_V100,
+                                     TEN_GBE, config)
+        fleet_inf1 = [P3_2XLARGE] + [INF1_2XLARGE] * n
+        rows.append({
+            "stores": n,
+            "ndpipe_cost_usd": run_cost(fleet_t4, ev_t4.training_time_s),
+            "ndpipe_inf1_cost_usd": run_cost(fleet_inf1, ev_inf1.training_time_s),
+            "srv_c_cost_usd": srv_cost,
+        })
+    return rows

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table (floats to 3 significant-ish)."""
+    rendered_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (binary-ish decimal units)."""
+    if num_bytes < 0:
+        raise ValueError("negative byte count")
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if num_bytes < 1000 or unit == "TB":
+            return f"{num_bytes:.2f} {unit}" if unit != "B" else f"{num_bytes:.0f} B"
+        num_bytes /= 1000
+    raise AssertionError("unreachable")

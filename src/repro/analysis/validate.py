@@ -1,0 +1,121 @@
+"""Calibration self-check: is the hardware catalog still on its anchors?
+
+The simulator's credibility rests on a handful of measured numbers from
+the paper (per-PipeStore IPS, the artifact's FE throughput, APO's 8-store
+pick, the strawman ratios...).  ``validate_calibration`` recomputes each
+anchor from the current catalog and reports pass/fail, so any future edit
+to ``repro/sim/specs.py`` that silently drifts off the paper is caught —
+both by `tests/analysis/test_validate.py` and by users running
+``python -m repro.cli validate``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One calibration target and how far off the catalog may drift."""
+
+    name: str
+    paper_value: float
+    measured: float
+    rel_tol: float
+    source: str
+
+    @property
+    def ok(self) -> bool:
+        if self.paper_value == 0:
+            return abs(self.measured) <= self.rel_tol
+        return abs(self.measured - self.paper_value) <= (
+            self.rel_tol * abs(self.paper_value))
+
+    @property
+    def error_pct(self) -> float:
+        if self.paper_value == 0:
+            return float("inf")
+        return 100.0 * (self.measured - self.paper_value) / self.paper_value
+
+
+def validate_calibration() -> List[Anchor]:
+    """Recompute every calibration anchor from the live catalog."""
+    from ..core.apo import plan_organization
+    from ..models.catalog import model_graph
+    from ..sim.specs import TESLA_T4, TESLA_V100
+    from ..train.baselines import (
+        ideal_finetune,
+        ideal_offline_inference,
+        srv_finetune,
+        typical_finetune,
+        typical_offline_inference,
+    )
+
+    anchors: List[Anchor] = []
+
+    def add(name, paper, measured, tol, source):
+        anchors.append(Anchor(name, paper, float(measured), tol, source))
+
+    per_store = {
+        "ResNet50": 2129, "InceptionV3": 2439,
+        "ResNeXt101": 449, "ViT": 277,
+    }
+    for model, target in per_store.items():
+        graph = model_graph(model)
+        add(f"T4 inference IPS @128 [{model}]", target,
+            TESLA_T4.inference_ips(graph, 128), 0.02, "§6.2")
+
+    resnet = model_graph("ResNet50")
+    add("FE throughput (T4, ResNet50 fine-tune)", 1913.26,
+        TESLA_T4.fe_ips(resnet, 5, 512), 0.03, "artifact A.6")
+
+    add("V100 : T4 effective ratio", 3.0,
+        TESLA_V100.inference_ips(resnet, 128)
+        / TESLA_T4.inference_ips(resnet, 128), 0.1, "Fig. 13 P3")
+
+    plan = plan_organization(resnet)
+    add("APO PipeStore pick (ResNet50)", 8, plan.num_pipestores, 0.0,
+        "Fig. 11")
+
+    add("Typical/Ideal fine-tune slowdown", 3.7,
+        ideal_finetune(resnet).throughput_ips
+        / typical_finetune(resnet).throughput_ips, 0.2, "Fig. 5a")
+    add("Typical offline inference IPS", 94,
+        typical_offline_inference(resnet).throughput_ips, 0.2, "Fig. 5b")
+    add("Ideal offline inference IPS", 123,
+        ideal_offline_inference(resnet).throughput_ips, 0.1, "Fig. 5b")
+
+    srv_ft = srv_finetune(resnet).throughput_ips
+    crossover = math.ceil(srv_ft / TESLA_T4.fe_ips(resnet, 5, 512))
+    add("fine-tune crossover stores (ResNet50)", 3, crossover, 0.0,
+        "Fig. 15")
+
+    full_time = 90 * 1.2e6 / (2 * TESLA_V100.full_train_ips(resnet))
+    ft_time = 1.2e6 / TESLA_V100.tail_train_ips(resnet, 5)
+    add("fine-tune vs full-train speedup (>=300x)", 330,
+        full_time / ft_time, 0.25, "§1 / §6.3")
+
+    return anchors
+
+
+def calibration_report() -> str:
+    """Human-readable pass/fail table of every anchor."""
+    from .tables import format_table
+
+    anchors = validate_calibration()
+    rows = [
+        [a.name, a.paper_value, a.measured,
+         f"{a.error_pct:+.1f}%" if math.isfinite(a.error_pct) else "-",
+         "ok" if a.ok else "DRIFTED", a.source]
+        for a in anchors
+    ]
+    failed = sum(1 for a in anchors if not a.ok)
+    table = format_table(
+        ["anchor", "paper", "measured", "error", "status", "source"],
+        rows, title="hardware-catalog calibration check",
+    )
+    table += (f"\n{len(anchors) - failed}/{len(anchors)} anchors hold"
+              + ("" if failed == 0 else f"; {failed} DRIFTED"))
+    return table

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``plan``     — run APO for a model/hardware combination and print the
+  recommended organisation (Algorithm 1);
+* ``figures``  — regenerate the simulator-backed paper figures as text
+  tables (the fast subset; accuracy figures live in the benchmarks);
+* ``demo``     — run the end-to-end tiny-cluster lifecycle;
+* ``catalog``  — dump the calibrated hardware catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .core.apo import plan_organization
+    from .core.partition import FinetunePlanConfig
+    from .models.catalog import model_graph
+    from .sim.specs import INF1_2XLARGE, G4DN_4XLARGE, NetworkSpec
+
+    graph = model_graph(args.model)
+    store = INF1_2XLARGE if args.accelerator == "inferentia" else G4DN_4XLARGE
+    plan = plan_organization(
+        graph,
+        max_pipestores=args.max_stores,
+        store_server=store,
+        network=NetworkSpec(gbps=args.gbps),
+        config=FinetunePlanConfig(dataset_images=args.images,
+                                  num_runs=args.runs),
+    )
+    best = plan.most_energy_efficient()
+    print(format_table(
+        ["setting", "value"],
+        [
+            ["model", graph.name],
+            ["PipeStore accelerator", store.accelerator.name],
+            ["network", f"{args.gbps} Gbps"],
+            ["partition point", plan.split_label],
+            ["PipeStores (APO)", plan.num_pipestores],
+            ["training time", f"{plan.best.training_time_s / 60:.2f} min"],
+            ["PipeStores (max IPS/kJ)", best.num_pipestores],
+            ["energy efficiency", f"{best.ips_per_kj:,.0f} IPS/kJ"],
+        ],
+        title=f"APO plan for {graph.name}",
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .analysis import perf
+    from .analysis.tables import format_table
+
+    print(format_table(
+        ["cut", "feature GB", "sync GB", "train time (s)"],
+        [[r["cut"], r["feature_traffic_gb"], r["sync_traffic_gb"],
+          r["training_time_s"]] for r in perf.fig09_partition_sweep()],
+        title="Fig. 9: partition sweep",
+    ))
+    print()
+    apo = perf.fig11_apo_sweep()
+    print(format_table(
+        ["stores", "train time (s)", "T_diff (s)", "IPS/kJ"],
+        [[r["stores"], r["training_time_s"], r["t_diff_s"], r["ips_per_kj"]]
+         for r in apo["rows"]],
+        title=f"Fig. 11: APO sweep (pick: {apo['apo_pick']} stores)",
+    ))
+    print()
+    f13 = perf.fig13_inference_scaling(["ResNet50"])["ResNet50"]
+    print(format_table(
+        ["system", "KIPS"],
+        [[v, f13["srv_ips"][v] / 1e3] for v in ("SRV-I", "SRV-P", "SRV-C")]
+        + [[f"NDPipe x{n}", f13["ndpipe_ips"][n] / 1e3]
+           for n in (1, 4, 8, 16, 20)],
+        title=f"Fig. 13 (ResNet50), crossovers {f13['crossovers']}",
+    ))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.tables import format_bytes, format_table
+    from .core.cluster import NDPipeCluster
+    from .data.drift import DriftingPhotoWorld, WorldConfig
+    from .models.registry import tiny_model
+
+    world = DriftingPhotoWorld(WorldConfig(
+        initial_classes=6, max_classes=8, image_size=16, noise=0.3, seed=0,
+    ))
+    cluster = NDPipeCluster(
+        lambda: tiny_model("ResNet50", num_classes=8, width=8, seed=7),
+        num_stores=args.stores, nominal_raw_bytes=8192,
+    )
+    x, y = world.sample(args.photos, 0, rng=np.random.default_rng(1))
+    cluster.ingest(x, train_labels=y)
+    report = cluster.finetune(epochs=2)
+    relabel = cluster.offline_relabel()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["photos ingested", len(cluster.database)],
+            ["images fine-tuned", report.images_extracted],
+            ["labels refreshed", relabel.photos_processed],
+            ["model delta",
+             f"{cluster.tuner.distributions[-1].reduction_factor:.1f}x "
+             "smaller than the full model"],
+        ] + [[f"traffic: {kind}", format_bytes(num)]
+             for kind, num in sorted(cluster.traffic_summary().items())],
+        title="NDPipe demo lifecycle",
+    ))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .analysis.validate import calibration_report, validate_calibration
+
+    print(calibration_report())
+    return 0 if all(a.ok for a in validate_calibration()) else 1
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .models.catalog import ALL_MODELS, model_graph
+    from .sim.specs import NEURONCORE_V1, SERVERS, TESLA_T4, TESLA_V100
+
+    rows = []
+    for name in ALL_MODELS:
+        graph = model_graph(name)
+        rows.append([
+            name, graph.total_flops / 1e9, graph.total_params / 1e6,
+            TESLA_T4.inference_ips(graph, 128),
+            TESLA_V100.inference_ips(graph, 128),
+            NEURONCORE_V1.inference_ips(graph, 128),
+        ])
+    print(format_table(
+        ["model", "GFLOPs", "params (M)", "T4 IPS@128", "V100 IPS@128",
+         "NeuronCore IPS@128"],
+        rows, title="model catalog (calibrated)",
+    ))
+    print()
+    print(format_table(
+        ["instance", "accelerator", "$/h"],
+        [[s.name, s.accelerator.name if s.accelerator else "-",
+          s.price_per_hour] for s in SERVERS.values()],
+        title="server catalog",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NDPipe reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="run APO (Algorithm 1)")
+    plan.add_argument("--model", default="ResNet50")
+    plan.add_argument("--accelerator", choices=("t4", "inferentia"),
+                      default="t4")
+    plan.add_argument("--gbps", type=float, default=10.0)
+    plan.add_argument("--max-stores", type=int, default=20)
+    plan.add_argument("--images", type=int, default=1_200_000)
+    plan.add_argument("--runs", type=int, default=3)
+    plan.set_defaults(func=_cmd_plan)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate simulator-backed figures")
+    figures.set_defaults(func=_cmd_figures)
+
+    demo = sub.add_parser("demo", help="run the tiny-cluster lifecycle")
+    demo.add_argument("--stores", type=int, default=3)
+    demo.add_argument("--photos", type=int, default=90)
+    demo.set_defaults(func=_cmd_demo)
+
+    catalog = sub.add_parser("catalog", help="dump the hardware catalog")
+    catalog.set_defaults(func=_cmd_catalog)
+
+    validate = sub.add_parser(
+        "validate", help="check the catalog against the paper's anchors")
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

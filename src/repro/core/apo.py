@@ -1,0 +1,143 @@
+"""APO — Automated model Partitioning and Organization (Algorithm 1).
+
+APO sweeps the PipeStore count from 1 to ``max_pipestores``, calls
+``FindBestPoint`` for each, and returns the count whose Store-stage and
+Tuner-stage times are closest (minimal pipeline bubble).  It also exposes
+the full sweep with energy efficiency so the Fig. 11 trade-off (training
+time vs IPS/kJ) can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..models.graph import ModelGraph
+from ..sim.power import PowerDraw, ips_per_kilojoule, server_power, total_power
+from ..sim.specs import (
+    AcceleratorSpec,
+    G4DN_4XLARGE,
+    NetworkSpec,
+    P3_2XLARGE,
+    ServerSpec,
+    TEN_GBE,
+)
+from .partition import (
+    FinetunePlanConfig,
+    PartitionEvaluation,
+    find_best_point,
+)
+
+
+@dataclass(frozen=True)
+class OrganizationCandidate:
+    """One point of the APO sweep: a store count plus its best partition."""
+
+    num_pipestores: int
+    evaluation: PartitionEvaluation
+    power: PowerDraw
+    energy_kj: float
+    ips_per_kj: float
+
+    @property
+    def training_time_s(self) -> float:
+        return self.evaluation.training_time_s
+
+    @property
+    def stage_imbalance_s(self) -> float:
+        return self.evaluation.stage_imbalance_s
+
+
+@dataclass(frozen=True)
+class OrganizationPlan:
+    """APO's output: the chosen store count, cut point, and the sweep."""
+
+    best: OrganizationCandidate
+    candidates: List[OrganizationCandidate]
+
+    @property
+    def num_pipestores(self) -> int:
+        return self.best.num_pipestores
+
+    @property
+    def split(self) -> int:
+        return self.best.evaluation.point.index
+
+    @property
+    def split_label(self) -> str:
+        return self.best.evaluation.point.label
+
+    def most_energy_efficient(self) -> OrganizationCandidate:
+        """The Fig. 15/16 'BEST' operating point (max training IPS/kJ)."""
+        return max(self.candidates, key=lambda c: c.ips_per_kj)
+
+
+def _candidate_power(num_pipestores: int, store_server: ServerSpec,
+                     tuner_server: ServerSpec,
+                     evaluation: PartitionEvaluation,
+                     config: FinetunePlanConfig) -> PowerDraw:
+    """Average fleet power during the fine-tuning job.
+
+    PipeStores run their accelerator, the decompression cores, and the
+    disk; the Tuner runs its GPU at the utilisation implied by the stage
+    imbalance (an oversubscribed Tuner idles waiting for features and
+    vice versa).
+    """
+    job_time = max(evaluation.training_time_s, 1e-9)
+    store_util = min(1.0, evaluation.store_time_s / job_time)
+    tuner_util = min(1.0, evaluation.tuner_time_s / job_time)
+    store_draw = server_power(
+        store_server, gpu_util=store_util,
+        active_cores=config.decompress_cores, disk_active=True,
+    ).scaled(num_pipestores)
+    tuner_draw = server_power(tuner_server, gpu_util=tuner_util, active_cores=2)
+    return store_draw + tuner_draw
+
+
+def plan_organization(graph: ModelGraph,
+                      max_pipestores: int = 20,
+                      store_server: ServerSpec = G4DN_4XLARGE,
+                      tuner_server: ServerSpec = P3_2XLARGE,
+                      network: NetworkSpec = TEN_GBE,
+                      config: Optional[FinetunePlanConfig] = None,
+                      ) -> OrganizationPlan:
+    """Run Algorithm 1: pick N_ps minimising |T_ps - T_tuner|.
+
+    Mirrors the paper's pseudo-code: iterate ``N_ps`` from 1 to
+    ``N_max``, call ``FindBestPoint`` for each, track the minimum stage
+    imbalance, and return the winning organisation (plus the whole sweep,
+    which Fig. 11 plots).
+    """
+    if max_pipestores < 1:
+        raise ValueError("max_pipestores must be >= 1")
+    if not store_server.has_accelerator:
+        raise ValueError("PipeStore server needs an accelerator")
+    if not tuner_server.has_accelerator:
+        raise ValueError("Tuner server needs an accelerator")
+    config = config or FinetunePlanConfig()
+
+    candidates: List[OrganizationCandidate] = []
+    best_candidate: Optional[OrganizationCandidate] = None
+    min_imbalance = float("inf")
+    for num_ps in range(1, max_pipestores + 1):
+        evaluation = find_best_point(
+            graph, num_ps, store_server.accelerator, tuner_server.accelerator,
+            network, config, tuner_gpus=tuner_server.accelerator_count,
+        )
+        power = _candidate_power(num_ps, store_server, tuner_server,
+                                 evaluation, config)
+        energy_kj = power.total_watts * evaluation.training_time_s / 1e3
+        candidate = OrganizationCandidate(
+            num_pipestores=num_ps,
+            evaluation=evaluation,
+            power=power,
+            energy_kj=energy_kj,
+            ips_per_kj=config.dataset_images / energy_kj,
+        )
+        candidates.append(candidate)
+        if candidate.stage_imbalance_s < min_imbalance:
+            min_imbalance = candidate.stage_imbalance_s
+            best_candidate = candidate
+
+    assert best_candidate is not None
+    return OrganizationPlan(best=best_candidate, candidates=candidates)

@@ -1,0 +1,187 @@
+"""NDPipeCluster — the whole system of Fig. 7, runnable end to end.
+
+Wires an inference server, a label database, a Tuner, and N PipeStores over
+a byte-accounted fabric.  Supports the three flows the paper describes:
+
+* **ingest** — online inference labels a new photo, the photo plus its
+  preprocessed binary land on a PipeStore (preprocessing offload, §5.4),
+  and the label is indexed in the database;
+* **fine-tune** — FT-DMP continuous training across PipeStores with
+  Check-N-Run redistribution;
+* **offline relabel** — every PipeStore re-infers its local photos with the
+  fresh model and only labels cross the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.split import SplitModel
+from ..nn.tensor import Tensor
+from ..storage.imageformat import preprocess
+from ..storage.photodb import LabelRecord, PhotoDatabase
+from .fabric import NetworkFabric
+from .ftdmp import FinetuneReport
+from .pipestore import PipeStore, StoredPhoto, StoreUnavailableError
+from .tuner import Tuner
+
+
+@dataclass
+class RelabelStats:
+    """Outcome of one offline-inference campaign (the Table 1 metric)."""
+
+    photos_processed: int
+    labels_changed: int
+    label_bytes: int
+
+    @property
+    def fraction_changed(self) -> float:
+        if self.photos_processed == 0:
+            return 0.0
+        return self.labels_changed / self.photos_processed
+
+
+class InferenceServer:
+    """The online-inference front end: labels uploads, offloads preprocessing."""
+
+    def __init__(self, model: SplitModel, name: str = "inference-server"):
+        self.name = name
+        self.model = model
+        self.model.eval()
+
+    def classify(self, pixels: np.ndarray) -> Tuple[int, float]:
+        """Label one photo (3, H, W); returns (label, confidence)."""
+        logits = self.model(Tensor(preprocess(pixels)[None])).data[0]
+        shifted = logits - logits.max()
+        probs = np.exp(shifted)
+        probs /= probs.sum()
+        label = int(probs.argmax())
+        return label, float(probs[label])
+
+    def preprocess(self, pixels: np.ndarray) -> np.ndarray:
+        """The offloaded preprocessing step (§5.4 +Offload)."""
+        return preprocess(pixels)
+
+    def sync_model(self, state: Dict[str, np.ndarray]) -> None:
+        self.model.load_state_dict(state)
+
+
+class NDPipeCluster:
+    """N PipeStores + Tuner + inference server + label database."""
+
+    def __init__(self, model_factory: Callable[[], SplitModel],
+                 num_stores: int = 4, split: Optional[int] = None,
+                 nominal_raw_bytes: int = 8192, lr: float = 3e-3,
+                 batch_size: int = 64, seed: int = 0):
+        if num_stores < 1:
+            raise ValueError("need at least one PipeStore")
+        self.network = NetworkFabric()
+        self.tuner = Tuner(model_factory(), self.network, split=split,
+                           lr=lr, batch_size=batch_size, seed=seed)
+        self.stores: List[PipeStore] = []
+        for i in range(num_stores):
+            store = PipeStore(f"pipestore-{i}",
+                              nominal_raw_bytes=nominal_raw_bytes)
+            self.tuner.register(store, model_factory())
+            self.stores.append(store)
+        self.inference_server = InferenceServer(model_factory())
+        self.inference_server.sync_model(self.tuner.model.state_dict())
+        self.database = PhotoDatabase()
+        self._ingest_counter = 0
+        self._rr_next = 0
+
+    # -- ingest (online inference) flow --------------------------------------
+    def ingest(self, images: np.ndarray, train_labels: Optional[Sequence[int]] = None,
+               ) -> List[str]:
+        """Upload a batch of photos (N, 3, H, W in [0, 1]); returns ids."""
+        if images.ndim != 4:
+            raise ValueError(f"expected (N, 3, H, W) images, got {images.shape}")
+        if train_labels is not None and len(train_labels) != len(images):
+            raise ValueError("train_labels length mismatch")
+        ids: List[str] = []
+        for row, pixels in enumerate(images):
+            photo_id = f"photo-{self._ingest_counter:08d}"
+            self._ingest_counter += 1
+            label, confidence = self.inference_server.classify(pixels)
+            preprocessed = self.inference_server.preprocess(pixels)
+            store = self._next_available_store()
+            photo = StoredPhoto(
+                photo_id=photo_id,
+                pixels=pixels,
+                preprocessed=preprocessed,
+                train_label=None if train_labels is None else int(train_labels[row]),
+            )
+            # raw photo + offloaded preprocessed binary travel to the store
+            stored_bytes = store.store_photo(photo)
+            self.network.send(self.inference_server.name, store.store_id,
+                              stored_bytes, "ingest")
+            self.database.upsert(LabelRecord(
+                photo_id=photo_id, label=label,
+                model_version=self.tuner.version,
+                location=store.store_id, confidence=confidence,
+            ))
+            ids.append(photo_id)
+        return ids
+
+    def _next_available_store(self) -> PipeStore:
+        """Round-robin placement that routes around failed servers."""
+        for _ in range(len(self.stores)):
+            store = self.stores[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % len(self.stores)
+            if store.is_available:
+                return store
+        raise StoreUnavailableError("no PipeStore is available for ingest")
+
+    # -- continuous training flow -----------------------------------------
+    def finetune(self, epochs: int = 2, num_runs: int = 1) -> FinetuneReport:
+        """FT-DMP fine-tuning over every labelled photo in the fleet."""
+        report = self.tuner.finetune(epochs=epochs, num_runs=num_runs)
+        self.inference_server.sync_model(self.tuner.model.state_dict())
+        return report
+
+    # -- offline inference flow ---------------------------------------------
+    def offline_relabel(self, only_outdated: bool = True) -> RelabelStats:
+        """Refresh database labels with the current model, near the data."""
+        from ..sim.specs import LABEL_BYTES
+
+        target_version = self.tuner.version
+        processed = 0
+        changed = 0
+        label_bytes = 0
+        for store in self.stores:
+            if not store.is_available:
+                continue
+            if only_outdated:
+                ids = [
+                    pid for pid in self.database.ids_at(store.store_id)
+                    if self.database.lookup(pid).model_version < target_version
+                ]
+            else:
+                ids = self.database.ids_at(store.store_id)
+            if not ids:
+                continue
+            results = self.tuner.trigger_offline_inference(store, ids)
+            label_bytes += LABEL_BYTES * len(results)
+            for pid, (label, confidence) in results.items():
+                record = self.database.lookup(pid)
+                processed += 1
+                if self.database.upsert(LabelRecord(
+                    photo_id=pid, label=label, model_version=target_version,
+                    location=record.location, confidence=confidence,
+                )):
+                    changed += 1
+        return RelabelStats(photos_processed=processed, labels_changed=changed,
+                            label_bytes=label_bytes)
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(self, images: np.ndarray, labels: np.ndarray,
+                 ) -> Tuple[float, float]:
+        """(top-1, top-5) of the current model on preprocessed inputs."""
+        return self.tuner.evaluate(preprocess(images), labels)
+
+    # -- reporting ---------------------------------------------------------
+    def traffic_summary(self) -> Dict[str, int]:
+        return self.network.kinds()

@@ -1,0 +1,164 @@
+"""Drift detection and maintenance policies (§2.2).
+
+The paper surveys how production systems decide *when* to retrain:
+regularly scheduled updates versus detection-triggered ones (citing the
+early-drift-detection literature).  NDPipe makes fine-tuning cheap enough
+for aggressive schedules; these utilities let the reproduction compare the
+policies quantitatively:
+
+* :class:`PageHinkley` — the classic streaming mean-shift detector over a
+  model-quality signal (error rate or confidence);
+* :class:`AccuracyWindowDetector` — trigger when a sliding-window accuracy
+  estimate falls a threshold below the post-deployment baseline;
+* :class:`MaintenancePolicy` implementations that decide, day by day,
+  whether to fine-tune.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+
+class PageHinkley:
+    """Page-Hinkley test for upward mean shift in a loss/error stream."""
+
+    def __init__(self, delta: float = 0.005, threshold: float = 0.5,
+                 min_samples: int = 30):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; True when drift is detected."""
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._count < self.min_samples:
+            return False
+        return (self._cumulative - self._minimum) > self.threshold
+
+    @property
+    def statistic(self) -> float:
+        return self._cumulative - self._minimum
+
+
+class AccuracyWindowDetector:
+    """Trigger when windowed accuracy drops ``tolerance`` below baseline."""
+
+    def __init__(self, window: int = 50, tolerance: float = 0.05):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.window = window
+        self.tolerance = tolerance
+        self._correct: Deque[bool] = deque(maxlen=window)
+        self.baseline: Optional[float] = None
+
+    def update(self, correct: bool) -> bool:
+        """Feed one prediction outcome; True when drift is detected."""
+        self._correct.append(bool(correct))
+        if len(self._correct) < self.window:
+            return False
+        rate = sum(self._correct) / len(self._correct)
+        if self.baseline is None:
+            self.baseline = rate
+            return False
+        return rate < self.baseline - self.tolerance
+
+    def rearm(self) -> None:
+        """Reset after maintenance so the new model sets a new baseline."""
+        self._correct.clear()
+        self.baseline = None
+
+
+# ---------------------------------------------------------------------------
+# Maintenance policies
+# ---------------------------------------------------------------------------
+@dataclass
+class MaintenanceLog:
+    """What a policy did over a drift horizon."""
+
+    policy: str
+    triggered_days: List[int] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.triggered_days)
+
+    @property
+    def mean_accuracy(self) -> float:
+        if not self.accuracies:
+            raise ValueError("no accuracies recorded")
+        return float(sum(self.accuracies) / len(self.accuracies))
+
+
+class MaintenancePolicy:
+    """Decides each day whether to run a fine-tuning round."""
+
+    name = "base"
+
+    def should_update(self, day: int, accuracy: float) -> bool:
+        raise NotImplementedError
+
+    def notify_updated(self, day: int) -> None:
+        """Called after an update actually ran."""
+
+
+class ScheduledPolicy(MaintenancePolicy):
+    """Fine-tune every ``period_days`` regardless of observed quality."""
+
+    def __init__(self, period_days: int = 2):
+        if period_days < 1:
+            raise ValueError("period must be >= 1 day")
+        self.name = f"scheduled-every-{period_days}d"
+        self.period_days = period_days
+        self._last_update = 0
+
+    def should_update(self, day: int, accuracy: float) -> bool:
+        return day > 0 and day - self._last_update >= self.period_days
+
+    def notify_updated(self, day: int) -> None:
+        self._last_update = day
+
+
+class DetectionPolicy(MaintenancePolicy):
+    """Fine-tune only when the accuracy detector fires (§2.2 alternative)."""
+
+    def __init__(self, tolerance: float = 0.04, window: int = 1):
+        self.name = f"detect-drop-{tolerance:.2f}"
+        self.tolerance = tolerance
+        self._baseline: Optional[float] = None
+
+    def should_update(self, day: int, accuracy: float) -> bool:
+        if self._baseline is None:
+            self._baseline = accuracy
+            return False
+        return accuracy < self._baseline - self.tolerance
+
+    def notify_updated(self, day: int) -> None:
+        self._baseline = None  # re-baseline on the refreshed model
+
+
+class NeverPolicy(MaintenancePolicy):
+    """The outdated-model strawman."""
+
+    name = "never"
+
+    def should_update(self, day: int, accuracy: float) -> bool:
+        return False

@@ -1,0 +1,190 @@
+"""FT-DMP: fine-tuning-based data & model parallelism (§5.1-§5.2), runnable.
+
+The strategy: replicate the weight-freeze front of the model on PipeStores
+(forward only — identical to inference), keep every trainable layer on the
+Tuner.  PipeStores extract features for their local batches; the Tuner
+trains the tail on those features.  No weight synchronisation ever crosses
+the network because all updates happen in one place.
+
+This module executes the strategy for real on the numpy substrate:
+features are genuinely extracted by the frozen front, the classifier is
+genuinely trained with SGD/Adam, and pipelined training (``num_runs > 1``)
+genuinely trains run-by-run over sub-datasets — so catastrophic forgetting
+at large ``num_runs`` (Fig. 17) is an emergent behaviour, not a formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.loader import batch_iter, split_rounds
+from ..models.graph import FEATURE_DTYPE_BYTES
+from ..models.split import SplitModel
+from ..nn.losses import cross_entropy
+from ..nn.optim import Adam, Optimizer, SGD
+from ..nn.tensor import Tensor
+
+
+@dataclass
+class EpochRecord:
+    """One Tuner-side training epoch within one pipeline run."""
+
+    run: int
+    epoch: int
+    loss: float
+    images: int
+
+
+@dataclass
+class FinetuneReport:
+    """What one FT-DMP fine-tuning job did."""
+
+    num_runs: int
+    split: int
+    epochs: List[EpochRecord] = field(default_factory=list)
+    #: bytes of features shipped PipeStores -> Tuner
+    feature_bytes: int = 0
+    #: images processed by the Store stage (feature extractions)
+    images_extracted: int = 0
+    #: accuracy trajectory if an eval function was supplied:
+    #: (run, epoch, accuracy)
+    accuracy_trace: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: PipeStores that were down when the Tuner tried to gather features
+    skipped_stores: List[str] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epochs:
+            raise ValueError("no epochs recorded")
+        return self.epochs[-1].loss
+
+
+def _make_optimizer(kind: str, params, lr: float) -> Optimizer:
+    if kind == "adam":
+        return Adam(params, lr=lr)
+    if kind == "sgd":
+        return SGD(params, lr=lr, momentum=0.9)
+    raise ValueError(f"unknown optimizer {kind!r} (use 'adam' or 'sgd')")
+
+
+class FTDMPTrainer:
+    """Fine-tune a :class:`SplitModel` with the FT-DMP split.
+
+    ``split`` defaults to the cut just before the classifier — the
+    assignment the paper's APO converges to (trainable layers must stay on
+    the Tuner).  Any earlier cut is allowed: the Tuner then runs the
+    remaining frozen stages forward before its trainable tail.
+    """
+
+    def __init__(self, model: SplitModel, split: Optional[int] = None,
+                 lr: float = 3e-3, batch_size: int = 64,
+                 optimizer: str = "adam", seed: int = 0):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.split = model.num_stages - 1 if split is None else split
+        if not 0 <= self.split < model.num_stages:
+            raise ValueError(
+                f"split {self.split} must leave at least the classifier "
+                f"on the Tuner (model has {model.num_stages} stages)"
+            )
+        self.batch_size = batch_size
+        self.lr = lr
+        self._optimizer_kind = optimizer
+        self._rng = np.random.default_rng(seed)
+        model.freeze_features()
+        self._frozen_snapshot = self._frozen_state()
+
+    # -- the Store side ------------------------------------------------------
+    def extract_features(self, x: np.ndarray) -> np.ndarray:
+        """Run the weight-freeze front (the PipeStore job) batch-wise.
+
+        Identical to the inference forward pass (§2.1 C): eval mode, no
+        gradient bookkeeping.
+        """
+        was_training = self.model.training
+        self.model.eval()
+        outputs = []
+        for start in range(0, len(x), self.batch_size):
+            batch = Tensor(x[start:start + self.batch_size])
+            outputs.append(self.model.forward_until(batch, self.split).data)
+        self.model.train(was_training)
+        return np.concatenate(outputs, axis=0)
+
+    # -- the Tuner side --------------------------------------------------------
+    def train_tail(self, features: np.ndarray, labels: np.ndarray,
+                   epochs: int, optimizer: Optimizer,
+                   run_index: int = 0,
+                   report: Optional[FinetuneReport] = None,
+                   eval_fn: Optional[Callable[[], float]] = None) -> float:
+        """Train the trainable tail on extracted features; returns last loss."""
+        last_loss = float("nan")
+        for epoch in range(epochs):
+            losses = []
+            for fb, yb in batch_iter(features, labels, self.batch_size, self._rng):
+                logits = self.model.forward_from(Tensor(fb), self.split)
+                loss = cross_entropy(logits, yb)
+                self.model.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            last_loss = float(np.mean(losses))
+            if report is not None:
+                report.epochs.append(EpochRecord(
+                    run=run_index, epoch=epoch, loss=last_loss,
+                    images=len(features),
+                ))
+                if eval_fn is not None:
+                    report.accuracy_trace.append(
+                        (run_index, epoch, eval_fn())
+                    )
+        return last_loss
+
+    # -- the full FT-DMP job -----------------------------------------------
+    def finetune(self, x: np.ndarray, y: np.ndarray, epochs: int = 3,
+                 num_runs: int = 1,
+                 eval_fn: Optional[Callable[[], float]] = None,
+                 ) -> FinetuneReport:
+        """Run (optionally pipelined) FT-DMP fine-tuning over a dataset.
+
+        ``num_runs`` splits the dataset into sub-datasets trained run by
+        run (§5.2); each run starts from the previous run's weights, which
+        is what lets the wall-clock pipeline overlap Store and Tuner
+        stages — and what causes forgetting when runs get too small.
+        """
+        if len(x) != len(y):
+            raise ValueError("x and y disagree on length")
+        report = FinetuneReport(num_runs=num_runs, split=self.split)
+        optimizer = _make_optimizer(
+            self._optimizer_kind, self.model.classifier.parameters(), self.lr
+        )
+        for run_index, (x_run, y_run) in enumerate(split_rounds(x, y, num_runs)):
+            features = self.extract_features(x_run)
+            report.images_extracted += len(x_run)
+            report.feature_bytes += features.size * FEATURE_DTYPE_BYTES
+            self.train_tail(features, y_run, epochs, optimizer,
+                            run_index=run_index, report=report, eval_fn=eval_fn)
+        self.verify_frozen_unchanged()
+        return report
+
+    # -- invariants -------------------------------------------------------
+    def _frozen_state(self) -> dict:
+        state = {}
+        for i in range(self.model.num_stages - 1):
+            stage = self.model.stage(i)
+            for name, param in stage.named_parameters(prefix=f"stage{i}."):
+                state[name] = param.data.copy()
+        return state
+
+    def verify_frozen_unchanged(self) -> None:
+        """Assert the weight-freeze layers were not touched by training."""
+        for i in range(self.model.num_stages - 1):
+            stage = self.model.stage(i)
+            for name, param in stage.named_parameters(prefix=f"stage{i}."):
+                if not np.array_equal(param.data, self._frozen_snapshot[name]):
+                    raise AssertionError(
+                        f"frozen parameter {name} changed during fine-tuning"
+                    )

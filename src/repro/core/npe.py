@@ -1,0 +1,236 @@
+"""NPE — the near-data processing engine inside a PipeStore (§5.4).
+
+Two faces:
+
+* :class:`ThreadedPipeline` — a real 3-stage pipeline (data loading ->
+  CPU preprocessing/decompression -> accelerator FE/classify) built on
+  worker threads and bounded queues.  PipeStores run their offline
+  inference and feature extraction through it; zlib releases the GIL, so
+  the overlap is genuine.
+* :func:`npe_task_times` — the calibrated per-task cost model behind the
+  Fig. 12 ablation (Naive -> +Offload -> +Comp -> +Batch), expressed as
+  per-image milliseconds for each subtask on one PipeStore.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..models.graph import ModelGraph
+from ..sim.specs import (
+    COMPRESSED_PREPROCESSED_BYTES,
+    PREPROCESSED_BYTES,
+    RAW_IMAGE_BYTES,
+    AcceleratorSpec,
+    CpuSpec,
+    DiskSpec,
+    ST1_RAID,
+    STORAGE_CPU,
+    TESLA_T4,
+)
+
+#: NPE optimisation levels, in the order Fig. 12 applies them
+ABLATION_LEVELS = ("Naive", "+Offload", "+Comp", "+Batch")
+
+
+# ---------------------------------------------------------------------------
+# The runnable 3-stage pipeline
+# ---------------------------------------------------------------------------
+_SENTINEL = object()
+
+
+@dataclass
+class StageStats:
+    name: str
+    items: int = 0
+    busy_seconds: float = 0.0
+
+
+class ThreadedPipeline:
+    """A bounded-queue, one-thread-per-stage pipeline over real callables.
+
+    ``stages`` maps stage names to functions item -> item.  Items flow in
+    submission order; output order is preserved.  Per-stage busy time is
+    recorded so callers can identify the bottleneck stage, mirroring how
+    the paper profiles its NPE.
+    """
+
+    def __init__(self, stages: Sequence, queue_depth: int = 8):
+        if not stages:
+            raise ValueError("need at least one stage")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._stages: List = list(stages)
+        self._queue_depth = queue_depth
+        self.stats = [StageStats(name) for name, _ in self._stages]
+
+    def run(self, items: Iterable) -> List:
+        """Push every item through all stages; returns outputs in order."""
+        import time
+
+        queues = [queue.Queue(maxsize=self._queue_depth)
+                  for _ in range(len(self._stages) + 1)]
+        results: List = []
+        errors: List[BaseException] = []
+
+        def worker(index: int, fn: Callable):
+            stats = self.stats[index]
+            while True:
+                item = queues[index].get()
+                if item is _SENTINEL:
+                    queues[index + 1].put(_SENTINEL)
+                    return
+                try:
+                    start = time.perf_counter()
+                    out = fn(item)
+                    stats.busy_seconds += time.perf_counter() - start
+                    stats.items += 1
+                except BaseException as exc:  # propagate to the caller
+                    errors.append(exc)
+                    queues[index + 1].put(_SENTINEL)
+                    return
+                queues[index + 1].put(out)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, fn), daemon=True)
+            for i, (_name, fn) in enumerate(self._stages)
+        ]
+        for thread in threads:
+            thread.start()
+        feeder_error: List[BaseException] = []
+
+        def feeder():
+            try:
+                for item in items:
+                    queues[0].put(item)
+            except BaseException as exc:
+                feeder_error.append(exc)
+            finally:
+                queues[0].put(_SENTINEL)
+
+        feed_thread = threading.Thread(target=feeder, daemon=True)
+        feed_thread.start()
+        while True:
+            out = queues[-1].get()
+            if out is _SENTINEL:
+                break
+            results.append(out)
+        feed_thread.join()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        if feeder_error:
+            raise feeder_error[0]
+        return results
+
+    def bottleneck(self) -> StageStats:
+        return max(self.stats, key=lambda s: s.busy_seconds)
+
+
+# ---------------------------------------------------------------------------
+# The Fig. 12 ablation cost model
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NpeConfig:
+    """What the optimisation level changes about PipeStore execution."""
+
+    level: str
+    #: inference reads: raw JPEG (Naive) vs preprocessed binary (+Offload)
+    #: vs compressed binary (+Comp)
+    read_bytes_inference: int
+    read_bytes_finetune: int
+    preprocess_on_store: bool
+    decompress: bool
+    batch_size: int
+    decompress_cores: int = 2
+
+
+def _level_config(level: str) -> NpeConfig:
+    if level == "Naive":
+        return NpeConfig(level, RAW_IMAGE_BYTES, PREPROCESSED_BYTES,
+                         preprocess_on_store=True, decompress=False,
+                         batch_size=1, decompress_cores=1)
+    if level == "+Offload":
+        return NpeConfig(level, PREPROCESSED_BYTES, PREPROCESSED_BYTES,
+                         preprocess_on_store=False, decompress=False,
+                         batch_size=1, decompress_cores=1)
+    if level == "+Comp":
+        return NpeConfig(level, COMPRESSED_PREPROCESSED_BYTES,
+                         COMPRESSED_PREPROCESSED_BYTES,
+                         preprocess_on_store=False, decompress=True,
+                         batch_size=1, decompress_cores=2)
+    if level == "+Batch":
+        return NpeConfig(level, COMPRESSED_PREPROCESSED_BYTES,
+                         COMPRESSED_PREPROCESSED_BYTES,
+                         preprocess_on_store=False, decompress=True,
+                         batch_size=128, decompress_cores=2)
+    raise ValueError(f"unknown NPE level {level!r}; use one of {ABLATION_LEVELS}")
+
+
+def npe_task_times(graph: ModelGraph, level: str, task: str = "inference",
+                   accelerator: AcceleratorSpec = TESLA_T4,
+                   cpu: CpuSpec = STORAGE_CPU,
+                   disk: DiskSpec = ST1_RAID,
+                   preprocess_cores: int = 1) -> Dict[str, float]:
+    """Per-image milliseconds of each PipeStore subtask at one NPE level.
+
+    ``task`` is ``"inference"`` (Read / Preproc / Decomp / FE&Cl) or
+    ``"finetune"`` (Read / Decomp / FE).  This regenerates Fig. 12.
+    """
+    if task not in ("inference", "finetune"):
+        raise ValueError("task must be 'inference' or 'finetune'")
+    cfg = _level_config(level)
+    times: Dict[str, float] = {}
+
+    read_bytes = (cfg.read_bytes_inference if task == "inference"
+                  else cfg.read_bytes_finetune)
+    times["Read"] = 1e3 * read_bytes / (disk.read_mbps * 1e6)
+
+    if task == "inference":
+        if cfg.preprocess_on_store:
+            rate = cpu.preprocess_ips(preprocess_cores)
+            times["Preproc"] = 1e3 / rate
+        else:
+            times["Preproc"] = 0.0
+
+    if cfg.decompress:
+        rate = cpu.decompress_ips(cfg.decompress_cores, read_bytes)
+        times["Decomp"] = 1e3 / rate
+    else:
+        times["Decomp"] = 0.0
+
+    if task == "inference":
+        ips = accelerator.inference_ips(graph, cfg.batch_size)
+        times["FE&Cl"] = 1e3 / ips
+    else:
+        # fine-tuning trains at 4x the inference batch (§6.1)
+        batch = cfg.batch_size * 4 if cfg.batch_size > 1 else 1
+        ips = accelerator.fe_ips(graph, graph.num_partition_points() - 2,
+                                 batch, training=True)
+        times["FE"] = 1e3 / ips
+    return times
+
+
+def npe_ablation(graph: ModelGraph, task: str = "inference",
+                 accelerator: AcceleratorSpec = TESLA_T4,
+                 ) -> Dict[str, Dict[str, float]]:
+    """All four optimisation levels (the full Fig. 12 panel)."""
+    return {
+        level: npe_task_times(graph, level, task, accelerator)
+        for level in ABLATION_LEVELS
+    }
+
+
+def npe_throughput_ips(graph: ModelGraph, level: str, task: str = "inference",
+                       accelerator: AcceleratorSpec = TESLA_T4,
+                       ) -> float:
+    """Steady-state PipeStore throughput: 3-stage pipelined bottleneck."""
+    times = npe_task_times(graph, level, task, accelerator)
+    slowest_ms = max(times.values())
+    if slowest_ms <= 0:
+        return float("inf")
+    return 1e3 / slowest_ms

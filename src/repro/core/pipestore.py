@@ -1,0 +1,168 @@
+"""PipeStore — a storage server with a commodity accelerator (§5).
+
+A PipeStore stores photos (raw blob + deflate-compressed preprocessed
+binary, §5.4), holds a replica of the weight-freeze model front, and runs
+the two near-data jobs: feature extraction for FT-DMP fine-tuning and
+whole-model offline inference.  Model updates arrive as Check-N-Run deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.split import SplitModel
+from ..nn.tensor import Tensor
+from ..storage.compression import deflate, inflate
+from ..storage.imageformat import (
+    decode_preprocessed,
+    encode_photo,
+    encode_preprocessed,
+)
+from ..storage.objectstore import MissingObjectError, ObjectStore
+from . import checknrun
+
+
+class StoreUnavailableError(RuntimeError):
+    """Raised when a job is dispatched to a failed PipeStore."""
+
+
+@dataclass(frozen=True)
+class StoredPhoto:
+    """What ingestion hands a PipeStore for one photo."""
+
+    photo_id: str
+    pixels: np.ndarray  # (3, H, W) floats in [0, 1]
+    preprocessed: np.ndarray  # fp32 model input
+    train_label: Optional[int] = None  # supervision (user tags), if any
+
+
+class PipeStore:
+    """One computational storage server."""
+
+    def __init__(self, store_id: str, nominal_raw_bytes: int = 8192,
+                 batch_size: int = 128):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.store_id = store_id
+        self.objects = ObjectStore(name=store_id)
+        self.batch_size = batch_size
+        self.nominal_raw_bytes = nominal_raw_bytes
+        self.model: Optional[SplitModel] = None
+        self.model_version = -1
+        self.split: int = 0
+        self._train_labels: Dict[str, int] = {}
+        self._failed = False
+
+    # -- fault injection ----------------------------------------------------
+    @property
+    def is_available(self) -> bool:
+        return not self._failed
+
+    def fail(self) -> None:
+        """Take the server down (fault injection for resilience tests)."""
+        self._failed = True
+
+    def repair(self) -> None:
+        """Bring the server back; its storage and model replica survive."""
+        self._failed = False
+
+    def _require_available(self) -> None:
+        if self._failed:
+            raise StoreUnavailableError(f"{self.store_id} is down")
+
+    # -- storage path -------------------------------------------------------
+    def store_photo(self, photo: StoredPhoto) -> int:
+        """Persist raw blob + compressed preprocessed binary; returns bytes."""
+        self._require_available()
+        raw_blob = encode_photo(photo.pixels, pad_to_bytes=self.nominal_raw_bytes)
+        pre_blob = deflate(encode_preprocessed(photo.preprocessed))
+        self.objects.put(self.objects.raw_key(photo.photo_id), raw_blob)
+        self.objects.put(self.objects.preproc_key(photo.photo_id), pre_blob)
+        if photo.train_label is not None:
+            self._train_labels[photo.photo_id] = photo.train_label
+        return len(raw_blob) + len(pre_blob)
+
+    def load_preprocessed(self, photo_id: str) -> np.ndarray:
+        """Read + inflate + decode one preprocessed binary."""
+        blob = self.objects.get(self.objects.preproc_key(photo_id))
+        return decode_preprocessed(inflate(blob))
+
+    def photo_ids(self) -> List[str]:
+        return self.objects.photo_ids()
+
+    def labeled_photo_ids(self) -> List[str]:
+        return sorted(self._train_labels)
+
+    def train_label(self, photo_id: str) -> int:
+        try:
+            return self._train_labels[photo_id]
+        except KeyError:
+            raise MissingObjectError(
+                f"{photo_id} has no training label on {self.store_id}"
+            ) from None
+
+    # -- model management ----------------------------------------------------
+    def install_model(self, model: SplitModel, split: int, version: int) -> None:
+        """Install a full model replica (the initial distribution)."""
+        if not 0 <= split <= model.num_stages:
+            raise ValueError(f"split {split} out of range")
+        self.model = model
+        self.split = split
+        self.model_version = version
+        self.model.eval()
+
+    def apply_model_delta(self, blob: bytes, version: int) -> None:
+        """Apply a Check-N-Run delta to the local replica."""
+        if self.model is None:
+            raise RuntimeError(f"{self.store_id}: no model installed yet")
+        if version <= self.model_version:
+            raise ValueError(
+                f"{self.store_id}: delta v{version} not newer than "
+                f"v{self.model_version}"
+            )
+        new_state = checknrun.apply_delta(self.model.state_dict(), blob)
+        self.model.load_state_dict(new_state)
+        self.model_version = version
+
+    # -- near-data jobs --------------------------------------------------------
+    def extract_features(self, photo_ids: Sequence[str]) -> np.ndarray:
+        """The Store-stage of FT-DMP: frozen-front forward over local data."""
+        self._require_available()
+        self._require_model()
+        inputs = self._load_batch(photo_ids)
+        outputs = []
+        for start in range(0, len(inputs), self.batch_size):
+            batch = Tensor(inputs[start:start + self.batch_size])
+            outputs.append(self.model.forward_until(batch, self.split).data)
+        return np.concatenate(outputs, axis=0)
+
+    def offline_infer(self, photo_ids: Sequence[str]) -> Dict[str, Tuple[int, float]]:
+        """Whole-model inference over local photos; returns id -> (label, conf)."""
+        self._require_available()
+        self._require_model()
+        inputs = self._load_batch(photo_ids)
+        results: Dict[str, Tuple[int, float]] = {}
+        for start in range(0, len(inputs), self.batch_size):
+            chunk_ids = photo_ids[start:start + self.batch_size]
+            logits = self.model(Tensor(inputs[start:start + self.batch_size])).data
+            shifted = logits - logits.max(axis=-1, keepdims=True)
+            probs = np.exp(shifted)
+            probs /= probs.sum(axis=-1, keepdims=True)
+            labels = probs.argmax(axis=-1)
+            for row, pid in enumerate(chunk_ids):
+                label = int(labels[row])
+                results[pid] = (label, float(probs[row, label]))
+        return results
+
+    # -- internals ----------------------------------------------------------
+    def _require_model(self) -> None:
+        if self.model is None:
+            raise RuntimeError(f"{self.store_id}: no model installed")
+
+    def _load_batch(self, photo_ids: Sequence[str]) -> np.ndarray:
+        if not photo_ids:
+            raise ValueError("no photo ids given")
+        return np.stack([self.load_preprocessed(pid) for pid in photo_ids])

@@ -1,0 +1,241 @@
+"""Tuner — the fine-tuning server orchestrating PipeStores (§5).
+
+The Tuner owns the authoritative model, triggers near-data jobs, trains
+the trainable tail on features streamed back by PipeStores, and
+redistributes updates as Check-N-Run deltas.  All weight updates are local
+to the Tuner, so FT-DMP needs no cross-store synchronisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.loader import batch_iter
+from ..models.graph import FEATURE_DTYPE_BYTES
+from ..models.split import SplitModel
+from ..nn.losses import cross_entropy
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from . import checknrun
+from .fabric import NetworkFabric
+from .ftdmp import EpochRecord, FinetuneReport
+from .pipestore import PipeStore, StoreUnavailableError
+
+
+@dataclass
+class DistributionStats:
+    """One model-distribution round across the fleet."""
+
+    version: int
+    full_model_bytes: int
+    bytes_per_store: int
+    used_delta: bool
+
+    @property
+    def reduction_factor(self) -> float:
+        if self.bytes_per_store == 0:
+            raise ValueError("no bytes distributed")
+        return self.full_model_bytes / self.bytes_per_store
+
+
+class Tuner:
+    """The training server of NDPipe."""
+
+    def __init__(self, model: SplitModel, network: NetworkFabric,
+                 split: Optional[int] = None, name: str = "tuner",
+                 lr: float = 3e-3, batch_size: int = 64, seed: int = 0):
+        self.name = name
+        self.model = model
+        self.split = model.num_stages - 1 if split is None else split
+        if not 0 <= self.split < model.num_stages:
+            raise ValueError("split must keep the trainable tail on the Tuner")
+        self.network = network
+        self.version = 0
+        self.lr = lr
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self._stores: List[PipeStore] = []
+        self._optimizer = None
+        self._last_distributed: Optional[Dict[str, np.ndarray]] = None
+        model.freeze_features()
+        self.distributions: List[DistributionStats] = []
+
+    # -- fleet management ---------------------------------------------------
+    def register(self, store: PipeStore, replica: SplitModel) -> None:
+        """Attach a PipeStore and push it a full model replica."""
+        state = self.model.state_dict()
+        replica.load_state_dict(state)
+        replica.freeze_features()
+        num_bytes = checknrun.state_dict_bytes(state)
+        self.network.send(self.name, store.store_id, num_bytes, "model-full")
+        store.install_model(replica, self.split, self.version)
+        self._stores.append(store)
+        self._last_distributed = state
+
+    @property
+    def stores(self) -> List[PipeStore]:
+        return list(self._stores)
+
+    # -- model distribution ---------------------------------------------------
+    def distribute_update(self) -> DistributionStats:
+        """Ship the current model to every reachable PipeStore as a delta.
+
+        A store that is down keeps its old version; :meth:`catch_up`
+        resynchronises it after repair.
+        """
+        if self._last_distributed is None:
+            raise RuntimeError("register stores before distributing updates")
+        new_state = self.model.state_dict()
+        blob = checknrun.encode_delta(self._last_distributed, new_state)
+        self.version += 1
+        for store in self._stores:
+            if not store.is_available:
+                continue
+            self.network.send(self.name, store.store_id, len(blob), "model-delta")
+            store.apply_model_delta(blob, self.version)
+        stats = DistributionStats(
+            version=self.version,
+            full_model_bytes=checknrun.state_dict_bytes(new_state),
+            bytes_per_store=len(blob),
+            used_delta=True,
+        )
+        self.distributions.append(stats)
+        self._last_distributed = new_state
+        return stats
+
+    # -- FT-DMP fine-tuning ----------------------------------------------------
+    def finetune(self, assignments: Optional[Dict[str, Sequence[str]]] = None,
+                 epochs: int = 2, num_runs: int = 1,
+                 distribute: bool = True) -> FinetuneReport:
+        """One continuous-training round over the fleet's labelled photos.
+
+        ``assignments`` maps store-id -> photo ids to train on (defaults to
+        every labelled photo on each store).  The dataset is processed in
+        ``num_runs`` pipeline runs: within a run every PipeStore extracts
+        features for its share and ships them over; the Tuner then trains
+        the tail for ``epochs`` epochs before the next run arrives (§5.2).
+        """
+        if not self._stores:
+            raise RuntimeError("no PipeStores registered")
+        if num_runs < 1:
+            raise ValueError("num_runs must be >= 1")
+        if assignments is None:
+            assignments = {
+                s.store_id: s.labeled_photo_ids() for s in self._stores
+            }
+        report = FinetuneReport(num_runs=num_runs, split=self.split)
+        if self._optimizer is None:
+            self._optimizer = Adam(self.model.classifier.parameters(), lr=self.lr)
+
+        store_by_id = {s.store_id: s for s in self._stores}
+        run_chunks = self._plan_runs(assignments, num_runs)
+        for run_index, per_store_ids in enumerate(run_chunks):
+            features, labels = self._gather_features(
+                store_by_id, per_store_ids, report
+            )
+            if len(features) == 0:
+                continue
+            self._train_tail(features, labels, epochs, run_index, report)
+        if distribute:
+            self.distribute_update()
+        return report
+
+    def _plan_runs(self, assignments: Dict[str, Sequence[str]],
+                   num_runs: int) -> List[Dict[str, List[str]]]:
+        """Split every store's photo list into ``num_runs`` sub-lists."""
+        runs: List[Dict[str, List[str]]] = [dict() for _ in range(num_runs)]
+        for store_id, ids in assignments.items():
+            ids = list(ids)
+            bounds = np.linspace(0, len(ids), num_runs + 1).astype(int)
+            for k, (a, b) in enumerate(zip(bounds[:-1], bounds[1:])):
+                runs[k][store_id] = ids[a:b]
+        return runs
+
+    def _gather_features(self, store_by_id: Dict[str, PipeStore],
+                         per_store_ids: Dict[str, List[str]],
+                         report: FinetuneReport,
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        feature_chunks, label_chunks = [], []
+        for store_id, ids in per_store_ids.items():
+            if not ids:
+                continue
+            store = store_by_id[store_id]
+            try:
+                feats = store.extract_features(ids)
+            except StoreUnavailableError:
+                # data locality means a down store's photos cannot be
+                # reassigned; train on what the healthy fleet provides and
+                # record the gap so the operator can rerun later
+                report.skipped_stores.append(store_id)
+                continue
+            num_bytes = feats.size * FEATURE_DTYPE_BYTES
+            self.network.send(store_id, self.name, num_bytes, "features", feats)
+            report.feature_bytes += num_bytes
+            report.images_extracted += len(ids)
+            feature_chunks.append(feats)
+            label_chunks.append(
+                np.array([store.train_label(pid) for pid in ids])
+            )
+        if not feature_chunks:
+            return np.empty((0,)), np.empty((0,), dtype=np.int64)
+        return (np.concatenate(feature_chunks, axis=0),
+                np.concatenate(label_chunks, axis=0))
+
+    def _train_tail(self, features: np.ndarray, labels: np.ndarray,
+                    epochs: int, run_index: int, report: FinetuneReport) -> None:
+        for epoch in range(epochs):
+            losses = []
+            for fb, yb in batch_iter(features, labels, self.batch_size, self._rng):
+                logits = self.model.forward_from(Tensor(fb), self.split)
+                loss = cross_entropy(logits, yb)
+                self.model.zero_grad()
+                loss.backward()
+                self._optimizer.step()
+                losses.append(loss.item())
+            report.epochs.append(EpochRecord(
+                run=run_index, epoch=epoch, loss=float(np.mean(losses)),
+                images=len(features),
+            ))
+
+    def catch_up(self, store: PipeStore) -> None:
+        """Resynchronise a repaired store that missed delta rounds."""
+        if not store.is_available:
+            raise StoreUnavailableError(f"{store.store_id} is still down")
+        if store.model_version == self.version:
+            return
+        state = self.model.state_dict()
+        num_bytes = checknrun.state_dict_bytes(state)
+        self.network.send(self.name, store.store_id, num_bytes, "model-full")
+        store.model.load_state_dict(state)
+        store.model_version = self.version
+
+    # -- offline inference orchestration ------------------------------------
+    def trigger_offline_inference(self, store: PipeStore,
+                                  photo_ids: Sequence[str],
+                                  ) -> Dict[str, Tuple[int, float]]:
+        """Ask one PipeStore to relabel its local photos (request + labels)."""
+        self.network.send(self.name, store.store_id, 64, "inference-request")
+        results = store.offline_infer(list(photo_ids))
+        from ..sim.specs import LABEL_BYTES
+
+        self.network.send(store.store_id, self.name,
+                          LABEL_BYTES * len(results), "labels", results)
+        return results
+
+    # -- evaluation ------------------------------------------------------------
+    def evaluate(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> Tuple[float, float]:
+        """(top-1, top-5) accuracy of the authoritative model."""
+        from ..nn.losses import accuracy, topk_accuracy
+
+        was_training = self.model.training
+        self.model.eval()
+        logits = []
+        for start in range(0, len(x), batch_size):
+            logits.append(self.model(Tensor(x[start:start + batch_size])).data)
+        self.model.train(was_training)
+        stacked = np.concatenate(logits, axis=0)
+        return accuracy(stacked, y), topk_accuracy(stacked, y, k=5)

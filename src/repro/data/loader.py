@@ -1,0 +1,44 @@
+"""Mini-batch iteration utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def batch_iter(x: np.ndarray, y: np.ndarray, batch_size: int,
+               rng: Optional[np.random.Generator] = None,
+               shuffle: bool = True) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (x_batch, y_batch) minibatches covering the dataset once."""
+    if len(x) != len(y):
+        raise ValueError(f"x and y disagree on length: {len(x)} vs {len(y)}")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(x))
+    if shuffle:
+        (rng or np.random.default_rng(0)).shuffle(indices)
+    for start in range(0, len(x), batch_size):
+        chosen = indices[start:start + batch_size]
+        yield x[chosen], y[chosen]
+
+
+def split_rounds(x: np.ndarray, y: np.ndarray, num_rounds: int,
+                 ) -> list:
+    """Split a dataset into ``num_rounds`` contiguous sub-datasets.
+
+    This is the pipelined FT-DMP run split (§5.2): run ``k`` trains on the
+    ``k``-th sub-dataset while PipeStores extract features for run ``k+1``.
+    """
+    if num_rounds <= 0:
+        raise ValueError("num_rounds must be positive")
+    if num_rounds > len(x):
+        raise ValueError("more rounds than samples")
+    bounds = np.linspace(0, len(x), num_rounds + 1).astype(int)
+    return [(x[a:b], y[a:b]) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+def normalize_images(x: np.ndarray, mean: float = 0.5, std: float = 0.25,
+                     ) -> np.ndarray:
+    """The standard preprocessing transform applied before the DNN."""
+    return ((x - mean) / std).astype(np.float64)

@@ -1,0 +1,22 @@
+"""``repro.extensions`` — §7.1 media extensions: video, audio, documents."""
+
+from .media import (
+    AudioAdapter,
+    DocumentAdapter,
+    DocumentEncoder,
+    SyntheticAudio,
+    SyntheticVideo,
+    VideoAdapter,
+    extract_key_frames,
+    spectrogram,
+    synthesize_audio,
+    synthesize_document,
+    synthesize_video,
+)
+
+__all__ = [
+    "VideoAdapter", "SyntheticVideo", "synthesize_video",
+    "extract_key_frames",
+    "AudioAdapter", "SyntheticAudio", "synthesize_audio", "spectrogram",
+    "DocumentAdapter", "DocumentEncoder", "synthesize_document",
+]

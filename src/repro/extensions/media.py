@@ -1,0 +1,275 @@
+"""Media adapters: extending NDPipe beyond photos (§7.1).
+
+The paper sketches three extensions, each reducing a heavy medium to the
+image-shaped (or embedding-shaped) inputs the NDPipe pipeline already
+handles near the data:
+
+* **video** — key-frame extraction: pick the most informative frames and
+  process them like photos (Gowda et al.'s smart frame selection,
+  approximated here by frame-difference energy);
+* **audio** — audio spectrogram transformation (AST): STFT magnitude in
+  dB, rendered as an image for CNN/transformer models;
+* **documents** — transformer-style embeddings: a fixed random-projection
+  encoder over hashed token counts stands in for BERT; only the small
+  embedding crosses the network to the Tuner.
+
+Each adapter exposes ``prepare`` (medium -> model-ready arrays) and
+``wire_bytes_saved`` style accounting so the traffic argument of §7.1 can
+be measured, plus synthetic generators so everything runs offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Video
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyntheticVideo:
+    """A clip: (T, 3, H, W) float frames in [0, 1] plus nominal byte size."""
+
+    frames: np.ndarray
+    fps: float
+    nominal_bytes: int
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def duration_s(self) -> float:
+        return self.num_frames / self.fps
+
+
+def synthesize_video(world, label: int, num_frames: int = 24,
+                     image_size: Optional[int] = None,
+                     motion: float = 0.15, fps: float = 24.0,
+                     seed: int = 0,
+                     bytes_per_frame: int = 40_000) -> SyntheticVideo:
+    """A clip of one class drifting smoothly in latent space.
+
+    Consecutive frames are near-duplicates (latent random walk), so
+    frame-difference key-frame selection has real structure to exploit.
+    """
+    rng = np.random.default_rng(seed)
+    config = world.config
+    proto = world.prototypes_at(0)[label]
+    latents = np.empty((num_frames, config.latent_dim))
+    position = proto + rng.normal(0, config.noise, size=config.latent_dim)
+    for t in range(num_frames):
+        # occasional shot change, otherwise smooth motion
+        if t and rng.random() < 0.1:
+            position = proto + rng.normal(0, config.noise * 3,
+                                          size=config.latent_dim)
+        else:
+            position = position + rng.normal(0, motion,
+                                             size=config.latent_dim)
+        latents[t] = position
+    frames = world._render(latents)
+    return SyntheticVideo(frames=frames, fps=fps,
+                          nominal_bytes=bytes_per_frame * num_frames)
+
+
+def extract_key_frames(video: SyntheticVideo, num_key_frames: int = 4,
+                       ) -> Tuple[np.ndarray, List[int]]:
+    """Pick the ``num_key_frames`` most informative frames.
+
+    Greedy selection by frame-difference energy: the first frame always
+    qualifies; afterwards the frames with the largest change from their
+    predecessor win (shot boundaries score highest).
+    """
+    if num_key_frames < 1:
+        raise ValueError("need at least one key frame")
+    frames = video.frames
+    if num_key_frames >= len(frames):
+        return frames.copy(), list(range(len(frames)))
+    diffs = np.zeros(len(frames))
+    diffs[1:] = np.abs(np.diff(frames, axis=0)).mean(axis=(1, 2, 3))
+    diffs[0] = np.inf  # the opening frame is always a key frame
+    chosen = sorted(np.argsort(diffs)[-num_key_frames:])
+    return frames[chosen], [int(i) for i in chosen]
+
+
+class VideoAdapter:
+    """Video -> key frames -> per-frame labels -> majority summary."""
+
+    def __init__(self, num_key_frames: int = 4):
+        if num_key_frames < 1:
+            raise ValueError("need at least one key frame")
+        self.num_key_frames = num_key_frames
+
+    def prepare(self, video: SyntheticVideo) -> np.ndarray:
+        """Model-ready frames (K, 3, H, W)."""
+        frames, _ = extract_key_frames(video, self.num_key_frames)
+        return frames
+
+    def summarize(self, frame_labels: Sequence[int],
+                  frame_confidences: Sequence[float]) -> Tuple[int, float]:
+        """Majority vote over key-frame labels, confidence-weighted."""
+        if not frame_labels:
+            raise ValueError("no frame labels to summarise")
+        votes = {}
+        for label, conf in zip(frame_labels, frame_confidences):
+            votes[label] = votes.get(label, 0.0) + conf
+        best = max(votes, key=votes.get)
+        return best, votes[best] / sum(votes.values())
+
+    def compute_saved_fraction(self, video: SyntheticVideo) -> float:
+        """Fraction of per-frame inference work key-framing avoids."""
+        return 1.0 - min(self.num_key_frames, video.num_frames) / video.num_frames
+
+
+# ---------------------------------------------------------------------------
+# Audio
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyntheticAudio:
+    """A mono waveform at ``sample_rate`` Hz with a class label."""
+
+    waveform: np.ndarray
+    sample_rate: int
+    nominal_bytes: int
+
+
+def synthesize_audio(label: int, num_classes: int, duration_s: float = 1.0,
+                     sample_rate: int = 8000, seed: int = 0,
+                     ) -> SyntheticAudio:
+    """A class-dependent harmonic stack plus noise (a 'genre')."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(int(duration_s * sample_rate)) / sample_rate
+    base = 110.0 * (1.0 + label)  # class-specific fundamental
+    wave = np.zeros_like(t)
+    for harmonic in range(1, 4):
+        wave += rng.uniform(0.4, 1.0) / harmonic * np.sin(
+            2 * np.pi * base * harmonic * t + rng.uniform(0, 2 * np.pi))
+    wave += rng.normal(0, 0.3, size=t.shape)
+    wave /= np.abs(wave).max()
+    return SyntheticAudio(waveform=wave.astype(np.float32),
+                          sample_rate=sample_rate,
+                          nominal_bytes=2 * wave.size)
+
+
+def spectrogram(waveform: np.ndarray, n_fft: int = 128,
+                hop: Optional[int] = None) -> np.ndarray:
+    """Log-magnitude STFT, (freq_bins, time_frames), normalised to [0, 1]."""
+    if len(waveform) < n_fft:
+        raise ValueError(f"waveform shorter than one FFT window ({n_fft})")
+    hop = hop or n_fft // 2
+    window = np.hanning(n_fft)
+    num_frames = 1 + (len(waveform) - n_fft) // hop
+    frames = np.stack([
+        waveform[i * hop:i * hop + n_fft] * window for i in range(num_frames)
+    ])
+    mags = np.abs(np.fft.rfft(frames, axis=1)).T  # (bins, frames)
+    db = 20 * np.log10(mags + 1e-6)
+    db -= db.min()
+    peak = db.max()
+    return db / peak if peak > 0 else db
+
+
+class AudioAdapter:
+    """Audio -> spectrogram 'photo' the visual models can classify (AST)."""
+
+    def __init__(self, image_size: int = 16, n_fft: int = 128):
+        self.image_size = image_size
+        self.n_fft = n_fft
+
+    def prepare(self, audio: SyntheticAudio) -> np.ndarray:
+        """(3, image_size, image_size) spectrogram image in [0, 1]."""
+        spec = spectrogram(audio.waveform, self.n_fft)
+        image = _resize_bilinear(spec, self.image_size, self.image_size)
+        return np.repeat(image[None], 3, axis=0).astype(np.float32)
+
+
+def _resize_bilinear(array: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Minimal bilinear resample for spectrogram images."""
+    in_h, in_w = array.shape
+    ys = np.linspace(0, in_h - 1, out_h)
+    xs = np.linspace(0, in_w - 1, out_w)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, in_h - 1)
+    x1 = np.minimum(x0 + 1, in_w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+    top = array[y0][:, x0] * (1 - wx) + array[y0][:, x1] * wx
+    bottom = array[y1][:, x0] * (1 - wx) + array[y1][:, x1] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+# ---------------------------------------------------------------------------
+# Documents
+# ---------------------------------------------------------------------------
+class DocumentEncoder:
+    """A fixed random-projection text encoder (the BERT stand-in).
+
+    Hashed bag-of-tokens -> tanh(random projection).  Deterministic for a
+    given seed, so PipeStore-side encoding and Tuner-side training agree —
+    the same weight-freeze property FT-DMP relies on for images.
+    """
+
+    def __init__(self, embedding_dim: int = 64, vocab_buckets: int = 2048,
+                 seed: int = 0):
+        if embedding_dim < 1 or vocab_buckets < 1:
+            raise ValueError("embedding_dim and vocab_buckets must be positive")
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = embedding_dim
+        self.vocab_buckets = vocab_buckets
+        self._projection = rng.normal(
+            0, 1.0 / np.sqrt(vocab_buckets), size=(vocab_buckets, embedding_dim)
+        )
+
+    def encode(self, text: str) -> np.ndarray:
+        """(embedding_dim,) fp32 embedding of a document."""
+        counts = np.zeros(self.vocab_buckets)
+        for token in text.lower().split():
+            counts[_stable_hash(token) % self.vocab_buckets] += 1.0
+        norm = np.linalg.norm(counts)
+        if norm > 0:
+            counts /= norm
+        return np.tanh(counts @ self._projection).astype(np.float32)
+
+    def embedding_bytes(self) -> int:
+        return self.embedding_dim * 4
+
+
+def _stable_hash(token: str) -> int:
+    """FNV-1a; Python's hash() is salted per process, which would break
+    the PipeStore/Tuner agreement this encoder exists to provide."""
+    value = 2166136261
+    for byte in token.encode():
+        value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+class DocumentAdapter:
+    """Document -> embedding near the data; only the vector ships (§7.1)."""
+
+    def __init__(self, encoder: Optional[DocumentEncoder] = None):
+        self.encoder = encoder or DocumentEncoder()
+
+    def prepare(self, text: str) -> np.ndarray:
+        return self.encoder.encode(text)
+
+    def traffic_reduction(self, text: str) -> float:
+        """Document bytes divided by embedding bytes."""
+        doc_bytes = max(len(text.encode()), 1)
+        return doc_bytes / self.encoder.embedding_bytes()
+
+
+def synthesize_document(label: int, num_classes: int, length: int = 120,
+                        seed: int = 0) -> str:
+    """A synthetic document whose vocabulary leans on its class topic."""
+    rng = np.random.default_rng(seed)
+    topic_words = [f"topic{label}_{i}" for i in range(12)]
+    common_words = [f"word{i}" for i in range(40)]
+    words = []
+    for _ in range(length):
+        pool = topic_words if rng.random() < 0.45 else common_words
+        words.append(pool[rng.integers(len(pool))])
+    return " ".join(words)

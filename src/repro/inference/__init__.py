@@ -1,0 +1,15 @@
+"""``repro.inference`` — online and offline inference paths."""
+
+from .offline import (
+    CampaignEstimate,
+    campaign_comparison,
+    ndpipe_campaign,
+    srv_campaign,
+)
+from .online import OnlineInferencePath, OnlineLatencyModel, online_latency
+
+__all__ = [
+    "CampaignEstimate", "ndpipe_campaign", "srv_campaign",
+    "campaign_comparison",
+    "OnlineInferencePath", "OnlineLatencyModel", "online_latency",
+]

@@ -1,0 +1,77 @@
+"""Offline-inference campaigns: refresh outdated labels near the data.
+
+Combines the runnable path (PipeStores re-infer their local photos through
+:meth:`repro.core.cluster.NDPipeCluster.offline_relabel`) with the
+simulated fleet timing (how long a campaign over N billion photos would
+take, and at what energy) used by the Fig. 13/14 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..models.graph import ModelGraph
+from ..sim.power import PowerDraw
+from ..sim.specs import LABEL_BYTES, ServerSpec, G4DN_4XLARGE
+from ..train.baselines import SystemPoint, ndpipe_inference, srv_inference
+
+
+@dataclass(frozen=True)
+class CampaignEstimate:
+    """Predicted cost of relabelling ``num_photos`` under one system."""
+
+    system: str
+    num_photos: int
+    duration_s: float
+    energy_kj: float
+    network_bytes: float
+
+    @property
+    def throughput_ips(self) -> float:
+        return self.num_photos / self.duration_s
+
+
+def ndpipe_campaign(graph: ModelGraph, num_photos: int, num_stores: int,
+                    store: ServerSpec = G4DN_4XLARGE,
+                    batch_size: int = 128) -> CampaignEstimate:
+    """Relabel ``num_photos`` with NDPipe: only labels cross the network."""
+    point = ndpipe_inference(graph, num_stores, store, batch_size)
+    duration = point.time_for(num_photos)
+    return CampaignEstimate(
+        system=f"NDPipe x{num_stores}",
+        num_photos=num_photos,
+        duration_s=duration,
+        energy_kj=point.energy_kj_for(num_photos),
+        network_bytes=float(num_photos) * LABEL_BYTES,
+    )
+
+
+def srv_campaign(graph: ModelGraph, num_photos: int, variant: str = "SRV-C",
+                 ) -> CampaignEstimate:
+    """Relabel ``num_photos`` centrally: every binary crosses the network."""
+    from ..sim.specs import COMPRESSED_PREPROCESSED_BYTES, PREPROCESSED_BYTES
+
+    point = srv_inference(variant, graph)
+    per_image = (0 if variant == "SRV-I" else
+                 COMPRESSED_PREPROCESSED_BYTES if variant == "SRV-C"
+                 else PREPROCESSED_BYTES)
+    duration = point.time_for(num_photos)
+    return CampaignEstimate(
+        system=variant,
+        num_photos=num_photos,
+        duration_s=duration,
+        energy_kj=point.energy_kj_for(num_photos),
+        network_bytes=float(num_photos) * per_image,
+    )
+
+
+def campaign_comparison(graph: ModelGraph, num_photos: int, num_stores: int,
+                        ) -> Dict[str, CampaignEstimate]:
+    """NDPipe vs all three SRV variants for one relabelling campaign."""
+    results = {
+        variant: srv_campaign(graph, num_photos, variant)
+        for variant in ("SRV-I", "SRV-P", "SRV-C")
+    }
+    results["NDPipe"] = ndpipe_campaign(graph, num_photos, num_stores)
+    return results

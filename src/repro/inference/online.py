@@ -1,0 +1,63 @@
+"""Online inference path: label a photo at upload time (§3.1 flow 1-3).
+
+Wraps the runnable :class:`repro.core.cluster.InferenceServer` with a
+latency model so ingestion workloads can reason about end-to-end upload
+latency (preprocess + single-image inference + database update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.cluster import InferenceServer
+from ..models.graph import ModelGraph
+from ..sim.specs import AcceleratorSpec, TESLA_V100
+from ..storage.photodb import LabelRecord, PhotoDatabase
+
+
+@dataclass(frozen=True)
+class OnlineLatencyModel:
+    """Per-upload latency components on the inference server."""
+
+    preprocess_s: float
+    inference_s: float
+    db_update_s: float = 0.0005
+
+    @property
+    def total_s(self) -> float:
+        return self.preprocess_s + self.inference_s + self.db_update_s
+
+
+def online_latency(graph: ModelGraph,
+                   accelerator: AcceleratorSpec = TESLA_V100,
+                   preprocess_ips: float = 15.4) -> OnlineLatencyModel:
+    """Estimate upload-path latency for one photo (batch size 1)."""
+    return OnlineLatencyModel(
+        preprocess_s=1.0 / preprocess_ips,
+        inference_s=1.0 / accelerator.inference_ips(graph, batch_size=1),
+    )
+
+
+class OnlineInferencePath:
+    """Runnable upload path: classify, record, return the label."""
+
+    def __init__(self, server: InferenceServer, database: PhotoDatabase,
+                 model_version: int = 0):
+        self.server = server
+        self.database = database
+        self.model_version = model_version
+        self.uploads = 0
+
+    def upload(self, photo_id: str, pixels: np.ndarray,
+               location: str) -> Tuple[int, float]:
+        """Label one upload and index it; returns (label, confidence)."""
+        label, confidence = self.server.classify(pixels)
+        self.database.upsert(LabelRecord(
+            photo_id=photo_id, label=label, model_version=self.model_version,
+            location=location, confidence=confidence,
+        ))
+        self.uploads += 1
+        return label, confidence

@@ -1,0 +1,27 @@
+"""Tiny runnable InceptionV3 analogue (stages Stem, MixedA/B/C, FC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import GlobalAvgPool2d, Linear, MaxPool2d, Sequential
+from .blocks import InceptionModule, conv_bn_relu
+from .split import SplitModel
+
+
+def tiny_inception_v3(num_classes: int = 10, image_size: int = 16, width: int = 16,
+                      seed: int = 0) -> SplitModel:
+    """Multi-branch inception network shrunk to laptop scale."""
+    rng = np.random.default_rng(seed)
+    w = width
+    mixed_a = InceptionModule(w, w // 2, w // 2, w // 2, w // 2, rng=rng)
+    mixed_b = InceptionModule(mixed_a.out_channels, w, w, w, w, rng=rng)
+    mixed_c = InceptionModule(mixed_b.out_channels, w, w, w, w, rng=rng)
+    stages = [
+        ("Stem", conv_bn_relu(3, w, 3, rng=rng)),
+        ("MixedA", mixed_a),
+        ("MixedB", Sequential(MaxPool2d(2), mixed_b)),
+        ("MixedC", Sequential(MaxPool2d(2), mixed_c, GlobalAvgPool2d())),
+        ("FC", Linear(mixed_c.out_channels, num_classes, rng=rng)),
+    ]
+    return SplitModel("InceptionV3-tiny", stages, input_shape=(3, image_size, image_size))

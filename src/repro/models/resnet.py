@@ -1,0 +1,32 @@
+"""Tiny runnable ResNet50 analogue (same stage layout: Conv1..Conv5, FC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import GlobalAvgPool2d, Linear, Sequential
+from .blocks import Bottleneck, conv_bn_relu
+from .split import SplitModel
+
+
+def tiny_resnet50(num_classes: int = 10, image_size: int = 16, width: int = 16,
+                  seed: int = 0) -> SplitModel:
+    """A five-conv-stage bottleneck ResNet shrunk to laptop scale.
+
+    Stage names mirror the full-scale :func:`repro.models.catalog.resnet50`
+    graph so APO partition labels carry over (None, +Conv1 ... +FC).
+    """
+    rng = np.random.default_rng(seed)
+    w = width
+    stages = [
+        ("Conv1", conv_bn_relu(3, w, 3, rng=rng)),
+        ("Conv2", Bottleneck(w, w // 2, 2 * w, rng=rng)),
+        ("Conv3", Bottleneck(2 * w, w, 4 * w, stride=2, rng=rng)),
+        ("Conv4", Bottleneck(4 * w, 2 * w, 8 * w, stride=2, rng=rng)),
+        ("Conv5", Sequential(
+            Bottleneck(8 * w, 4 * w, 16 * w, stride=2, rng=rng),
+            GlobalAvgPool2d(),
+        )),
+        ("FC", Linear(16 * w, num_classes, rng=rng)),
+    ]
+    return SplitModel("ResNet50-tiny", stages, input_shape=(3, image_size, image_size))

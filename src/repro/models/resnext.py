@@ -1,0 +1,42 @@
+"""Tiny runnable ResNeXt101 analogue (grouped bottlenecks, stages Conv1..FC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import GlobalAvgPool2d, Linear, Sequential
+from .blocks import Bottleneck, conv_bn_relu
+from .split import SplitModel
+
+
+def tiny_resnext101(num_classes: int = 10, image_size: int = 16, width: int = 16,
+                    groups: int = 4, seed: int = 0) -> SplitModel:
+    """ResNeXt-style network: bottlenecks with grouped (cardinality) 3x3s.
+
+    Two blocks per stage (vs one in the tiny ResNet) echoes ResNeXt101's
+    greater depth, so it really is the slowest tiny model — matching its
+    role in the paper's scaling plots.
+    """
+    rng = np.random.default_rng(seed)
+    w = width
+    stages = [
+        ("Conv1", conv_bn_relu(3, w, 3, rng=rng)),
+        ("Conv2", Sequential(
+            Bottleneck(w, w, 2 * w, groups=groups, rng=rng),
+            Bottleneck(2 * w, w, 2 * w, groups=groups, rng=rng),
+        )),
+        ("Conv3", Sequential(
+            Bottleneck(2 * w, 2 * w, 4 * w, stride=2, groups=groups, rng=rng),
+            Bottleneck(4 * w, 2 * w, 4 * w, groups=groups, rng=rng),
+        )),
+        ("Conv4", Sequential(
+            Bottleneck(4 * w, 4 * w, 8 * w, stride=2, groups=groups, rng=rng),
+            Bottleneck(8 * w, 4 * w, 8 * w, groups=groups, rng=rng),
+        )),
+        ("Conv5", Sequential(
+            Bottleneck(8 * w, 8 * w, 16 * w, stride=2, groups=groups, rng=rng),
+            GlobalAvgPool2d(),
+        )),
+        ("FC", Linear(16 * w, num_classes, rng=rng)),
+    ]
+    return SplitModel("ResNeXt101-tiny", stages, input_shape=(3, image_size, image_size))

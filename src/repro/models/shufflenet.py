@@ -1,0 +1,34 @@
+"""Tiny runnable ShuffleNetV2 analogue (stages Stem, Stage2-4, Conv5, FC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import GlobalAvgPool2d, Linear, Sequential
+from .blocks import ShuffleDownUnit, ShuffleUnit, conv_bn_relu
+from .split import SplitModel
+
+
+def tiny_shufflenet_v2(num_classes: int = 10, image_size: int = 16,
+                       width: int = 16, seed: int = 0) -> SplitModel:
+    """Channel-split/shuffle network shrunk to laptop scale."""
+    rng = np.random.default_rng(seed)
+    w = width
+    stages = [
+        ("Stem", conv_bn_relu(3, w, 3, rng=rng)),
+        ("Stage2", Sequential(
+            ShuffleDownUnit(w, 2 * w, rng=rng),
+            ShuffleUnit(2 * w, rng=rng),
+        )),
+        ("Stage3", Sequential(
+            ShuffleDownUnit(2 * w, 4 * w, rng=rng),
+            ShuffleUnit(4 * w, rng=rng),
+        )),
+        ("Stage4", ShuffleDownUnit(4 * w, 8 * w, rng=rng)),
+        ("Conv5", Sequential(
+            conv_bn_relu(8 * w, 8 * w, 1, rng=rng),
+            GlobalAvgPool2d(),
+        )),
+        ("FC", Linear(8 * w, num_classes, rng=rng)),
+    ]
+    return SplitModel("ShuffleNetV2-tiny", stages, input_shape=(3, image_size, image_size))

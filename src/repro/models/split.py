@@ -1,0 +1,130 @@
+"""Runnable split models: stage-named networks the FT-DMP engine can cut.
+
+A :class:`SplitModel` is a sequence of named stage modules whose last stage
+is the classifier.  PipeStores run ``forward_until(x, p)`` (the weight-freeze
+front); the Tuner runs ``forward_from(features, p)`` (the rest, including the
+trainable classifier).  ``assert_split_consistent`` verifies the invariant
+that a split forward equals the unsplit forward bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .graph import ModelGraph, StageSpec
+
+
+class SplitModel(Module):
+    """A model expressed as ordered, named, partitionable stages."""
+
+    def __init__(self, name: str, stages: Sequence[Tuple[str, Module]],
+                 input_shape: Tuple[int, ...]):
+        super().__init__()
+        if not stages:
+            raise ValueError("SplitModel needs at least one stage")
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.stage_names: List[str] = [n for n, _ in stages]
+        self._stage_modules: List[Module] = [m for _, m in stages]
+        for stage_name, module in stages:
+            setattr(self, f"stage_{stage_name}", module)
+
+    # -- structure -------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(self._stage_modules)
+
+    @property
+    def classifier(self) -> Module:
+        return self._stage_modules[-1]
+
+    def stage(self, index: int) -> Module:
+        return self._stage_modules[index]
+
+    def stage_index(self, name: str) -> int:
+        return self.stage_names.index(name)
+
+    # -- execution ---------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._stage_modules:
+            x = module(x)
+        return x
+
+    def forward_until(self, x: Tensor, split: int) -> Tensor:
+        """Run the first ``split`` stages (the PipeStore side)."""
+        self._check_split(split)
+        for module in self._stage_modules[:split]:
+            x = module(x)
+        return x
+
+    def forward_from(self, features: Tensor, split: int) -> Tensor:
+        """Run stages ``split:`` (the Tuner side)."""
+        self._check_split(split)
+        x = features
+        for module in self._stage_modules[split:]:
+            x = module(x)
+        return x
+
+    def _check_split(self, split: int) -> None:
+        if not 0 <= split <= self.num_stages:
+            raise ValueError(
+                f"split {split} out of range for {self.num_stages} stages"
+            )
+
+    # -- fine-tuning setup -------------------------------------------------
+    def freeze_features(self) -> "SplitModel":
+        """Freeze everything except the classifier (fine-tuning mode B)."""
+        for module in self._stage_modules[:-1]:
+            module.freeze()
+        self.classifier.unfreeze()
+        return self
+
+    def feature_dim_after(self, split: int, batch: int = 2) -> Tuple[int, ...]:
+        """Shape (excluding batch) of activations leaving stage ``split``."""
+        probe = Tensor(np.zeros((batch,) + self.input_shape))
+        out = self.forward_until(probe, split)
+        return out.shape[1:]
+
+    # -- analytic graph ------------------------------------------------------
+    def to_graph(self, raw_image_bytes: int = 8192) -> ModelGraph:
+        """Derive a :class:`ModelGraph` by probing the model.
+
+        Activation sizes come from a shape probe; per-stage FLOPs are
+        *measured* by tracing a forward pass through the FLOP counter
+        (:mod:`repro.models.flops`), so APO arithmetic on tiny models uses
+        the same 2x-MAC convention as the full-scale catalog.
+        """
+        from .flops import count_stage_flops
+
+        stage_flops = count_stage_flops(self)
+        probe = Tensor(np.zeros((1,) + self.input_shape))
+        specs = []
+        x = probe
+        for i, (name, module) in enumerate(zip(self.stage_names, self._stage_modules)):
+            x = module(x)
+            out_elems = int(np.prod(x.shape[1:]))
+            specs.append(StageSpec(
+                name=name,
+                flops_fwd=max(stage_flops[name], 1.0),
+                params=module.num_parameters(),
+                out_elems=out_elems,
+                trainable=(i == self.num_stages - 1),
+            ))
+        input_elems = int(np.prod(self.input_shape))
+        return ModelGraph(self.name, specs, input_elems, raw_image_bytes)
+
+
+def assert_split_consistent(model: SplitModel, x: Tensor, split: int,
+                            atol: float = 1e-10) -> None:
+    """Raise if splitting at ``split`` changes the model output."""
+    whole = model(x).data
+    parts = model.forward_from(model.forward_until(x, split), split).data
+    if not np.allclose(whole, parts, atol=atol):
+        raise AssertionError(
+            f"{model.name}: split at {split} changed outputs "
+            f"(max abs diff {np.abs(whole - parts).max():.3e})"
+        )

@@ -1,0 +1,41 @@
+"""Tiny runnable ViT analogue (stages PatchEmbed, block groups, Head)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.attention import PatchEmbedding, TransformerBlock
+from ..nn.layers import LayerNorm, Linear, Sequential
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .split import SplitModel
+
+
+class TakeClassToken(Module):
+    """Extract the CLS token: (N, T, D) -> (N, D)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x[:, 0]
+
+
+def tiny_vit(num_classes: int = 10, image_size: int = 16, patch_size: int = 4,
+             dim: int = 32, num_heads: int = 4, seed: int = 0) -> SplitModel:
+    """Four-block pre-norm ViT shrunk to laptop scale.
+
+    Block-group stage names mirror :func:`repro.models.catalog.vit_b16`;
+    each tiny group holds one encoder block where ViT-B/16 holds three.
+    """
+    rng = np.random.default_rng(seed)
+    stages = [
+        ("PatchEmbed", PatchEmbedding(image_size, patch_size, 3, dim, rng=rng)),
+        ("Blocks1_3", TransformerBlock(dim, num_heads, rng=rng)),
+        ("Blocks4_6", TransformerBlock(dim, num_heads, rng=rng)),
+        ("Blocks7_9", TransformerBlock(dim, num_heads, rng=rng)),
+        ("Blocks10_12", Sequential(
+            TransformerBlock(dim, num_heads, rng=rng),
+            LayerNorm(dim),
+            TakeClassToken(),
+        )),
+        ("Head", Linear(dim, num_classes, rng=rng)),
+    ]
+    return SplitModel("ViT-tiny", stages, input_shape=(3, image_size, image_size))

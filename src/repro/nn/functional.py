@@ -1,0 +1,261 @@
+"""Convolution / pooling primitives with hand-written backward passes.
+
+These are registered as autograd nodes on :class:`repro.nn.tensor.Tensor`.
+``im2col``/``col2im`` use a small loop over kernel offsets (kernels are
+3x3-7x7) and vectorise over batch and spatial dimensions, which is the
+standard trade-off for a numpy implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into (N, C*kh*kw, OH*OW) patch columns."""
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_stop = i + stride * oh
+        for j in range(kw):
+            j_stop = j + stride * ow
+            cols[:, :, i, j] = x[:, :, i:i_stop:stride, j:j_stop:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold patch columns back to (N, C, H, W), accumulating overlaps."""
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_stop = i + stride * oh
+        for j in range(kw):
+            j_stop = j + stride * ow
+            padded[:, :, i:i_stop:stride, j:j_stop:stride] += cols[:, :, i, j]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    """2D convolution.  ``weight`` has shape (F, C/groups, KH, KW)."""
+    n, c, h, w = x.shape
+    f, c_per_group, kh, kw = weight.shape
+    if c != c_per_group * groups:
+        raise ValueError(
+            f"channel mismatch: input has {c} channels, weight expects "
+            f"{c_per_group * groups} ({groups} groups x {c_per_group})"
+        )
+    if f % groups:
+        raise ValueError(f"output channels {f} not divisible by groups {groups}")
+
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    f_per_group = f // groups
+
+    if groups == c and f == c and c_per_group == 1:
+        return _depthwise_conv2d(x, weight, stride, padding, oh, ow)
+
+    cols_list = []
+    outs = np.empty((n, f, oh * ow), dtype=x.data.dtype)
+    w2 = weight.data.reshape(groups, f_per_group, c_per_group * kh * kw)
+    for g in range(groups):
+        xg = x.data[:, g * c_per_group:(g + 1) * c_per_group]
+        cols, _, _ = im2col(xg, kh, kw, stride, padding)
+        cols_list.append(cols)
+        outs[:, g * f_per_group:(g + 1) * f_per_group] = np.einsum(
+            "fk,nkp->nfp", w2[g], cols, optimize=True
+        )
+    out_data = outs.reshape(n, f, oh, ow)
+
+    def backward(grad):
+        grad = grad.reshape(n, f, oh * ow)
+        if weight.requires_grad:
+            dw = np.empty_like(weight.data).reshape(groups, f_per_group, c_per_group * kh * kw)
+            for g in range(groups):
+                gg = grad[:, g * f_per_group:(g + 1) * f_per_group]
+                dw[g] = np.einsum("nfp,nkp->fk", gg, cols_list[g], optimize=True)
+            weight._accumulate(dw.reshape(weight.shape))
+        if x.requires_grad:
+            dx = np.empty_like(x.data)
+            xg_shape = (n, c_per_group, h, w)
+            for g in range(groups):
+                gg = grad[:, g * f_per_group:(g + 1) * f_per_group]
+                dcols = np.einsum("fk,nfp->nkp", w2[g], gg, optimize=True)
+                dx[:, g * c_per_group:(g + 1) * c_per_group] = col2im(
+                    dcols, xg_shape, kh, kw, stride, padding
+                )
+            x._accumulate(dx)
+
+    return x._make(out_data, (x, weight), backward)
+
+
+def _depthwise_conv2d(x: Tensor, weight: Tensor, stride: int, padding: int,
+                      oh: int, ow: int) -> Tensor:
+    """Fast path for depthwise convolution (groups == channels).
+
+    Loops over the kh x kw kernel offsets (<= 9 iterations) instead of over
+    channels, which matters for ShuffleNet-style nets with many channels.
+    """
+    n, c, h, w = x.shape
+    _f, _one, kh, kw = weight.shape
+    if padding:
+        xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding),
+                             (padding, padding)))
+    else:
+        xp = x.data
+    out_data = np.zeros((n, c, oh, ow), dtype=x.data.dtype)
+    for i in range(kh):
+        i_stop = i + stride * oh
+        for j in range(kw):
+            j_stop = j + stride * ow
+            out_data += (xp[:, :, i:i_stop:stride, j:j_stop:stride]
+                         * weight.data[None, :, 0, i, j, None, None])
+
+    def backward(grad):
+        if weight.requires_grad:
+            dw = np.zeros_like(weight.data)
+            for i in range(kh):
+                i_stop = i + stride * oh
+                for j in range(kw):
+                    j_stop = j + stride * ow
+                    patch = xp[:, :, i:i_stop:stride, j:j_stop:stride]
+                    dw[:, 0, i, j] = (patch * grad).sum(axis=(0, 2, 3))
+            weight._accumulate(dw)
+        if x.requires_grad:
+            dxp = np.zeros_like(xp)
+            for i in range(kh):
+                i_stop = i + stride * oh
+                for j in range(kw):
+                    j_stop = j + stride * ow
+                    dxp[:, :, i:i_stop:stride, j:j_stop:stride] += (
+                        grad * weight.data[None, :, 0, i, j, None, None]
+                    )
+            if padding:
+                dxp = dxp[:, :, padding:-padding, padding:-padding]
+            x._accumulate(dxp)
+
+    return x._make(out_data, (x, weight), backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int = None, padding: int = 0) -> Tensor:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    if padding:
+        data = np.pad(
+            x.data,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            constant_values=-np.inf,
+        )
+    else:
+        data = x.data
+    cols, oh, ow = _pool_cols(data, kernel, stride)
+    # cols: (n, c, k*k, oh*ow)
+    argmax = cols.argmax(axis=2)
+    out_data = np.take_along_axis(cols, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+    out_data = out_data.reshape(n, c, oh, ow)
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad = grad.reshape(n, c, 1, oh * ow)
+        dcols = np.zeros_like(cols)
+        np.put_along_axis(dcols, argmax[:, :, None, :], grad, axis=2)
+        dx = _pool_uncols(dcols, data.shape, kernel, stride, oh, ow)
+        if padding:
+            dx = dx[:, :, padding:-padding, padding:-padding]
+        x._accumulate(dx)
+
+    return x._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int = None, padding: int = 0) -> Tensor:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    if padding:
+        data = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        data = x.data
+    cols, oh, ow = _pool_cols(data, kernel, stride)
+    out_data = cols.mean(axis=2).reshape(n, c, oh, ow)
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad = grad.reshape(n, c, 1, oh * ow) / (kernel * kernel)
+        dcols = np.broadcast_to(grad, cols.shape).copy()
+        dx = _pool_uncols(dcols, data.shape, kernel, stride, oh, ow)
+        if padding:
+            dx = dx[:, :, padding:-padding, padding:-padding]
+        x._accumulate(dx)
+
+    return x._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over spatial dims: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def _pool_cols(data: np.ndarray, kernel: int, stride: int) -> Tuple[np.ndarray, int, int]:
+    n, c, h, w = data.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=data.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            cols[:, :, i, j] = data[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride]
+    return cols.reshape(n, c, kernel * kernel, oh * ow), oh, ow
+
+
+def _pool_uncols(
+    dcols: np.ndarray,
+    data_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    n, c, h, w = data_shape
+    dcols = dcols.reshape(n, c, kernel, kernel, oh, ow)
+    dx = np.zeros(data_shape, dtype=dcols.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            dx[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += dcols[:, :, i, j]
+    return dx
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep) / keep
+    return x * Tensor(mask)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    out = np.zeros((len(labels), num_classes))
+    out[np.arange(len(labels)), labels] = 1.0
+    return out

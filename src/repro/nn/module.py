@@ -1,0 +1,134 @@
+"""Module base class: parameter registry, train/eval mode, state dicts.
+
+State dicts are plain ``{name: np.ndarray}`` mappings; they are what the
+Check-N-Run delta encoder (:mod:`repro.core.checknrun`) serialises and what
+the Tuner redistributes to PipeStores after fine-tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor that is registered as a trainable weight of a Module."""
+
+    def __init__(self, data, name=None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network building blocks."""
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # -- attribute magic ------------------------------------------------
+    def __setattr__(self, key, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[key] = value
+        object.__setattr__(self, key, value)
+
+    # -- traversal -------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield prefix + name, self._buffers[name]
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- mode ------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def cast(self, dtype) -> "Module":
+        """Cast all parameters and buffers to ``dtype`` (e.g. np.float32)."""
+        for param in self.parameters():
+            param.data = param.data.astype(dtype)
+        for module in self.modules():
+            for name in module._buffers:
+                module._buffers[name] = module._buffers[name].astype(dtype)
+        return self
+
+    def freeze(self) -> "Module":
+        """Mark every parameter as non-trainable (weight-freeze layers)."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    # -- state -----------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffer_holders = self._buffer_holders()
+        for key, value in state.items():
+            if key in own_params:
+                if own_params[key].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: "
+                        f"{own_params[key].shape} vs {value.shape}"
+                    )
+                own_params[key].data = value.copy()
+            elif key in own_buffer_holders:
+                holder, name = own_buffer_holders[key]
+                holder._buffers[name] = value.copy()
+            else:
+                raise KeyError(f"unexpected key in state dict: {key}")
+
+    def _buffer_holders(self, prefix: str = "") -> Dict[str, Tuple["Module", str]]:
+        holders = {prefix + name: (self, name) for name in self._buffers}
+        for name, module in self._modules.items():
+            holders.update(module._buffer_holders(prefix + name + "."))
+        return holders
+
+    # -- call ------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

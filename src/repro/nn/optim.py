@@ -1,0 +1,85 @@
+"""Optimisers: SGD with momentum/weight decay, and Adam.
+
+Optimisers skip parameters whose ``requires_grad`` is False, which is how
+fine-tuning trains only the classifier while the frozen feature extractor
+keeps its weights bit-identical (tested in ``tests/core/test_ftdmp.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    def __init__(self, params: Iterable[Parameter]):
+        self.params: List[Parameter] = list(params)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, vel in zip(self.params, self._velocity):
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,111 @@
+"""Learning-rate schedules for the training engines.
+
+Full training from scratch (the paper's biweekly gold standard, 90 epochs
+at batch 128) conventionally uses step or cosine decay with warmup; these
+schedulers plug into :func:`repro.train.fulltrain.full_train`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .optim import Optimizer
+
+
+class Scheduler:
+    """Base class: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: Optional[float] = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        if self.base_lr <= 0:
+            raise ValueError("base learning rate must be positive")
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns (and applies) the new learning rate."""
+        self.epoch += 1
+        lr = self.lr_at(self.epoch)
+        if lr <= 0:
+            raise ValueError(f"schedule produced non-positive lr {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, step_epochs: int,
+                 gamma: float = 0.1, base_lr: Optional[float] = None):
+        super().__init__(optimizer, base_lr)
+        if step_epochs < 1:
+            raise ValueError("step_epochs must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_epochs = step_epochs
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_epochs)
+
+
+class CosineLR(Scheduler):
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 1e-6, base_lr: Optional[float] = None):
+        super().__init__(optimizer, base_lr)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if min_lr <= 0:
+            raise ValueError("min_lr must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress))
+
+
+class WarmupLR(Scheduler):
+    """Linear warmup for ``warmup_epochs``, then delegate to ``after``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 after: Optional[Scheduler] = None,
+                 base_lr: Optional[float] = None):
+        super().__init__(optimizer, base_lr)
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        if self.after is not None:
+            return self.after.lr_at(epoch - self.warmup_epochs)
+        return self.base_lr
+
+
+def clip_gradients(params, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  Parameters without gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for grad in grads:
+        total += float((grad * grad).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm

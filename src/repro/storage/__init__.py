@@ -1,0 +1,49 @@
+"""``repro.storage`` — photo storage substrate.
+
+Object stores over capacity-accounted volumes, the label database, a
+synthetic photo codec (byte-accurate JPEG/preprocessed-binary stand-ins),
+and real deflate compression helpers.
+"""
+
+from .compression import (
+    compress_array,
+    compression_ratio,
+    decompress_array,
+    deflate,
+    inflate,
+)
+from .imageformat import (
+    CodecError,
+    PhotoSizes,
+    decode_photo,
+    decode_preprocessed,
+    encode_photo,
+    encode_preprocessed,
+    preprocess,
+)
+from .objectstore import (
+    MissingObjectError,
+    ObjectStore,
+    StorageFullError,
+    Volume,
+)
+from .persistence import (
+    SnapshotError,
+    dump_object_store,
+    dump_photo_database,
+    load_object_store,
+    load_photo_database,
+    snapshot_sizes,
+)
+from .photodb import LabelRecord, PhotoDatabase
+
+__all__ = [
+    "deflate", "inflate", "compression_ratio", "compress_array",
+    "decompress_array",
+    "encode_photo", "decode_photo", "preprocess", "encode_preprocessed",
+    "decode_preprocessed", "CodecError", "PhotoSizes",
+    "ObjectStore", "Volume", "StorageFullError", "MissingObjectError",
+    "PhotoDatabase", "LabelRecord",
+    "dump_object_store", "load_object_store", "dump_photo_database",
+    "load_photo_database", "snapshot_sizes", "SnapshotError",
+]

@@ -1,0 +1,98 @@
+"""Synthetic photo codec.
+
+The paper's workload is 2.7 MB JPEGs plus 0.59 MB preprocessed fp32
+binaries.  We cannot ship real photos, so this codec produces byte-accurate
+stand-ins: a quantised, deflate-compressed pixel payload ("the JPEG") padded
+to a configurable nominal size, and raw fp32 tensors ("the preprocessed
+binary").  Decoding really decompresses and dequantises, so CPU work and
+byte counts are genuine, just scaled to tiny images.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+_MAGIC = b"NDPJ"
+_HEADER_FMT = ">4sBHHHI"  # magic, channels, height, width, pad_kb, payload_len
+
+
+class CodecError(ValueError):
+    """Raised when a blob does not parse as a synthetic photo."""
+
+
+def encode_photo(pixels: np.ndarray, pad_to_bytes: int = 0,
+                 quality_level: int = 6) -> bytes:
+    """Encode float pixels in [0, 1] (C, H, W) into a synthetic JPEG.
+
+    ``pad_to_bytes`` inflates the blob to the nominal photo size (the
+    storage/network experiments care about real photo byte counts even
+    though the pixel payload is tiny).
+    """
+    if pixels.ndim != 3:
+        raise CodecError(f"expected (C, H, W) pixels, got shape {pixels.shape}")
+    c, h, w = pixels.shape
+    quantised = np.clip(pixels, 0.0, 1.0)
+    payload = zlib.compress((quantised * 255).astype(np.uint8).tobytes(),
+                            quality_level)
+    header = struct.pack(_HEADER_FMT, _MAGIC, c, h, w, 0, len(payload))
+    blob = header + payload
+    if pad_to_bytes > len(blob):
+        blob += b"\0" * (pad_to_bytes - len(blob))
+    return blob
+
+
+def decode_photo(blob: bytes) -> np.ndarray:
+    """Decode a synthetic JPEG back to float pixels in [0, 1]."""
+    header_size = struct.calcsize(_HEADER_FMT)
+    if len(blob) < header_size:
+        raise CodecError("blob too short for a photo header")
+    magic, c, h, w, _pad, payload_len = struct.unpack(
+        _HEADER_FMT, blob[:header_size]
+    )
+    if magic != _MAGIC:
+        raise CodecError("bad photo magic")
+    payload = blob[header_size:header_size + payload_len]
+    raw = zlib.decompress(payload)
+    pixels = np.frombuffer(raw, dtype=np.uint8).astype(np.float64) / 255.0
+    expected = c * h * w
+    if pixels.size != expected:
+        raise CodecError(f"payload has {pixels.size} pixels, expected {expected}")
+    return pixels.reshape(c, h, w)
+
+
+def preprocess(pixels: np.ndarray, mean: float = 0.5, std: float = 0.25) -> np.ndarray:
+    """The DNN input transform: normalise decoded pixels to fp32."""
+    return ((pixels - mean) / std).astype(np.float32)
+
+
+def encode_preprocessed(tensor: np.ndarray) -> bytes:
+    """Serialise a preprocessed fp32 tensor (the 0.59 MB binary)."""
+    c, h, w = tensor.shape
+    header = struct.pack(">4sBHH", b"NDPP", c, h, w)
+    return header + tensor.astype(np.float32).tobytes()
+
+
+def decode_preprocessed(blob: bytes) -> np.ndarray:
+    header_size = struct.calcsize(">4sBHH")
+    magic, c, h, w = struct.unpack(">4sBHH", blob[:header_size])
+    if magic != b"NDPP":
+        raise CodecError("bad preprocessed-binary magic")
+    data = np.frombuffer(blob[header_size:], dtype=np.float32)
+    return data.reshape(c, h, w).copy()
+
+
+@dataclass(frozen=True)
+class PhotoSizes:
+    """Nominal byte sizes for the storage accounting experiments."""
+
+    raw_bytes: int = 2_700_000
+    preprocessed_bytes: int = 590_000
+
+    @property
+    def preprocessed_fraction(self) -> float:
+        """Share of total storage taken by preprocessed binaries (§5.4)."""
+        return self.preprocessed_bytes / (self.raw_bytes + self.preprocessed_bytes)

@@ -1,0 +1,137 @@
+"""An in-memory object store standing in for a photo storage volume.
+
+Each PipeStore owns one :class:`ObjectStore` backed by a capacity-limited
+:class:`Volume`.  Keys are namespaced (``raw/<id>``, ``preproc/<id>``) the
+way the paper stores raw photos next to their compressed preprocessed
+binaries (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class StorageFullError(RuntimeError):
+    """Raised when a put would exceed the volume's capacity."""
+
+
+class MissingObjectError(KeyError):
+    """Raised when a key is absent from the store."""
+
+
+@dataclass
+class Volume:
+    """A capacity-accounted storage volume (the st1 RAID array)."""
+
+    capacity_bytes: int
+    used_bytes: int = 0
+
+    def reserve(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("cannot reserve negative bytes")
+        if self.used_bytes + num_bytes > self.capacity_bytes:
+            raise StorageFullError(
+                f"volume full: {self.used_bytes + num_bytes} "
+                f"> {self.capacity_bytes}"
+            )
+        self.used_bytes += num_bytes
+
+    def release(self, num_bytes: int) -> None:
+        if num_bytes > self.used_bytes:
+            raise ValueError("releasing more bytes than used")
+        self.used_bytes -= num_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def fill_fraction(self) -> float:
+        if self.capacity_bytes == 0:
+            return 1.0
+        return self.used_bytes / self.capacity_bytes
+
+
+class ObjectStore:
+    """Flat key -> bytes store with namespace helpers and IO accounting."""
+
+    def __init__(self, volume: Optional[Volume] = None, name: str = "store"):
+        self.name = name
+        self.volume = volume or Volume(capacity_bytes=1 << 40)
+        self._objects: Dict[str, bytes] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- CRUD -------------------------------------------------------------
+    def put(self, key: str, blob: bytes) -> None:
+        if not key:
+            raise ValueError("empty key")
+        old = self._objects.get(key)
+        delta = len(blob) - (len(old) if old is not None else 0)
+        if delta > 0:
+            self.volume.reserve(delta)
+        elif delta < 0:
+            self.volume.release(-delta)
+        self._objects[key] = blob
+        self.bytes_written += len(blob)
+
+    def get(self, key: str) -> bytes:
+        try:
+            blob = self._objects[key]
+        except KeyError:
+            raise MissingObjectError(key) from None
+        self.bytes_read += len(blob)
+        return blob
+
+    def delete(self, key: str) -> None:
+        try:
+            blob = self._objects.pop(key)
+        except KeyError:
+            raise MissingObjectError(key) from None
+        self.volume.release(len(blob))
+
+    def exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def size_of(self, key: str) -> int:
+        try:
+            return len(self._objects[key])
+        except KeyError:
+            raise MissingObjectError(key) from None
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def iter_items(self, prefix: str = "") -> Iterator:
+        for key in self.keys(prefix):
+            yield key, self.get(key)
+
+    # -- namespaces -------------------------------------------------------
+    @staticmethod
+    def raw_key(photo_id: str) -> str:
+        return f"raw/{photo_id}"
+
+    @staticmethod
+    def preproc_key(photo_id: str) -> str:
+        return f"preproc/{photo_id}"
+
+    def photo_ids(self) -> List[str]:
+        prefix = "raw/"
+        return [k[len(prefix):] for k in self.keys(prefix)]
+
+    # -- accounting ---------------------------------------------------------
+    def bytes_by_prefix(self, prefix: str) -> int:
+        return sum(len(self._objects[k]) for k in self.keys(prefix))
+
+    def preprocessed_overhead(self) -> float:
+        """Fraction of stored bytes taken by preprocessed binaries (§5.4)."""
+        raw = self.bytes_by_prefix("raw/")
+        pre = self.bytes_by_prefix("preproc/")
+        total = raw + pre
+        if total == 0:
+            return 0.0
+        return pre / total

@@ -1,0 +1,136 @@
+"""Snapshot / restore for the storage substrate.
+
+Production photo stores survive restarts; this module gives the in-memory
+substrate the same property with explicit, versioned serialisation:
+
+* :func:`dump_object_store` / :func:`load_object_store` — every object
+  plus the volume's capacity accounting, deflate-framed;
+* :func:`dump_photo_database` / :func:`load_photo_database` — all current
+  label records and their full version history.
+
+Formats are self-describing (magic + version) so incompatible snapshots
+fail loudly instead of silently corrupting a store.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import Tuple
+
+from .compression import deflate, inflate
+from .objectstore import ObjectStore, Volume
+from .photodb import LabelRecord, PhotoDatabase
+
+_STORE_MAGIC = b"NDPS"
+_DB_MAGIC = b"NDPD"
+_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """Raised on malformed or incompatible snapshot blobs."""
+
+
+# ---------------------------------------------------------------------------
+# Object store
+# ---------------------------------------------------------------------------
+def dump_object_store(store: ObjectStore) -> bytes:
+    """Serialise a store (keys, blobs, volume accounting) to one blob."""
+    buffer = io.BytesIO()
+    keys = store.keys()
+    for key in keys:
+        key_bytes = key.encode()
+        blob = store.get(key)
+        buffer.write(struct.pack(">H", len(key_bytes)))
+        buffer.write(key_bytes)
+        buffer.write(struct.pack(">I", len(blob)))
+        buffer.write(blob)
+    header = struct.pack(
+        ">4sBQI", _STORE_MAGIC, _VERSION, store.volume.capacity_bytes,
+        len(keys),
+    )
+    return header + deflate(buffer.getvalue())
+
+
+def load_object_store(blob: bytes, name: str = "restored") -> ObjectStore:
+    """Reconstruct an :class:`ObjectStore` from a snapshot blob."""
+    header_size = struct.calcsize(">4sBQI")
+    if len(blob) < header_size:
+        raise SnapshotError("snapshot too short")
+    magic, version, capacity, count = struct.unpack(
+        ">4sBQI", blob[:header_size])
+    if magic != _STORE_MAGIC:
+        raise SnapshotError("not an object-store snapshot")
+    if version != _VERSION:
+        raise SnapshotError(f"unsupported snapshot version {version}")
+    body = inflate(blob[header_size:])
+    store = ObjectStore(Volume(capacity_bytes=capacity), name=name)
+    offset = 0
+    for _ in range(count):
+        (key_len,) = struct.unpack_from(">H", body, offset)
+        offset += 2
+        key = body[offset:offset + key_len].decode()
+        offset += key_len
+        (blob_len,) = struct.unpack_from(">I", body, offset)
+        offset += 4
+        store.put(key, body[offset:offset + blob_len])
+        offset += blob_len
+    if offset != len(body):
+        raise SnapshotError("trailing bytes in object-store snapshot")
+    # restoration IO should not count as workload IO
+    store.bytes_read = 0
+    store.bytes_written = 0
+    return store
+
+
+# ---------------------------------------------------------------------------
+# Photo database
+# ---------------------------------------------------------------------------
+def _record_to_dict(record: LabelRecord) -> dict:
+    return {
+        "photo_id": record.photo_id,
+        "label": record.label,
+        "model_version": record.model_version,
+        "location": record.location,
+        "confidence": record.confidence,
+    }
+
+
+def dump_photo_database(db: PhotoDatabase) -> bytes:
+    """Serialise the label database, including per-photo history."""
+    payload = {
+        "version": _VERSION,
+        "history": {
+            photo_id: [_record_to_dict(r) for r in db.history(photo_id)]
+            for photo_id in sorted(db.snapshot_labels())
+        },
+    }
+    return _DB_MAGIC + deflate(json.dumps(payload).encode())
+
+
+def load_photo_database(blob: bytes) -> PhotoDatabase:
+    """Reconstruct a :class:`PhotoDatabase`, replaying version history."""
+    if not blob.startswith(_DB_MAGIC):
+        raise SnapshotError("not a photo-database snapshot")
+    try:
+        payload = json.loads(inflate(blob[len(_DB_MAGIC):]).decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"corrupt database snapshot: {exc}") from exc
+    if payload.get("version") != _VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {payload.get('version')}")
+    db = PhotoDatabase()
+    for records in payload["history"].values():
+        for rec in records:
+            db.upsert(LabelRecord(
+                photo_id=rec["photo_id"], label=rec["label"],
+                model_version=rec["model_version"],
+                location=rec["location"], confidence=rec["confidence"],
+            ))
+    return db
+
+
+def snapshot_sizes(store: ObjectStore, db: PhotoDatabase) -> Tuple[int, int]:
+    """(store snapshot bytes, db snapshot bytes) — capacity planning."""
+    return len(dump_object_store(store)), len(dump_photo_database(db))

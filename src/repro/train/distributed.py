@@ -1,0 +1,126 @@
+"""Distributed-training baselines: data and model parallelism (§2.1).
+
+Cost models for the two classical strategies NDPipe's FT-DMP is contrasted
+with.  Data parallelism pays per-iteration weight synchronisation that
+grows with the worker count; model parallelism pays pipeline-fill bubbles
+and keeps most machines under-utilised.  Both are exercised by the §4
+analysis benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..models.graph import ModelGraph
+from ..sim.specs import AcceleratorSpec, NetworkSpec
+
+
+@dataclass(frozen=True)
+class ParallelTrainingEstimate:
+    """Predicted behaviour of one distributed-training configuration."""
+
+    strategy: str
+    workers: int
+    time_s: float
+    compute_time_s: float
+    sync_time_s: float
+    sync_traffic_bytes: float
+
+    @property
+    def sync_fraction(self) -> float:
+        if self.time_s == 0:
+            return 0.0
+        return self.sync_time_s / self.time_s
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Fraction of the ideal (sync-free) speedup actually achieved."""
+        if self.time_s == 0:
+            return 1.0
+        return self.compute_time_s / self.time_s
+
+
+def data_parallel_finetune(graph: ModelGraph, workers: int,
+                           accelerator: AcceleratorSpec,
+                           network: NetworkSpec,
+                           images: int, batch_per_worker: int = 128,
+                           trainable_only: bool = True,
+                           ) -> ParallelTrainingEstimate:
+    """DP fine-tuning with ring-allreduce weight sync every iteration.
+
+    With ``trainable_only`` (fine-tuning) only the classifier synchronises;
+    full training synchronises every parameter — the reason DP full
+    training scales so poorly over 10 GbE.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    compute_rate = workers * accelerator.full_finetune_ips(graph, naive=True)
+    compute_time = images / compute_rate
+    sync_params = graph.classifier_params if trainable_only else graph.total_params
+    sync_bytes_per_round = 2.0 * (workers - 1) / max(workers, 1) * sync_params * 4
+    iterations = images / (batch_per_worker * workers)
+    # every worker's ring segment crosses the shared front-end link
+    traffic = iterations * sync_bytes_per_round * workers
+    sync_time = traffic / network.bytes_per_s
+    return ParallelTrainingEstimate(
+        strategy="data-parallel",
+        workers=workers,
+        time_s=compute_time + sync_time,
+        compute_time_s=compute_time,
+        sync_time_s=sync_time,
+        sync_traffic_bytes=traffic,
+    )
+
+
+def model_parallel_finetune(graph: ModelGraph, workers: int,
+                            accelerator: AcceleratorSpec,
+                            network: NetworkSpec,
+                            images: int, microbatch: int = 32,
+                            ) -> ParallelTrainingEstimate:
+    """MP: stages spread across workers, processed as a microbatch pipeline.
+
+    The makespan is the slowest stage's total work plus the pipeline fill
+    (classic GPipe accounting); activations cross the network between
+    consecutive workers.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    stages = graph.stages
+    # round-robin stages onto workers, preserving order
+    per_worker_flops = [0.0] * workers
+    boundary_bytes = 0.0
+    for i, stage in enumerate(stages):
+        worker = min(i * workers // len(stages), workers - 1)
+        per_worker_flops[worker] += stage.flops_train
+        next_worker = min((i + 1) * workers // len(stages), workers - 1)
+        if next_worker != worker and i + 1 < len(stages):
+            boundary_bytes += stage.out_bytes
+    rates = [
+        accelerator.flops_ips(graph.name, flops) *
+        accelerator.naive_train_efficiency
+        for flops in per_worker_flops if flops > 0
+    ]
+    slowest = min(rates)
+    fill_time = sum(microbatch / rate for rate in rates)
+    compute_time = images / slowest + fill_time
+    traffic = 2.0 * boundary_bytes * images  # forward + backward activations
+    sync_time = traffic / network.bytes_per_s
+    return ParallelTrainingEstimate(
+        strategy="model-parallel",
+        workers=workers,
+        time_s=compute_time + sync_time,
+        compute_time_s=compute_time,
+        sync_time_s=sync_time,
+        sync_traffic_bytes=traffic,
+    )
+
+
+def scaling_curve(strategy_fn, graph: ModelGraph, worker_counts: Sequence[int],
+                  accelerator: AcceleratorSpec, network: NetworkSpec,
+                  images: int) -> List[ParallelTrainingEstimate]:
+    """Evaluate a strategy across worker counts (the §4.1 scaling study)."""
+    return [
+        strategy_fn(graph, n, accelerator, network, images)
+        for n in worker_counts
+    ]

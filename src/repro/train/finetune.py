@@ -1,0 +1,30 @@
+"""Single-host fine-tuning convenience wrappers.
+
+The centralised (SRV-style) fine-tuning path: freeze the feature extractor,
+train the classifier on the host.  Thin sugar over
+:class:`repro.core.ftdmp.FTDMPTrainer` with split = classifier boundary and
+``num_runs = 1`` — mathematically the same update sequence NDPipe produces,
+which is exactly the paper's point: FT-DMP changes *where* work happens,
+not *what* is learned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.ftdmp import FinetuneReport, FTDMPTrainer
+from ..models.split import SplitModel
+
+
+def finetune_classifier(model: SplitModel, x: np.ndarray, y: np.ndarray,
+                        epochs: int = 3, lr: float = 3e-3,
+                        batch_size: int = 64, num_runs: int = 1,
+                        seed: int = 0,
+                        eval_fn: Optional[Callable[[], float]] = None,
+                        ) -> FinetuneReport:
+    """Fine-tune ``model``'s classifier on (x, y); features stay frozen."""
+    trainer = FTDMPTrainer(model, lr=lr, batch_size=batch_size, seed=seed)
+    return trainer.finetune(x, y, epochs=epochs, num_runs=num_runs,
+                            eval_fn=eval_fn)

@@ -1,0 +1,85 @@
+"""Full training (every layer, from scratch) on the numpy substrate.
+
+Used to create base models for the drift studies and as the 'Full'
+comparison row of Table 2 / Fig. 4.  Contrast with
+:class:`repro.core.ftdmp.FTDMPTrainer`, which freezes the feature
+extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..data.loader import batch_iter
+from ..models.split import SplitModel
+from ..nn.losses import cross_entropy
+from ..nn.optim import Adam, SGD
+from ..nn.tensor import Tensor
+
+
+@dataclass
+class TrainHistory:
+    """Loss trajectory of one full-training job."""
+
+    losses: List[float] = field(default_factory=list)
+    epochs: int = 0
+    images_seen: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no epochs recorded")
+        return self.losses[-1]
+
+
+def full_train(model: SplitModel, x: np.ndarray, y: np.ndarray,
+               epochs: int = 5, lr: float = 3e-3, batch_size: int = 64,
+               optimizer: str = "adam", seed: int = 0,
+               callback: Optional[Callable[[int, float], None]] = None,
+               scheduler_fn: Optional[Callable] = None,
+               grad_clip: Optional[float] = None,
+               ) -> TrainHistory:
+    """Train every layer of ``model`` on (x, y); returns the loss history.
+
+    ``scheduler_fn`` builds a :class:`repro.nn.schedulers.Scheduler` from
+    the optimizer (stepped once per epoch); ``grad_clip`` bounds the
+    global gradient norm per step.
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    model.unfreeze()
+    model.train()
+    if optimizer == "adam":
+        opt = Adam(model.parameters(), lr=lr)
+    elif optimizer == "sgd":
+        opt = SGD(model.parameters(), lr=lr, momentum=0.9)
+    else:
+        raise ValueError(f"unknown optimizer {optimizer!r}")
+    scheduler = scheduler_fn(opt) if scheduler_fn is not None else None
+    rng = np.random.default_rng(seed)
+    history = TrainHistory()
+    for epoch in range(epochs):
+        losses = []
+        for xb, yb in batch_iter(x, y, batch_size, rng):
+            logits = model(Tensor(xb))
+            loss = cross_entropy(logits, yb)
+            model.zero_grad()
+            loss.backward()
+            if grad_clip is not None:
+                from ..nn.schedulers import clip_gradients
+
+                clip_gradients(model.parameters(), grad_clip)
+            opt.step()
+            losses.append(loss.item())
+        epoch_loss = float(np.mean(losses))
+        history.losses.append(epoch_loss)
+        history.epochs += 1
+        history.images_seen += len(x)
+        if callback is not None:
+            callback(epoch, epoch_loss)
+        if scheduler is not None:
+            scheduler.step()
+    return history

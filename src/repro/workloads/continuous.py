@@ -1,0 +1,108 @@
+"""Continuous operation: the photo service's day-by-day production loop.
+
+Ties the whole system together the way §3.1's production deployment runs:
+every day new photos arrive and are labelled online; a maintenance policy
+(scheduled or drift-triggered, §2.2) decides when to fine-tune; each
+fine-tune is followed by a near-data offline-relabel campaign so the
+database catches up with the refreshed model.  The log records accuracy,
+label freshness, update counts, and network traffic per day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.cluster import NDPipeCluster
+from ..core.driftdetect import MaintenancePolicy
+from ..data.drift import DriftingPhotoWorld
+
+
+@dataclass
+class DayRecord:
+    """What happened on one operational day."""
+
+    day: int
+    uploads: int
+    top1: float
+    top5: float
+    fine_tuned: bool
+    labels_refreshed: int
+    #: photos whose DB label predates the current model version (end of day)
+    stale_labels: int
+
+
+@dataclass
+class OperationLog:
+    """The full continuous-operation trace."""
+
+    policy: str
+    days: List[DayRecord] = field(default_factory=list)
+    traffic_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def updates(self) -> int:
+        return sum(1 for d in self.days if d.fine_tuned)
+
+    @property
+    def mean_top1(self) -> float:
+        if not self.days:
+            raise ValueError("no days recorded")
+        return float(np.mean([d.top1 for d in self.days]))
+
+    @property
+    def final_stale_labels(self) -> int:
+        return self.days[-1].stale_labels
+
+
+def run_continuous_operation(cluster: NDPipeCluster,
+                             world: DriftingPhotoWorld,
+                             policy: MaintenancePolicy,
+                             horizon_days: int = 14,
+                             uploads_per_day: int = 40,
+                             eval_size: int = 120,
+                             finetune_epochs: int = 2,
+                             num_runs: int = 1,
+                             relabel_after_update: bool = True,
+                             seed: int = 0) -> OperationLog:
+    """Drive the cluster through ``horizon_days`` of drifting uploads.
+
+    The cluster's model should already be base-trained (uploads carry
+    ground-truth training labels, standing in for user tags).  Returns the
+    per-day operation log.
+    """
+    if horizon_days < 1:
+        raise ValueError("horizon_days must be >= 1")
+    if uploads_per_day < 1:
+        raise ValueError("uploads_per_day must be >= 1")
+    log = OperationLog(policy=policy.name)
+    upload_rng = np.random.default_rng(seed + 1)
+
+    for day in range(1, horizon_days + 1):
+        x_up, y_up = world.sample(uploads_per_day, day, rng=upload_rng)
+        cluster.ingest(x_up, train_labels=y_up)
+
+        x_eval, y_eval = world.sample(
+            eval_size, day, rng=np.random.default_rng(seed + 100 + day))
+        top1, top5 = cluster.evaluate(x_eval, y_eval)
+
+        fine_tuned = False
+        labels_refreshed = 0
+        if policy.should_update(day, top1):
+            cluster.finetune(epochs=finetune_epochs, num_runs=num_runs)
+            policy.notify_updated(day)
+            fine_tuned = True
+            if relabel_after_update:
+                labels_refreshed = cluster.offline_relabel().photos_processed
+            top1, top5 = cluster.evaluate(x_eval, y_eval)
+
+        stale = len(cluster.database.outdated_ids(cluster.tuner.version))
+        log.days.append(DayRecord(
+            day=day, uploads=uploads_per_day, top1=top1, top5=top5,
+            fine_tuned=fine_tuned, labels_refreshed=labels_refreshed,
+            stale_labels=stale,
+        ))
+    log.traffic_by_kind = cluster.traffic_summary()
+    return log

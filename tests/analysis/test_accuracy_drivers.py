@@ -1,0 +1,102 @@
+"""Smoke-scale tests for the runnable accuracy drivers and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    SMOKE,
+    Scale,
+    fig04_drift_study,
+    fig17_pipelined_training,
+    make_model,
+    tab01_label_refresh,
+    tab02_accuracy_matrix,
+)
+from repro.analysis.tables import format_bytes, format_table
+
+
+class TestMakeModel:
+    @pytest.mark.parametrize("name", ["ResNet50", "ViT", "ShuffleNetV2"])
+    def test_builds_with_unified_width(self, name):
+        model = make_model(name, 6, SMOKE)
+        assert model.num_stages >= 5
+
+
+@pytest.mark.slow
+class TestFig04:
+    def test_structure(self):
+        out = fig04_drift_study(scale=SMOKE, horizon_days=4, eval_every=2)
+        assert set(out["trajectories"]) == {"outdated", "finetune", "full"}
+        assert out["days"] == [0, 2, 4]
+        for trajectory in out["trajectories"].values():
+            assert len(trajectory) == 3
+            for day, top1, top5 in trajectory:
+                assert 0.0 <= top1 <= top5 <= 1.0
+        assert len(out["size_sweep"]) >= 3
+
+
+@pytest.mark.slow
+class TestTab01:
+    def test_fixed_fraction_monotone_scale(self):
+        rows = tab01_label_refresh(scale=SMOKE, num_refreshes=2)
+        assert rows[0]["model"] == "M0"
+        assert rows[0]["pct_fixed"] == 0.0
+        for row in rows[1:]:
+            assert 0.0 <= row["pct_fixed"] <= 100.0
+
+
+@pytest.mark.slow
+class TestFig17:
+    def test_time_reductions_match_pipeline_model(self):
+        out = fig17_pipelined_training(scale=SMOKE, num_runs_list=(1, 2, 3))
+        assert out[1]["time_reduction_pct"] == 0.0
+        assert 15 < out[2]["time_reduction_pct"] < 30
+        assert 25 < out[3]["time_reduction_pct"] < 40
+        for entry in out.values():
+            assert 0.0 <= entry["final_top1"] <= 1.0
+            assert entry["losses_by_run"]
+
+
+@pytest.mark.slow
+class TestTab02:
+    def test_single_cell(self):
+        rows = tab02_accuracy_matrix(models=["ResNet50"],
+                                     profiles=["CIFAR100"], scale=SMOKE)
+        assert len(rows) == 1
+        row = rows[0]
+        for key in ("base_top1", "outdated_top1", "ndpipe_top1", "full_top1"):
+            assert 0.0 <= row[key] <= 1.0
+
+    def test_skip_full_produces_nan(self):
+        rows = tab02_accuracy_matrix(
+            models=["ResNet50"], profiles=["CIFAR100"], scale=SMOKE,
+            skip_full=(("ResNet50", "CIFAR100"),),
+        )
+        assert np.isnan(rows[0]["full_top1"])
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "--" in lines[1]
+        assert "-" in lines[3]  # None cell
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_table_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2_500_000) == "2.50 MB"
+        assert format_bytes(3.2e12) == "3.20 TB"
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_float_rendering(self):
+        text = format_table(["v"], [[123456.789]])
+        assert "123,457" in text

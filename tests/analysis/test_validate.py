@@ -1,0 +1,39 @@
+"""Tests for the calibration self-check."""
+
+import pytest
+
+from repro.analysis.validate import (
+    Anchor,
+    calibration_report,
+    validate_calibration,
+)
+
+
+class TestAnchors:
+    def test_all_anchors_hold(self):
+        anchors = validate_calibration()
+        failing = [a.name for a in anchors if not a.ok]
+        assert not failing, f"calibration drifted: {failing}"
+
+    def test_anchor_count_covers_the_headlines(self):
+        anchors = validate_calibration()
+        assert len(anchors) >= 10
+        names = " ".join(a.name for a in anchors)
+        assert "APO" in names
+        assert "FE throughput" in names
+        assert "speedup" in names
+
+    def test_error_pct(self):
+        anchor = Anchor("x", 100.0, 105.0, 0.1, "test")
+        assert anchor.error_pct == pytest.approx(5.0)
+        assert anchor.ok
+        assert not Anchor("x", 100.0, 120.0, 0.1, "test").ok
+
+    def test_exact_anchor(self):
+        assert Anchor("pick", 8, 8.0, 0.0, "t").ok
+        assert not Anchor("pick", 8, 9.0, 0.0, "t").ok
+
+    def test_report_renders(self):
+        report = calibration_report()
+        assert "anchors hold" in report
+        assert "DRIFTED" not in report

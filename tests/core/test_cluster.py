@@ -1,0 +1,227 @@
+"""End-to-end tests for PipeStore / Tuner / NDPipeCluster and the fabric."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import NDPipeCluster
+from repro.core.fabric import NetworkFabric
+from repro.core.pipestore import PipeStore, StoredPhoto
+from repro.models.registry import tiny_model
+from repro.storage.imageformat import preprocess
+from repro.storage.objectstore import MissingObjectError
+
+
+def factory():
+    return tiny_model("ResNet50", num_classes=8, width=8, seed=5)
+
+
+@pytest.fixture
+def cluster(small_world):
+    return NDPipeCluster(factory, num_stores=3, nominal_raw_bytes=4096)
+
+
+@pytest.fixture
+def loaded_cluster(cluster, small_world):
+    x, y = small_world.sample(90, 0, rng=np.random.default_rng(2))
+    ids = cluster.ingest(x, train_labels=y)
+    return cluster, ids, (x, y)
+
+
+class TestFabric:
+    def test_accounts_bytes_by_edge_and_kind(self):
+        net = NetworkFabric()
+        net.send("a", "b", 100, "features")
+        net.send("a", "b", 50, "features")
+        net.send("b", "a", 10, "labels")
+        assert net.bytes_between("a", "b") == 150
+        assert net.bytes_of_kind("features") == 150
+        assert net.total_bytes == 160
+        assert net.transfer_count == 3
+
+    def test_local_handoff_is_free(self):
+        net = NetworkFabric()
+        payload = object()
+        assert net.send("a", "a", 10**9, "bulk", payload) is payload
+        assert net.total_bytes == 0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkFabric().send("a", "b", -1, "x")
+
+    def test_reset(self):
+        net = NetworkFabric()
+        net.send("a", "b", 5, "x")
+        net.reset()
+        assert net.total_bytes == 0 and net.kinds() == {}
+
+    def test_transfer_seconds(self):
+        net = NetworkFabric()
+        net.send("a", "b", int(net.spec.bytes_per_s), "x")
+        assert net.transfer_seconds() == pytest.approx(1.0)
+
+
+class TestPipeStore:
+    def test_store_and_reload_photo(self, rng):
+        store = PipeStore("s0", nominal_raw_bytes=4096)
+        pixels = rng.random((3, 16, 16))
+        photo = StoredPhoto("p0", pixels, preprocess(pixels), train_label=3)
+        stored = store.store_photo(photo)
+        assert stored >= 4096
+        out = store.load_preprocessed("p0")
+        assert np.allclose(out, preprocess(pixels), atol=1e-6)
+        assert store.photo_ids() == ["p0"]
+        assert store.train_label("p0") == 3
+
+    def test_missing_label(self, rng):
+        store = PipeStore("s0")
+        pixels = rng.random((3, 16, 16))
+        store.store_photo(StoredPhoto("p0", pixels, preprocess(pixels)))
+        with pytest.raises(MissingObjectError):
+            store.train_label("p0")
+
+    def test_jobs_require_model(self, rng):
+        store = PipeStore("s0")
+        pixels = rng.random((3, 16, 16))
+        store.store_photo(StoredPhoto("p0", pixels, preprocess(pixels)))
+        with pytest.raises(RuntimeError, match="no model"):
+            store.extract_features(["p0"])
+        with pytest.raises(RuntimeError, match="no model"):
+            store.offline_infer(["p0"])
+
+    def test_empty_id_list_rejected(self):
+        store = PipeStore("s0")
+        store.install_model(factory(), 5, 0)
+        with pytest.raises(ValueError):
+            store.extract_features([])
+
+    def test_stale_delta_rejected(self):
+        store = PipeStore("s0")
+        store.install_model(factory(), 5, version=3)
+        with pytest.raises(ValueError, match="not newer"):
+            store.apply_model_delta(b"CNR1\x00\x00\x00\x00x\x9c\x03\x00\x00\x00\x00\x01",
+                                    version=3)
+
+    def test_preprocessed_overhead_below_raw(self, rng):
+        store = PipeStore("s0", nominal_raw_bytes=8192)
+        for i in range(5):
+            pixels = rng.random((3, 16, 16))
+            store.store_photo(StoredPhoto(f"p{i}", pixels, preprocess(pixels)))
+        assert store.objects.preprocessed_overhead() < 0.5
+
+
+class TestIngest:
+    def test_ingest_places_round_robin(self, loaded_cluster):
+        cluster, ids, _ = loaded_cluster
+        counts = [len(s.photo_ids()) for s in cluster.stores]
+        assert counts == [30, 30, 30]
+        assert len(ids) == 90
+
+    def test_ingest_indexes_labels(self, loaded_cluster):
+        cluster, ids, _ = loaded_cluster
+        assert len(cluster.database) == 90
+        record = cluster.database.lookup(ids[0])
+        assert record.model_version == 0
+        assert record.location == "pipestore-0"
+
+    def test_ingest_traffic_includes_preprocessed_offload(self, loaded_cluster):
+        cluster, ids, _ = loaded_cluster
+        kinds = cluster.traffic_summary()
+        assert kinds["ingest"] > 90 * 4096  # raw photos + preproc binaries
+
+    def test_ingest_validation(self, cluster, rng):
+        with pytest.raises(ValueError):
+            cluster.ingest(rng.random((4, 3, 16)))
+        with pytest.raises(ValueError):
+            cluster.ingest(rng.random((2, 3, 16, 16)), train_labels=[1])
+
+
+class TestFinetuneFlow:
+    def test_finetune_trains_and_distributes(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        report = cluster.finetune(epochs=2)
+        assert report.images_extracted == 90
+        assert cluster.tuner.version == 1
+        assert all(s.model_version == 1 for s in cluster.stores)
+        # deltas are far smaller than full models
+        dist = cluster.tuner.distributions[-1]
+        assert dist.reduction_factor > 3
+
+    def test_feature_traffic_much_smaller_than_images(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        cluster.finetune(epochs=1)
+        kinds = cluster.traffic_summary()
+        assert kinds["features"] < 0.1 * kinds["ingest"]
+
+    def test_store_replicas_match_tuner_after_update(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        cluster.finetune(epochs=1)
+        tuner_state = cluster.tuner.model.state_dict()
+        for store in cluster.stores:
+            store_state = store.model.state_dict()
+            for key in tuner_state:
+                assert np.allclose(store_state[key], tuner_state[key],
+                                   atol=1e-12), key
+
+    def test_pipelined_finetune_runs(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        report = cluster.finetune(epochs=1, num_runs=3)
+        assert {e.run for e in report.epochs} == {0, 1, 2}
+
+    def test_features_equal_tuner_side_extraction(self, loaded_cluster):
+        """The FT-DMP core invariant: PipeStore features == the Tuner's own
+        frozen-front forward on the same inputs."""
+        cluster, ids, _ = loaded_cluster
+        store = cluster.stores[0]
+        some_ids = store.photo_ids()[:8]
+        feats = store.extract_features(some_ids)
+        from repro.nn.tensor import Tensor
+
+        inputs = np.stack([store.load_preprocessed(p) for p in some_ids])
+        cluster.tuner.model.eval()
+        direct = cluster.tuner.model.forward_until(
+            Tensor(inputs), cluster.tuner.split).data
+        assert np.allclose(feats, direct, atol=1e-10)
+
+
+class TestOfflineRelabel:
+    def test_relabel_bumps_versions(self, loaded_cluster):
+        cluster, ids, _ = loaded_cluster
+        cluster.finetune(epochs=1)
+        stats = cluster.offline_relabel()
+        assert stats.photos_processed == 90
+        versions = cluster.database.version_counts()
+        assert versions == {1: 90}
+
+    def test_relabel_only_outdated_skips_fresh(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        cluster.finetune(epochs=1)
+        cluster.offline_relabel()
+        again = cluster.offline_relabel()
+        assert again.photos_processed == 0
+
+    def test_relabel_traffic_is_labels_only(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        cluster.finetune(epochs=1)
+        before = cluster.network.bytes_of_kind("labels")
+        stats = cluster.offline_relabel()
+        after = cluster.network.bytes_of_kind("labels")
+        assert after - before == stats.label_bytes
+        assert stats.label_bytes < 90 * 64
+
+    def test_fraction_changed_property(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        cluster.finetune(epochs=1)
+        stats = cluster.offline_relabel()
+        assert 0.0 <= stats.fraction_changed <= 1.0
+
+
+class TestEvaluation:
+    def test_evaluate_returns_top1_top5(self, loaded_cluster, small_world):
+        cluster, _, _ = loaded_cluster
+        x, y = small_world.sample(60, 0, rng=np.random.default_rng(8))
+        top1, top5 = cluster.evaluate(x, y)
+        assert 0.0 <= top1 <= top5 <= 1.0
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            NDPipeCluster(factory, num_stores=0)

@@ -1,0 +1,155 @@
+"""Tests for the NPE: threaded pipeline behaviour and the Fig. 12 ablation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.npe import (
+    ABLATION_LEVELS,
+    ThreadedPipeline,
+    npe_ablation,
+    npe_task_times,
+    npe_throughput_ips,
+)
+from repro.models.catalog import model_graph
+
+
+class TestThreadedPipeline:
+    def test_preserves_order_and_applies_stages(self):
+        pipe = ThreadedPipeline([
+            ("double", lambda x: x * 2),
+            ("inc", lambda x: x + 1),
+        ])
+        assert pipe.run(range(20)) == [x * 2 + 1 for x in range(20)]
+
+    def test_stats_count_items(self):
+        pipe = ThreadedPipeline([("noop", lambda x: x)])
+        pipe.run(range(7))
+        assert pipe.stats[0].items == 7
+
+    def test_overlap_actually_happens(self):
+        """3 stages of 10ms sleeps over 8 items: pipelined wall-clock must
+        be well under the 240ms serial time."""
+        def slow(x):
+            time.sleep(0.01)
+            return x
+
+        pipe = ThreadedPipeline([("a", slow), ("b", slow), ("c", slow)])
+        start = time.perf_counter()
+        pipe.run(range(8))
+        elapsed = time.perf_counter() - start
+        # serial would be 240 ms; allow generous slack for loaded machines
+        assert elapsed < 0.21
+
+    def test_bottleneck_identified(self):
+        def fast(x):
+            return x
+
+        def slow(x):
+            time.sleep(0.005)
+            return x
+
+        pipe = ThreadedPipeline([("fast", fast), ("slow", slow)])
+        pipe.run(range(10))
+        assert pipe.bottleneck().name == "slow"
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("stage failed")
+
+        pipe = ThreadedPipeline([("boom", boom)])
+        with pytest.raises(RuntimeError, match="stage failed"):
+            pipe.run(range(3))
+
+    def test_empty_input(self):
+        pipe = ThreadedPipeline([("noop", lambda x: x)])
+        assert pipe.run([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadedPipeline([])
+        with pytest.raises(ValueError):
+            ThreadedPipeline([("a", lambda x: x)], queue_depth=0)
+
+    def test_real_photo_pipeline(self, rng):
+        """Read -> decompress/preprocess -> classify over real blobs."""
+        from repro.models.registry import tiny_model
+        from repro.nn.tensor import Tensor
+        from repro.storage.compression import deflate, inflate
+        from repro.storage.imageformat import (
+            decode_preprocessed,
+            encode_preprocessed,
+            preprocess,
+        )
+
+        model = tiny_model("ResNet50", num_classes=6, width=8).eval()
+        blobs = [
+            deflate(encode_preprocessed(preprocess(rng.random((3, 16, 16)))))
+            for _ in range(12)
+        ]
+
+        pipe = ThreadedPipeline([
+            ("read", lambda blob: blob),
+            ("decomp", lambda blob: decode_preprocessed(inflate(blob))),
+            ("infer", lambda arr: int(
+                model(Tensor(arr[None])).data.argmax())),
+        ])
+        labels = pipe.run(blobs)
+        assert len(labels) == 12
+        assert all(0 <= label < 6 for label in labels)
+
+
+class TestAblationModel:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return model_graph("ResNet50")
+
+    def test_all_levels_present(self, graph):
+        out = npe_ablation(graph, "inference")
+        assert set(out) == set(ABLATION_LEVELS)
+
+    def test_naive_inference_dominated_by_preprocessing(self, graph):
+        """Fig. 12b: with 1 CPU core, preprocessing dwarfs everything."""
+        times = npe_task_times(graph, "Naive", "inference")
+        assert times["Preproc"] == max(times.values())
+        assert times["Preproc"] > 10 * times["Read"]
+
+    def test_offload_eliminates_preprocessing(self, graph):
+        times = npe_task_times(graph, "+Offload", "inference")
+        assert times["Preproc"] == 0.0
+
+    def test_comp_shrinks_read_time(self, graph):
+        offload = npe_task_times(graph, "+Offload", "inference")
+        comp = npe_task_times(graph, "+Comp", "inference")
+        assert comp["Read"] < offload["Read"]
+        assert comp["Decomp"] > 0
+
+    def test_batch_shrinks_fecl(self, graph):
+        comp = npe_task_times(graph, "+Comp", "inference")
+        batch = npe_task_times(graph, "+Batch", "inference")
+        assert batch["FE&Cl"] < comp["FE&Cl"] / 3
+
+    def test_final_stages_roughly_balanced(self, graph):
+        """§5.4: batch size 128 balances each stage's duration."""
+        times = npe_task_times(graph, "+Batch", "inference")
+        busy = [v for v in times.values() if v > 0]
+        assert max(busy) / min(busy) < 3.0
+
+    def test_throughput_increases_along_ablation(self, graph):
+        rates = [npe_throughput_ips(graph, level, "inference")
+                 for level in ABLATION_LEVELS]
+        assert rates == sorted(rates)
+        # final optimised PipeStore reaches the paper's per-store IPS
+        assert rates[-1] == pytest.approx(2129, rel=0.05)
+
+    def test_finetune_naive_bottleneck_is_fe(self, graph):
+        """Fig. 12a: FE dominates naive fine-tuning (sync moved to Tuner)."""
+        times = npe_task_times(graph, "Naive", "finetune")
+        assert times["FE"] == max(times.values())
+
+    def test_unknown_level_and_task(self, graph):
+        with pytest.raises(ValueError):
+            npe_task_times(graph, "turbo")
+        with pytest.raises(ValueError):
+            npe_task_times(graph, "Naive", task="training")

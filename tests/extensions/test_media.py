@@ -1,0 +1,195 @@
+"""Tests for the §7.1 media extensions (video / audio / documents)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.media import (
+    AudioAdapter,
+    DocumentAdapter,
+    DocumentEncoder,
+    VideoAdapter,
+    extract_key_frames,
+    spectrogram,
+    synthesize_audio,
+    synthesize_document,
+    synthesize_video,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.data.drift import DriftingPhotoWorld, WorldConfig
+
+    return DriftingPhotoWorld(WorldConfig(
+        initial_classes=6, max_classes=8, image_size=16, noise=0.3, seed=0,
+    ))
+
+
+class TestVideo:
+    def test_synthesize_shapes(self, world):
+        video = synthesize_video(world, label=2, num_frames=12)
+        assert video.frames.shape == (12, 3, 16, 16)
+        assert video.duration_s == pytest.approx(0.5)
+        assert video.nominal_bytes == 12 * 40_000
+
+    def test_key_frames_sorted_and_unique(self, world):
+        video = synthesize_video(world, label=1, num_frames=20, seed=3)
+        frames, indices = extract_key_frames(video, 5)
+        assert len(frames) == 5
+        assert indices == sorted(set(indices))
+        assert indices[0] == 0  # opening frame always kept
+
+    def test_key_frames_prefer_shot_changes(self, world):
+        video = synthesize_video(world, label=1, num_frames=30, seed=7)
+        diffs = np.abs(np.diff(video.frames, axis=0)).mean(axis=(1, 2, 3))
+        _, indices = extract_key_frames(video, 4)
+        chosen_nonfirst = [i for i in indices if i > 0]
+        if chosen_nonfirst:
+            chosen_mean = np.mean([diffs[i - 1] for i in chosen_nonfirst])
+            assert chosen_mean >= np.median(diffs)
+
+    def test_request_more_frames_than_exist(self, world):
+        video = synthesize_video(world, label=0, num_frames=3)
+        frames, indices = extract_key_frames(video, 10)
+        assert len(frames) == 3 and indices == [0, 1, 2]
+
+    def test_adapter_summary_majority(self):
+        adapter = VideoAdapter(num_key_frames=4)
+        label, conf = adapter.summarize([2, 2, 5, 2], [0.9, 0.8, 0.4, 0.7])
+        assert label == 2
+        assert 0.5 < conf <= 1.0
+
+    def test_adapter_compute_savings(self, world):
+        adapter = VideoAdapter(num_key_frames=4)
+        video = synthesize_video(world, label=1, num_frames=24)
+        assert adapter.compute_saved_fraction(video) == pytest.approx(
+            1 - 4 / 24)
+
+    def test_adapter_validation(self):
+        with pytest.raises(ValueError):
+            VideoAdapter(num_key_frames=0)
+        with pytest.raises(ValueError):
+            VideoAdapter().summarize([], [])
+
+    def test_end_to_end_video_classification(self, world):
+        """Key frames flow through a real model like photos do."""
+        from repro.models.registry import tiny_model
+        from repro.nn.tensor import Tensor
+        from repro.storage.imageformat import preprocess
+
+        model = tiny_model("ResNet50", num_classes=8, width=8).eval()
+        adapter = VideoAdapter(num_key_frames=3)
+        video = synthesize_video(world, label=4, num_frames=16)
+        frames = adapter.prepare(video)
+        logits = model(Tensor(np.stack([preprocess(f) for f in frames]))).data
+        labels = logits.argmax(axis=-1).tolist()
+        confidences = logits.max(axis=-1).tolist()
+        label, _ = adapter.summarize(labels, confidences)
+        assert 0 <= label < 8
+
+
+class TestAudio:
+    def test_waveform_shape(self):
+        audio = synthesize_audio(label=2, num_classes=6)
+        assert audio.waveform.ndim == 1
+        assert np.abs(audio.waveform).max() <= 1.0
+
+    def test_spectrogram_shape_and_range(self):
+        audio = synthesize_audio(label=1, num_classes=6)
+        spec = spectrogram(audio.waveform, n_fft=128)
+        assert spec.shape[0] == 65  # rfft bins
+        assert 0.0 <= spec.min() and spec.max() <= 1.0
+
+    def test_spectrogram_too_short(self):
+        with pytest.raises(ValueError):
+            spectrogram(np.zeros(16), n_fft=128)
+
+    def test_adapter_emits_photo_shaped_input(self):
+        adapter = AudioAdapter(image_size=16)
+        audio = synthesize_audio(label=3, num_classes=6)
+        image = adapter.prepare(audio)
+        assert image.shape == (3, 16, 16)
+        assert image.dtype == np.float32
+
+    def test_different_classes_distinguishable(self):
+        adapter = AudioAdapter(image_size=16)
+        a = adapter.prepare(synthesize_audio(0, 6, seed=1))
+        b = adapter.prepare(synthesize_audio(4, 6, seed=1))
+        assert np.abs(a - b).mean() > 0.01
+
+    def test_spectrograms_classifiable(self):
+        """A linear probe separates two synthetic 'genres'."""
+        adapter = AudioAdapter(image_size=16)
+        xs, ys = [], []
+        for seed in range(30):
+            for label in (0, 4):
+                xs.append(adapter.prepare(
+                    synthesize_audio(label, 6, seed=seed)).reshape(-1))
+                ys.append(0 if label == 0 else 1)
+        xs = np.stack(xs)
+        ys = np.array(ys)
+        # closed-form least squares probe
+        w, *_ = np.linalg.lstsq(
+            np.hstack([xs, np.ones((len(xs), 1))]), 2.0 * ys - 1.0,
+            rcond=None)
+        preds = (np.hstack([xs, np.ones((len(xs), 1))]) @ w) > 0
+        assert (preds == ys.astype(bool)).mean() > 0.9
+
+
+class TestDocuments:
+    def test_encoder_deterministic_across_instances(self):
+        a = DocumentEncoder(seed=3).encode("photo of a cat on a couch")
+        b = DocumentEncoder(seed=3).encode("photo of a cat on a couch")
+        assert np.array_equal(a, b)
+
+    def test_embedding_shape_and_range(self):
+        emb = DocumentEncoder(embedding_dim=32).encode("hello world")
+        assert emb.shape == (32,)
+        assert np.abs(emb).max() <= 1.0
+
+    def test_empty_document(self):
+        emb = DocumentEncoder().encode("")
+        assert np.allclose(emb, 0.0)
+
+    def test_similar_documents_closer_than_different(self):
+        encoder = DocumentEncoder()
+        d0a = synthesize_document(0, 4, seed=1)
+        d0b = synthesize_document(0, 4, seed=2)
+        d3 = synthesize_document(3, 4, seed=3)
+        same = np.linalg.norm(encoder.encode(d0a) - encoder.encode(d0b))
+        diff = np.linalg.norm(encoder.encode(d0a) - encoder.encode(d3))
+        assert same < diff
+
+    def test_adapter_traffic_reduction(self):
+        adapter = DocumentAdapter(DocumentEncoder(embedding_dim=64))
+        text = synthesize_document(1, 4, length=500)
+        assert adapter.traffic_reduction(text) > 5
+
+    def test_encoder_validation(self):
+        with pytest.raises(ValueError):
+            DocumentEncoder(embedding_dim=0)
+
+    def test_embeddings_train_a_classifier(self):
+        """Tuner-side classification over near-data embeddings (§7.1)."""
+        from repro.nn.layers import Linear
+        from repro.nn.losses import accuracy, cross_entropy
+        from repro.nn.optim import Adam
+        from repro.nn.tensor import Tensor
+
+        encoder = DocumentEncoder(embedding_dim=48)
+        xs, ys = [], []
+        for seed in range(40):
+            for label in range(4):
+                xs.append(encoder.encode(
+                    synthesize_document(label, 4, seed=seed * 7 + label)))
+                ys.append(label)
+        xs = np.stack(xs).astype(np.float64)
+        ys = np.array(ys)
+        head = Linear(48, 4, rng=np.random.default_rng(0))
+        opt = Adam(head.parameters(), lr=5e-2)
+        for _ in range(60):
+            loss = cross_entropy(head(Tensor(xs)), ys)
+            head.zero_grad()
+            loss.backward()
+            opt.step()
+        assert accuracy(head(Tensor(xs)).data, ys) > 0.9

@@ -1,0 +1,74 @@
+"""Tests for online/offline inference paths and campaign estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import InferenceServer
+from repro.inference.offline import (
+    campaign_comparison,
+    ndpipe_campaign,
+    srv_campaign,
+)
+from repro.inference.online import (
+    OnlineInferencePath,
+    online_latency,
+)
+from repro.models.catalog import model_graph
+from repro.models.registry import tiny_model
+from repro.storage.photodb import PhotoDatabase
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return model_graph("ResNet50")
+
+
+class TestCampaigns:
+    def test_ndpipe_network_bytes_are_labels_only(self, resnet):
+        est = ndpipe_campaign(resnet, 1_000_000, 8)
+        assert est.network_bytes == 1_000_000 * 16
+        assert est.throughput_ips == pytest.approx(8 * 2129, rel=0.02)
+
+    def test_srv_campaign_ships_binaries(self, resnet):
+        est = srv_campaign(resnet, 1000, "SRV-C")
+        assert est.network_bytes == 1000 * 206_293
+        assert srv_campaign(resnet, 1000, "SRV-I").network_bytes == 0
+
+    def test_comparison_contains_all_systems(self, resnet):
+        out = campaign_comparison(resnet, 10_000, 6)
+        assert set(out) == {"SRV-I", "SRV-P", "SRV-C", "NDPipe"}
+
+    def test_ndpipe_moves_orders_of_magnitude_fewer_bytes(self, resnet):
+        out = campaign_comparison(resnet, 100_000, 6)
+        assert out["NDPipe"].network_bytes < out["SRV-C"].network_bytes / 1000
+
+    def test_duration_scales_with_photos(self, resnet):
+        small = ndpipe_campaign(resnet, 1000, 4)
+        big = ndpipe_campaign(resnet, 10_000, 4)
+        assert big.duration_s == pytest.approx(10 * small.duration_s)
+
+
+class TestOnlineLatency:
+    def test_components_positive(self, resnet):
+        model = online_latency(resnet)
+        assert model.preprocess_s > 0
+        assert model.inference_s > 0
+        assert model.total_s > model.preprocess_s
+
+    def test_preprocessing_dominates_single_image(self, resnet):
+        """At batch 1 on a V100, JPEG preprocessing dwarfs the forward."""
+        model = online_latency(resnet)
+        assert model.preprocess_s > model.inference_s
+
+
+class TestOnlinePath:
+    def test_upload_indexes_label(self, rng):
+        server = InferenceServer(tiny_model("ResNet50", num_classes=6,
+                                            width=8, seed=2))
+        db = PhotoDatabase()
+        path = OnlineInferencePath(server, db, model_version=3)
+        label, conf = path.upload("p1", rng.random((3, 16, 16)), "s0")
+        assert 0 <= label < 6
+        assert 0.0 < conf <= 1.0
+        assert db.lookup("p1").model_version == 3
+        assert path.uploads == 1

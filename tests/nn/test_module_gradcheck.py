@@ -1,0 +1,92 @@
+"""Finite-difference gradient checks at the whole-layer level.
+
+The op-level checks live in ``test_gradcheck.py``; these verify composed
+layers (batchnorm, layernorm, attention, a full bottleneck) propagate
+correct gradients into their *parameters*, which is what training
+actually consumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def param_numeric_grad(module, param, x, eps=1e-6):
+    """Central differences of sum(module(x)) w.r.t. one parameter."""
+    grad = np.zeros_like(param.data)
+    flat = param.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = float(module(Tensor(x)).data.sum())
+        flat[i] = orig - eps
+        down = float(module(Tensor(x)).data.sum())
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_module_params(module, x, atol=1e-4):
+    out = module(Tensor(x))
+    module.zero_grad()
+    out.sum().backward()
+    for name, param in module.named_parameters():
+        expected = param_numeric_grad(module, param, x)
+        got = param.grad if param.grad is not None else np.zeros_like(expected)
+        assert np.allclose(got, expected, atol=atol), (
+            f"{name}: max err {np.abs(got - expected).max():.2e}"
+        )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestLayerParameterGradients:
+    def test_linear(self, rng):
+        check_module_params(nn.Linear(5, 3, rng=rng),
+                            rng.normal(size=(4, 5)))
+
+    def test_batchnorm_train_mode(self, rng):
+        bn = nn.BatchNorm2d(3)
+        bn.gamma.data = rng.normal(1.0, 0.1, size=3)
+        bn.beta.data = rng.normal(0.0, 0.1, size=3)
+        check_module_params(bn, rng.normal(size=(4, 3, 3, 3)), atol=2e-3)
+
+    def test_layernorm(self, rng):
+        ln = nn.LayerNorm(6)
+        ln.gamma.data = rng.normal(1.0, 0.1, size=6)
+        check_module_params(ln, rng.normal(size=(3, 6)), atol=1e-4)
+
+    def test_conv_bn_relu_stack(self, rng):
+        stack = nn.Sequential(
+            nn.Conv2d(2, 3, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(3),
+            nn.ReLU(),
+        )
+        check_module_params(stack, rng.normal(size=(2, 2, 5, 5)), atol=2e-3)
+
+    def test_attention_parameters(self, rng):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng=rng)
+        check_module_params(attn, rng.normal(size=(2, 4, 8)) * 0.5,
+                            atol=5e-4)
+
+    def test_transformer_block_parameters(self, rng):
+        block = nn.TransformerBlock(8, 2, rng=rng)
+        check_module_params(block, rng.normal(size=(1, 3, 8)) * 0.5,
+                            atol=2e-3)
+
+    def test_bottleneck_parameters(self, rng):
+        from repro.models.blocks import Bottleneck
+
+        block = Bottleneck(4, 2, 4, rng=rng)
+        check_module_params(block, rng.normal(size=(2, 4, 4, 4)), atol=3e-3)
+
+    def test_patch_embedding_parameters(self, rng):
+        embed = nn.PatchEmbedding(8, 4, 2, 6, rng=rng)
+        check_module_params(embed, rng.normal(size=(2, 2, 8, 8)) * 0.5,
+                            atol=5e-4)

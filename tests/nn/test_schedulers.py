@@ -1,0 +1,117 @@
+"""Tests for learning-rate schedules and gradient clipping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedulers import (
+    CosineLR,
+    StepLR,
+    WarmupLR,
+    clip_gradients,
+)
+
+
+def make_opt(lr=0.1):
+    return SGD([Parameter(np.zeros(3))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_on_schedule(self):
+        opt = make_opt(0.1)
+        sched = StepLR(opt, step_epochs=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([0.1, 0.01, 0.01, 0.001])
+        assert opt.lr == pytest.approx(0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_epochs=0)
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_epochs=1, gamma=0.0)
+
+
+class TestCosineLR:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.01)
+        assert sched.lr_at(0) == pytest.approx(1.0)
+        assert sched.lr_at(10) == pytest.approx(0.01)
+        assert sched.lr_at(5) == pytest.approx((1.0 + 0.01) / 2)
+
+    def test_monotone_decrease(self):
+        sched = CosineLR(make_opt(1.0), total_epochs=8)
+        lrs = [sched.lr_at(e) for e in range(9)]
+        assert lrs == sorted(lrs, reverse=True)
+
+    def test_clamps_past_horizon(self):
+        sched = CosineLR(make_opt(1.0), total_epochs=4, min_lr=0.1)
+        assert sched.lr_at(100) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineLR(make_opt(), total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineLR(make_opt(), total_epochs=5, min_lr=0.0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        sched = WarmupLR(make_opt(0.4), warmup_epochs=4)
+        assert [sched.lr_at(e) for e in (1, 2, 4)] == pytest.approx(
+            [0.1, 0.2, 0.4])
+
+    def test_delegates_after_warmup(self):
+        opt = make_opt(1.0)
+        after = StepLR(opt, step_epochs=1, gamma=0.5)
+        sched = WarmupLR(opt, warmup_epochs=2, after=after)
+        assert sched.lr_at(3) == pytest.approx(0.5)  # after's epoch 1
+
+    def test_plateau_without_after(self):
+        sched = WarmupLR(make_opt(0.2), warmup_epochs=2)
+        assert sched.lr_at(9) == pytest.approx(0.2)
+
+
+class TestClipGradients:
+    def test_scales_down_large_gradients(self):
+        params = [Parameter(np.zeros(4))]
+        params[0].grad = np.full(4, 3.0)
+        norm = clip_gradients(params, max_norm=1.0)
+        assert norm == pytest.approx(6.0)
+        assert np.linalg.norm(params[0].grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients_alone(self):
+        params = [Parameter(np.zeros(2))]
+        params[0].grad = np.array([0.1, 0.1])
+        clip_gradients(params, max_norm=10.0)
+        assert np.allclose(params[0].grad, [0.1, 0.1])
+
+    def test_skips_missing_gradients(self):
+        params = [Parameter(np.zeros(2)), Parameter(np.zeros(2))]
+        params[0].grad = np.array([5.0, 0.0])
+        clip_gradients(params, max_norm=1.0)
+        assert params[1].grad is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_gradients([], max_norm=0.0)
+
+
+class TestIntegrationWithFullTrain:
+    def test_scheduler_and_clip_run_end_to_end(self, small_world):
+        from repro.data.loader import normalize_images
+        from repro.models.registry import tiny_model
+        from repro.train.fulltrain import full_train
+
+        model = tiny_model("ResNet50", num_classes=8, width=8, seed=0)
+        x, y = small_world.sample(64, 0)
+        history = full_train(
+            model, normalize_images(x), y, epochs=2, lr=5e-3,
+            scheduler_fn=lambda opt: CosineLR(opt, total_epochs=2),
+            grad_clip=5.0,
+        )
+        assert history.epochs == 2
+        assert all(math.isfinite(loss) for loss in history.losses)

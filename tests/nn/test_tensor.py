@@ -1,0 +1,208 @@
+"""Unit tests for the autograd Tensor: op semantics and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat, gelu, log_softmax, softmax, stack, where
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=float), requires_grad=grad)
+
+
+class TestForwardSemantics:
+    def test_add_matches_numpy(self):
+        a, b = t([1.0, 2.0]), t([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_broadcasts(self):
+        a = t(np.ones((2, 3)))
+        b = t([1.0, 2.0, 3.0])
+        assert (a + b).shape == (2, 3)
+
+    def test_scalar_radd(self):
+        a = t([1.0, 2.0])
+        assert np.allclose((5 + a).data, [6.0, 7.0])
+
+    def test_mul_and_neg(self):
+        a = t([2.0, -3.0])
+        assert np.allclose((-a * 2).data, [-4.0, 6.0])
+
+    def test_sub_and_rsub(self):
+        a = t([1.0, 2.0])
+        assert np.allclose((a - 1).data, [0.0, 1.0])
+        assert np.allclose((1 - a).data, [0.0, -1.0])
+
+    def test_div(self):
+        a, b = t([4.0, 9.0]), t([2.0, 3.0])
+        assert np.allclose((a / b).data, [2.0, 3.0])
+
+    def test_pow_scalar_only(self):
+        a = t([4.0])
+        assert np.allclose((a ** 0.5).data, [2.0])
+        with pytest.raises(TypeError):
+            _ = a ** a
+
+    def test_matmul(self):
+        a = t(np.arange(6.0).reshape(2, 3))
+        b = t(np.arange(12.0).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_exp_log_roundtrip(self):
+        a = t([0.5, 1.5])
+        assert np.allclose(a.exp().log().data, a.data)
+
+    def test_relu_clamps(self):
+        a = t([-1.0, 0.0, 2.0])
+        assert np.allclose(a.relu().data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        a = t(np.linspace(-10, 10, 21))
+        out = a.sigmoid().data
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_tanh_matches_numpy(self):
+        a = t([0.3, -0.7])
+        assert np.allclose(a.tanh().data, np.tanh(a.data))
+
+    def test_sum_axis_keepdims(self):
+        a = t(np.arange(6.0).reshape(2, 3))
+        assert a.sum(axis=1).shape == (2,)
+        assert a.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_matches_numpy(self):
+        x = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(t(x).mean(axis=0).data, x.mean(axis=0))
+
+    def test_var_matches_numpy(self):
+        x = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(t(x).var(axis=1).data, x.var(axis=1))
+
+    def test_max_matches_numpy(self):
+        x = np.array([[1.0, 5.0], [7.0, 2.0]])
+        assert np.allclose(t(x).max(axis=1).data, x.max(axis=1))
+
+    def test_reshape_and_transpose(self):
+        a = t(np.arange(6.0))
+        assert a.reshape(2, 3).T.shape == (3, 2)
+
+    def test_getitem(self):
+        a = t(np.arange(10.0))
+        assert np.allclose(a[2:5].data, [2.0, 3.0, 4.0])
+
+    def test_pad2d(self):
+        a = t(np.ones((1, 1, 2, 2)))
+        assert a.pad2d(1).shape == (1, 1, 4, 4)
+        assert a.pad2d(0) is a
+
+    def test_concat_and_stack(self):
+        a, b = t([1.0, 2.0]), t([3.0, 4.0])
+        assert np.allclose(concat([a, b]).data, [1, 2, 3, 4])
+        assert stack([a, b]).shape == (2, 2)
+
+    def test_where(self):
+        a, b = t([1.0, 2.0]), t([9.0, 9.0])
+        out = where(np.array([True, False]), a, b)
+        assert np.allclose(out.data, [1.0, 9.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = t(np.random.default_rng(0).normal(size=(4, 7)))
+        assert np.allclose(softmax(logits).data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_stability(self):
+        out = log_softmax(t([[1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out.data))
+
+    def test_gelu_near_relu_for_large_inputs(self):
+        x = t([10.0])
+        assert np.allclose(gelu(x).data, 10.0, atol=1e-3)
+
+    def test_repr_and_introspection(self):
+        a = t(np.ones((2, 3)))
+        assert "requires_grad" in repr(a)
+        assert a.ndim == 2 and a.size == 6 and len(a) == 2
+
+    def test_detach_drops_grad_tracking(self):
+        a = t([1.0])
+        assert a.detach().requires_grad is False
+
+
+class TestBackwardSemantics:
+    def test_add_grad_broadcast_unreduces(self):
+        a = t(np.ones((2, 3)))
+        b = t(np.ones(3))
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_mul_grad(self):
+        a, b = t([2.0]), t([5.0])
+        (a * b).backward()
+        assert np.allclose(a.grad, 5.0) and np.allclose(b.grad, 2.0)
+
+    def test_matmul_grads(self):
+        a = t(np.random.default_rng(1).normal(size=(2, 3)))
+        b = t(np.random.default_rng(2).normal(size=(3, 4)))
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 4)) @ b.data.T)
+        assert np.allclose(b.grad, a.data.T @ np.ones((2, 4)))
+
+    def test_grad_accumulates_across_uses(self):
+        a = t([3.0])
+        (a * a).backward()
+        assert np.allclose(a.grad, 6.0)
+
+    def test_zero_grad(self):
+        a = t([1.0])
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_max_grad_splits_ties(self):
+        a = t([[2.0, 2.0]])
+        a.max(axis=1).backward()
+        assert np.allclose(a.grad, [[0.5, 0.5]])
+
+    def test_getitem_grad_scatters(self):
+        a = t(np.zeros(5))
+        a[1:3].sum().backward()
+        assert np.allclose(a.grad, [0, 1, 1, 0, 0])
+
+    def test_concat_routes_grads(self):
+        a, b = t([1.0, 2.0]), t([3.0])
+        out = concat([a, b])
+        out.backward(np.array([10.0, 20.0, 30.0]))
+        assert np.allclose(a.grad, [10.0, 20.0])
+        assert np.allclose(b.grad, [30.0])
+
+    def test_no_grad_tracking_when_not_required(self):
+        a = Tensor([1.0])
+        out = a * 2 + 1
+        assert out.requires_grad is False
+        assert out._parents == ()
+
+    def test_deep_chain_does_not_recurse(self):
+        a = t([1.0])
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_backward_with_explicit_gradient(self):
+        a = t([1.0, 2.0])
+        (a * 3).backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [3.0, 30.0])
+
+
+class TestValidation:
+    def test_schedule_negative_time_rejected_elsewhere(self):
+        # placeholder ensuring Tensor coercion handles ints
+        assert Tensor([1, 2]).dtype.kind == "f"
+
+    def test_transpose_inverse_axes(self):
+        a = t(np.random.default_rng(0).normal(size=(2, 3, 4)))
+        out = a.transpose(2, 0, 1)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)

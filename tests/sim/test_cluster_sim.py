@@ -1,0 +1,157 @@
+"""DES cluster simulation vs the analytic figure models."""
+
+import pytest
+
+from repro.core.partition import FinetunePlanConfig, evaluate_partition
+from repro.models.catalog import model_graph
+from repro.sim.cluster_sim import (
+    simulate_ftdmp_finetune,
+    simulate_offline_inference,
+)
+from repro.sim.specs import TEN_GBE, TESLA_T4, TESLA_V100, NetworkSpec
+from repro.train.baselines import ndpipe_inference
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return model_graph("ResNet50")
+
+
+class TestOfflineInferenceSim:
+    def test_matches_analytic_within_fill_drain(self, resnet):
+        des = simulate_offline_inference(resnet, 4, 100_000)
+        analytic = ndpipe_inference(resnet, 4).throughput_ips
+        assert des.throughput_ips == pytest.approx(analytic, rel=0.05)
+        assert des.throughput_ips <= analytic * 1.001
+
+    def test_scales_with_stores(self, resnet):
+        one = simulate_offline_inference(resnet, 1, 40_000)
+        four = simulate_offline_inference(resnet, 4, 40_000)
+        assert four.throughput_ips == pytest.approx(
+            4 * one.throughput_ips, rel=0.1)
+
+    def test_small_batches_hurt(self, resnet):
+        big = simulate_offline_inference(resnet, 2, 20_000, batch_size=128)
+        small = simulate_offline_inference(resnet, 2, 20_000, batch_size=8)
+        assert small.throughput_ips < big.throughput_ips
+
+    def test_more_stores_than_images(self, resnet):
+        res = simulate_offline_inference(resnet, 8, 3, batch_size=1)
+        assert res.images == 3 and res.makespan_s > 0
+
+    def test_validation(self, resnet):
+        with pytest.raises(ValueError):
+            simulate_offline_inference(resnet, 0, 100)
+        with pytest.raises(ValueError):
+            simulate_offline_inference(resnet, 1, 0)
+        with pytest.raises(ValueError):
+            simulate_offline_inference(resnet, 1, 10, batch_size=0)
+
+
+class TestFtdmpSim:
+    def test_matches_analytic(self, resnet):
+        des = simulate_ftdmp_finetune(resnet, 4, 200_000, num_runs=3)
+        ev = evaluate_partition(
+            resnet, 5, 4, TESLA_T4, TESLA_V100, TEN_GBE,
+            FinetunePlanConfig(dataset_images=200_000, num_runs=3))
+        assert des.makespan_s == pytest.approx(ev.training_time_s, rel=0.08)
+
+    def test_pipelining_shortens_makespan(self, resnet):
+        serial = simulate_ftdmp_finetune(resnet, 4, 120_000, num_runs=1)
+        pipelined = simulate_ftdmp_finetune(resnet, 4, 120_000, num_runs=3)
+        assert pipelined.makespan_s < serial.makespan_s
+
+    def test_feature_traffic_accounted(self, resnet):
+        res = simulate_ftdmp_finetune(resnet, 2, 10_000)
+        assert res.feature_bytes == 10_000 * resnet.partition_point(5).feature_bytes
+
+    def test_more_stores_faster_until_tuner_bound(self, resnet):
+        two = simulate_ftdmp_finetune(resnet, 2, 120_000)
+        eight = simulate_ftdmp_finetune(resnet, 8, 120_000)
+        assert eight.makespan_s < two.makespan_s
+
+    def test_slow_network_binds_supply(self, resnet):
+        fast = simulate_ftdmp_finetune(resnet, 8, 60_000)
+        slow = simulate_ftdmp_finetune(resnet, 8, 60_000,
+                                       network=NetworkSpec(gbps=0.05))
+        assert slow.makespan_s > 2 * fast.makespan_s
+
+    def test_validation(self, resnet):
+        with pytest.raises(ValueError):
+            simulate_ftdmp_finetune(resnet, 0, 100)
+        with pytest.raises(ValueError):
+            simulate_ftdmp_finetune(resnet, 1, 100, num_runs=0)
+
+
+class TestUtilization:
+    """The §5.3 balance story, observed directly on the DES."""
+
+    def test_apo_pick_balances_tuner_and_stores(self, resnet):
+        """At APO's 8-store pick, Tuner GPU and store accelerators are
+        near-equally utilised — the T_diff ~ 0 condition made visible."""
+        res = simulate_ftdmp_finetune(resnet, 8, 400_000, num_runs=3)
+        tuner = res.utilization["tuner-gpu"]
+        stores = res.utilization_of("store0-accel")
+        assert abs(tuner - stores) < 0.1
+
+    def test_underprovisioned_fleet_starves_tuner(self, resnet):
+        res = simulate_ftdmp_finetune(resnet, 4, 400_000, num_runs=3)
+        assert res.utilization_of("store0-accel") > res.utilization["tuner-gpu"] + 0.2
+
+    def test_overprovisioned_fleet_idles_stores(self, resnet):
+        res = simulate_ftdmp_finetune(resnet, 16, 400_000, num_runs=3)
+        assert res.utilization["tuner-gpu"] > res.utilization_of("store0-accel") + 0.2
+
+    def test_link_never_saturated_by_features(self, resnet):
+        """FT-DMP's point: feature traffic barely touches the 10 GbE link."""
+        res = simulate_ftdmp_finetune(resnet, 8, 400_000, num_runs=3)
+        assert res.utilization["tuner-link"] < 0.2
+
+    def test_inference_accelerator_is_the_busy_resource(self, resnet):
+        res = simulate_offline_inference(resnet, 2, 60_000)
+        assert res.utilization_of("store0-accel") > 0.9
+        assert res.utilization_of("store0-disk") < res.utilization_of("store0-accel")
+
+    def test_utilization_bounds(self, resnet):
+        res = simulate_offline_inference(resnet, 2, 30_000)
+        assert all(0.0 <= v <= 1.0 for v in res.utilization.values())
+
+    def test_unknown_prefix_raises(self, resnet):
+        res = simulate_offline_inference(resnet, 1, 10_000)
+        with pytest.raises(KeyError):
+            res.utilization_of("nonexistent")
+
+
+class TestMixedWorkload:
+    """Inference and fine-tuning contending for the same PipeStores."""
+
+    def test_both_jobs_slow_down_under_contention(self, resnet):
+        from repro.sim.cluster_sim import simulate_mixed_workload
+
+        res = simulate_mixed_workload(resnet, 4, 100_000, 100_000)
+        assert res.inference_slowdown > 1.3
+        assert res.finetune_slowdown > 1.0
+
+    def test_total_work_is_conserved(self, resnet):
+        """The accelerator cannot do better than serialising both jobs."""
+        from repro.sim.cluster_sim import simulate_mixed_workload
+
+        res = simulate_mixed_workload(resnet, 4, 80_000, 80_000)
+        combined = max(res.inference.makespan_s, res.finetune.makespan_s)
+        assert combined >= 0.85 * (res.inference_solo_s
+                                   + res.finetune_solo_s
+                                   - 25.0)  # tuner tail overlaps
+
+    def test_tiny_side_job_barely_hurts_the_big_one(self, resnet):
+        from repro.sim.cluster_sim import simulate_mixed_workload
+
+        res = simulate_mixed_workload(resnet, 4, 2_000, 200_000)
+        assert res.finetune_slowdown < 1.1
+
+    def test_validation(self, resnet):
+        from repro.sim.cluster_sim import simulate_mixed_workload
+
+        with pytest.raises(ValueError):
+            simulate_mixed_workload(resnet, 0, 10, 10)
+        with pytest.raises(ValueError):
+            simulate_mixed_workload(resnet, 1, 0, 10)

@@ -1,0 +1,178 @@
+"""Tests for typed DES resources (disk, link, CPU pool, accelerator)."""
+
+import pytest
+
+from repro.models.catalog import model_graph
+from repro.sim.engine import Simulation
+from repro.sim.resources import (
+    AcceleratorResource,
+    CpuPool,
+    DiskResource,
+    LinkResource,
+    TimedResource,
+)
+from repro.sim.specs import ST1_RAID, STORAGE_CPU, TEN_GBE, TESLA_T4
+
+
+def run_process(sim, gen):
+    return sim.run_until_complete(sim.process(gen))
+
+
+class TestTimedResource:
+    def test_use_holds_for_duration(self):
+        sim = Simulation()
+        res = TimedResource(sim, 1, "r")
+
+        def proc():
+            yield from res.use(2.5)
+
+        run_process(sim, proc())
+        assert sim.now == pytest.approx(2.5)
+
+    def test_negative_duration_rejected(self):
+        sim = Simulation()
+        res = TimedResource(sim, 1, "r")
+
+        def proc():
+            yield from res.use(-1.0)
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_contention_serialises(self):
+        sim = Simulation()
+        res = TimedResource(sim, 1, "r")
+
+        def proc():
+            yield from res.use(1.0)
+
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        assert res.utilization() == pytest.approx(1.0)
+
+
+class TestDisk:
+    def test_read_time_matches_bandwidth(self):
+        sim = Simulation()
+        disk = DiskResource(sim, ST1_RAID)
+
+        def proc():
+            yield from disk.read(int(ST1_RAID.read_mbps * 1e6))  # 1 second
+
+        run_process(sim, proc())
+        assert sim.now == pytest.approx(1.0)
+
+    def test_write_slower_than_read(self):
+        sim = Simulation()
+        disk = DiskResource(sim, ST1_RAID)
+
+        def proc():
+            yield from disk.write(int(ST1_RAID.write_mbps * 1e6))
+
+        run_process(sim, proc())
+        assert sim.now == pytest.approx(1.0)
+
+
+class TestLink:
+    def test_transfer_records_bytes(self):
+        sim = Simulation()
+        link = LinkResource(sim, TEN_GBE)
+
+        def proc():
+            yield from link.transfer(1_000_000)
+
+        run_process(sim, proc())
+        assert link.bytes_sent == 1_000_000
+        assert sim.now == pytest.approx(1_000_000 / TEN_GBE.bytes_per_s)
+
+
+class TestCpuPool:
+    def test_pool_parallelism(self):
+        sim = Simulation()
+        pool = CpuPool(sim, STORAGE_CPU, cores=2)
+
+        def proc():
+            yield from pool.preprocess(1)
+
+        for _ in range(4):
+            sim.process(proc())
+        sim.run()
+        # 4 jobs over 2 cores: two waves
+        expected = 2 * (1.0 / STORAGE_CPU.preprocess_ips_per_core)
+        assert sim.now == pytest.approx(expected)
+
+    def test_decompress_duration(self):
+        sim = Simulation()
+        pool = CpuPool(sim, STORAGE_CPU, cores=1)
+
+        def proc():
+            yield from pool.decompress(
+                int(STORAGE_CPU.decompress_mbps_per_core * 1e6))
+
+        run_process(sim, proc())
+        assert sim.now == pytest.approx(1.0)
+
+
+class TestAccelerator:
+    def test_infer_batch_duration(self):
+        sim = Simulation()
+        graph = model_graph("ResNet50")
+        acc = AcceleratorResource(sim, TESLA_T4)
+
+        def proc():
+            yield from acc.infer_batch(graph, 128)
+
+        run_process(sim, proc())
+        expected = 128 / TESLA_T4.inference_ips(graph, 128)
+        assert sim.now == pytest.approx(expected)
+
+    def test_full_npe_pipeline_bottleneck(self):
+        """A 3-stage DES PipeStore pipeline lands on the analytic rate."""
+        from repro.sim.specs import COMPRESSED_PREPROCESSED_BYTES
+
+        sim = Simulation()
+        graph = model_graph("ResNet50")
+        disk = DiskResource(sim, ST1_RAID)
+        pool = CpuPool(sim, STORAGE_CPU, cores=2)
+        acc = AcceleratorResource(sim, TESLA_T4)
+        from repro.sim.engine import Store
+
+        q1, q2 = Store(sim, 4), Store(sim, 4)
+        done = Store(sim)
+        batches = 40
+        batch = 128
+
+        def reader():
+            for i in range(batches):
+                yield from disk.read(COMPRESSED_PREPROCESSED_BYTES * batch)
+                yield q1.put(i)
+
+        def decompressor():
+            while True:
+                item = yield q1.get()
+                yield from pool.decompress(COMPRESSED_PREPROCESSED_BYTES * batch)
+                yield q2.put(item)
+
+        def gpu():
+            while True:
+                item = yield q2.get()
+                yield from acc.infer_batch(graph, batch)
+                yield done.put(item)
+
+        def sink():
+            for _ in range(batches):
+                yield done.get()
+
+        sim.process(reader())
+        sim.process(decompressor())
+        sim.process(gpu())
+        finish = sim.process(sink())
+        sim.run_until_complete(finish)
+        achieved = batches * batch / sim.now
+        # decompression at 2 cores... note the decompress stage here is
+        # capacity-2 but fed serially, so the bound is one core's rate when
+        # jobs arrive one-at-a-time; accept the analytic window
+        assert 900 < achieved < 2200

@@ -1,0 +1,123 @@
+"""Snapshot/restore tests for the storage substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.objectstore import ObjectStore, Volume
+from repro.storage.persistence import (
+    SnapshotError,
+    dump_object_store,
+    dump_photo_database,
+    load_object_store,
+    load_photo_database,
+    snapshot_sizes,
+)
+from repro.storage.photodb import LabelRecord, PhotoDatabase
+
+
+class TestObjectStoreSnapshots:
+    def test_roundtrip_preserves_objects_and_capacity(self):
+        store = ObjectStore(Volume(capacity_bytes=10_000), name="src")
+        store.put("raw/a", b"photo-bytes")
+        store.put("preproc/a", b"tensor-bytes")
+        restored = load_object_store(dump_object_store(store))
+        assert restored.keys() == store.keys()
+        assert restored.get("raw/a") == b"photo-bytes"
+        assert restored.volume.capacity_bytes == 10_000
+        assert restored.volume.used_bytes == store.volume.used_bytes
+
+    def test_restored_io_counters_reset(self):
+        store = ObjectStore()
+        store.put("k", b"x" * 100)
+        restored = load_object_store(dump_object_store(store))
+        assert restored.bytes_written == 0
+        assert restored.bytes_read == 0
+
+    def test_empty_store_roundtrip(self):
+        restored = load_object_store(dump_object_store(ObjectStore()))
+        assert len(restored) == 0
+
+    def test_bad_magic(self):
+        with pytest.raises(SnapshotError):
+            load_object_store(b"XXXX" + b"0" * 32)
+
+    def test_truncated(self):
+        with pytest.raises(SnapshotError):
+            load_object_store(b"NDPS")
+
+    @settings(max_examples=15, deadline=None)
+    @given(payloads=st.dictionaries(
+        st.text(alphabet="abcdef/", min_size=1, max_size=12),
+        st.binary(max_size=64), max_size=8))
+    def test_property_roundtrip(self, payloads):
+        store = ObjectStore()
+        for key, blob in payloads.items():
+            store.put(key, blob)
+        restored = load_object_store(dump_object_store(store))
+        assert len(restored) == len(store)
+        for key, blob in payloads.items():
+            assert restored.get(key) == blob
+
+
+class TestDatabaseSnapshots:
+    def _db(self):
+        db = PhotoDatabase()
+        db.upsert(LabelRecord("p1", 3, 0, "s0", 0.9))
+        db.upsert(LabelRecord("p1", 5, 1, "s0", 0.8))  # relabelled
+        db.upsert(LabelRecord("p2", 3, 1, "s1", 0.7))
+        return db
+
+    def test_roundtrip_preserves_current_labels(self):
+        db = self._db()
+        restored = load_photo_database(dump_photo_database(db))
+        assert restored.snapshot_labels() == db.snapshot_labels()
+        assert restored.lookup("p1").model_version == 1
+
+    def test_roundtrip_preserves_history(self):
+        restored = load_photo_database(dump_photo_database(self._db()))
+        assert [r.label for r in restored.history("p1")] == [3, 5]
+
+    def test_roundtrip_preserves_search_index(self):
+        restored = load_photo_database(dump_photo_database(self._db()))
+        assert restored.search(3) == ["p2"]
+        assert restored.search(5) == ["p1"]
+
+    def test_bad_magic(self):
+        with pytest.raises(SnapshotError):
+            load_photo_database(b"WHAT" + b"0" * 8)
+
+    def test_corrupt_payload(self):
+        from repro.storage.compression import deflate
+
+        with pytest.raises(SnapshotError):
+            load_photo_database(b"NDPD" + deflate(b"not json"))
+
+    def test_snapshot_sizes(self):
+        store = ObjectStore()
+        store.put("k", b"v" * 500)
+        sizes = snapshot_sizes(store, self._db())
+        assert sizes[0] > 0 and sizes[1] > 0
+
+
+class TestPipeStoreRestart:
+    def test_pipestore_survives_restart(self, small_world):
+        """Snapshot a loaded PipeStore, 'reboot' it, keep serving."""
+        from repro.core.pipestore import PipeStore, StoredPhoto
+        from repro.models.registry import tiny_model
+        from repro.storage.imageformat import preprocess
+
+        store = PipeStore("s0", nominal_raw_bytes=4096)
+        x, y = small_world.sample(12, 0)
+        for i, pixels in enumerate(x):
+            store.store_photo(StoredPhoto(
+                f"p{i}", np.asarray(pixels, dtype=float),
+                preprocess(pixels), train_label=int(y[i])))
+        snapshot = dump_object_store(store.objects)
+
+        rebooted = PipeStore("s0", nominal_raw_bytes=4096)
+        rebooted.objects = load_object_store(snapshot, name="s0")
+        rebooted.install_model(tiny_model("ResNet50", num_classes=8,
+                                          width=8, seed=5), 5, 0)
+        results = rebooted.offline_infer(rebooted.photo_ids()[:4])
+        assert len(results) == 4

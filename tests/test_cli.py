@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro.cli`` entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.model == "ResNet50"
+        assert args.gbps == 10.0
+
+
+class TestCommands:
+    def test_plan_prints_apo_result(self, capsys):
+        assert main(["plan", "--model", "ResNet50"]) == 0
+        out = capsys.readouterr().out
+        assert "APO plan for ResNet50" in out
+        assert "+Conv5" in out
+        assert "8" in out  # the paper's pick
+
+    def test_plan_inferentia(self, capsys):
+        assert main(["plan", "--model", "ResNet50",
+                     "--accelerator", "inferentia"]) == 0
+        assert "NeuronCoreV1" in capsys.readouterr().out
+
+    def test_plan_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            main(["plan", "--model", "AlexNet"])
+
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out and "Fig. 11" in out and "Fig. 13" in out
+
+    def test_catalog_command(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "g4dn.4xlarge" in out
+        assert "ResNet50" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--stores", "2", "--photos", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "photos ingested" in out
+        assert "model delta" in out

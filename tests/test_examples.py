@@ -1,0 +1,45 @@
+"""Smoke tests that the shipped examples actually run.
+
+Only the fast examples run here (the training-heavy ones are exercised by
+the benchmarks at scale); each must complete and print its headline table.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"example missing: {path}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_media_extensions(self, capsys):
+        out = run_example("media_extensions.py", capsys)
+        assert "video" in out and "audio" in out and "document" in out
+        assert "key frames" in out
+
+    def test_apo_planning(self, capsys):
+        out = run_example("apo_planning.py", capsys)
+        assert "APO plans" in out
+        assert "ResNet50" in out and "+Conv5" in out
+        assert "Inferentia" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "NDPipe quickstart results" in out
+        assert "network traffic by kind" in out
+
+    @pytest.mark.slow
+    def test_offline_relabel(self, capsys):
+        out = run_example("offline_relabel.py", capsys)
+        assert "runnable relabel campaign" in out
+        assert "relabelling 1B photos" in out

@@ -1,0 +1,186 @@
+"""Tests for the comparison-system models (SRV variants, strawmen)."""
+
+import pytest
+
+from repro.models.catalog import model_graph
+from repro.sim.specs import NetworkSpec, TEN_GBE
+from repro.train.baselines import (
+    ideal_finetune,
+    ideal_offline_inference,
+    inference_crossovers,
+    naive_ndp_finetune_breakdown,
+    naive_ndp_inference_breakdown,
+    ndpipe_inference,
+    srv_finetune,
+    srv_inference,
+    typical_finetune,
+    typical_finetune_breakdown,
+    typical_inference_breakdown,
+    typical_offline_inference,
+)
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return model_graph("ResNet50")
+
+
+class TestSrvInference:
+    def test_ideal_fastest(self, resnet):
+        rates = {v: srv_inference(v, resnet).throughput_ips
+                 for v in ("SRV-I", "SRV-P", "SRV-C")}
+        assert rates["SRV-I"] > rates["SRV-C"] > rates["SRV-P"]
+
+    def test_srv_p_network_bound(self, resnet):
+        point = srv_inference("SRV-P", resnet)
+        assert point.bottleneck == "Data Trans."
+
+    def test_srv_i_gpu_bound(self, resnet):
+        assert srv_inference("SRV-I", resnet).bottleneck == "FE&Cl"
+
+    def test_unknown_variant(self, resnet):
+        with pytest.raises(ValueError):
+            srv_inference("SRV-X", resnet)
+
+    def test_compute_bound_models_equal_for_i_and_c(self):
+        """ResNeXt/ViT: two V100s bound SRV-I and SRV-C alike (SRV-P stays
+        network-bound because its binaries are uncompressed)."""
+        graph = model_graph("ResNeXt101")
+        srv_i = srv_inference("SRV-I", graph).throughput_ips
+        srv_c = srv_inference("SRV-C", graph).throughput_ips
+        assert srv_i == pytest.approx(srv_c, rel=0.02)
+
+
+class TestNdpipeInference:
+    def test_scales_linearly(self, resnet):
+        one = ndpipe_inference(resnet, 1).throughput_ips
+        ten = ndpipe_inference(resnet, 10).throughput_ips
+        assert ten == pytest.approx(10 * one)
+
+    def test_per_store_rate_matches_paper(self, resnet):
+        """Paper §6.2: each PipeStore delivers 2129 IPS for ResNet50."""
+        per_store = ndpipe_inference(resnet, 1).throughput_ips
+        assert per_store == pytest.approx(2129, rel=0.02)
+
+    def test_oom_raises(self):
+        with pytest.raises(MemoryError):
+            ndpipe_inference(model_graph("ViT"), 1, batch_size=512)
+
+    def test_validation(self, resnet):
+        with pytest.raises(ValueError):
+            ndpipe_inference(resnet, 0)
+
+    def test_crossovers_ordered(self, resnet):
+        crossings = inference_crossovers(resnet)
+        assert crossings["P1"] <= crossings["P2"] <= crossings["P3"]
+
+    @pytest.mark.parametrize("model", ["ResNet50", "InceptionV3",
+                                       "ResNeXt101", "ViT"])
+    def test_crossovers_in_paper_band(self, model):
+        """Paper: P1 within 1-7, P2 within ~3-7, P3 within 5-7."""
+        crossings = inference_crossovers(model_graph(model))
+        assert 1 <= crossings["P1"] <= 7
+        assert 2 <= crossings["P2"] <= 7
+        assert 5 <= crossings["P3"] <= 8
+
+    def test_ndpipe_more_power_efficient_than_srv_c(self, resnet):
+        """Fig. 14 headline: NDPipe beats SRV-C on IPS/W."""
+        crossings = inference_crossovers(resnet)
+        nd = ndpipe_inference(resnet, crossings["P2"])
+        srv = srv_inference("SRV-C", resnet)
+        assert nd.ips_per_watt > 1.2 * srv.ips_per_watt
+
+
+class TestSrvFinetune:
+    def test_network_bound_for_resnet(self, resnet):
+        point = srv_finetune(resnet)
+        assert point.bottleneck == "Data Trans."
+        assert point.throughput_ips == pytest.approx(5700, rel=0.05)
+
+    def test_compute_bound_for_resnext(self):
+        point = srv_finetune(model_graph("ResNeXt101"))
+        assert point.bottleneck == "FE&CT"
+
+    def test_paper_crossovers(self):
+        """Fig. 15: NDPipe beats SRV-C with 3 stores (ResNet50/Inception),
+        ~6 for ResNeXt101."""
+        from repro.sim.specs import TESLA_T4
+
+        for model, expected in (("ResNet50", 3), ("InceptionV3", 3),
+                                ("ResNeXt101", 6)):
+            graph = model_graph(model)
+            srv_rate = srv_finetune(graph).throughput_ips
+            per_store = TESLA_T4.fe_ips(graph,
+                                        graph.num_partition_points() - 2, 512)
+            import math
+
+            crossover = math.ceil(srv_rate / per_store)
+            assert crossover == expected, model
+
+
+class TestStrawmen:
+    def test_typical_vs_ideal_finetune_ratio(self, resnet):
+        """Fig. 5a: Typical ~3.7x slower than Ideal."""
+        ratio = (ideal_finetune(resnet).throughput_ips
+                 / typical_finetune(resnet).throughput_ips)
+        assert 3.0 < ratio < 4.6
+
+    def test_typical_vs_ideal_inference_values(self, resnet):
+        """Fig. 5b: ~94 vs ~123 IPS."""
+        typical = typical_offline_inference(resnet).throughput_ips
+        ideal = ideal_offline_inference(resnet).throughput_ips
+        assert typical == pytest.approx(94, rel=0.2)
+        assert ideal == pytest.approx(123, rel=0.1)
+
+    def test_sequential_slower_than_pipelined_srv(self, resnet):
+        assert (typical_offline_inference(resnet).throughput_ips
+                < srv_inference("SRV-P", resnet).throughput_ips)
+
+
+class TestNaiveNdpBreakdowns:
+    def test_fig6a_fecht_modestly_slower(self, resnet):
+        """Fig. 6a: naive-NDP FE&CT only ~36% slower than Typical's."""
+        typical = typical_finetune_breakdown(resnet)
+        ndp = naive_ndp_finetune_breakdown(resnet)
+        ratio = ndp["FE&CT"] / typical["FE&CT"]
+        assert 1.2 < ratio < 1.6
+
+    def test_fig6a_weight_sync_explodes(self, resnet):
+        """Fig. 6a: weight sync becomes the new bottleneck (order-of-
+        magnitude blowup vs the Typical host's local sync)."""
+        typical = typical_finetune_breakdown(resnet)
+        ndp = naive_ndp_finetune_breakdown(resnet)
+        assert ndp["Weight Sync."] / typical["Weight Sync."] > 20
+
+    def test_fig6a_data_transfer_eliminated(self, resnet):
+        assert naive_ndp_finetune_breakdown(resnet)["Data Trans."] == 0.0
+
+    def test_fig6b_preprocessing_bottleneck(self, resnet):
+        """Fig. 6b: 1 core per store makes preprocessing dominate."""
+        ndp = naive_ndp_inference_breakdown(resnet)
+        assert ndp["Preproc."] == max(ndp.values())
+        typical = typical_inference_breakdown(resnet)
+        assert ndp["Preproc."] > 1.5 * typical["Preproc."]
+
+    def test_fig6b_fecl_within_1_5x(self, resnet):
+        """Fig. 6b: aggregate store GPUs are only ~1.33x slower."""
+        ndp = naive_ndp_inference_breakdown(resnet)
+        typical = typical_inference_breakdown(resnet)
+        assert 1.0 < ndp["FE&Cl"] / typical["FE&Cl"] < 1.7
+
+
+class TestBandwidthSensitivity:
+    def test_srv_c_scales_then_flattens(self, resnet):
+        """Fig. 18: SRV-C improves to ~20 Gbps, then decompression binds."""
+        rates = {g: srv_inference("SRV-C", resnet,
+                                  NetworkSpec(gbps=g)).throughput_ips
+                 for g in (1, 10, 20, 40)}
+        assert rates[10] > 5 * rates[1]
+        assert rates[40] == pytest.approx(rates[20], rel=0.12)
+        point40 = srv_inference("SRV-C", resnet, NetworkSpec(gbps=40))
+        assert point40.bottleneck in ("Decomp.", "Read")
+
+    def test_ndpipe_independent_of_bandwidth(self, resnet):
+        """NDPipe ships labels; its throughput ignores the fabric."""
+        assert (ndpipe_inference(resnet, 8).throughput_ips
+                == ndpipe_inference(resnet, 8).throughput_ips)
