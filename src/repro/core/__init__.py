@@ -31,6 +31,13 @@ from .convergence import (
     inter_run_loss_gap,
     iterations_to_converge,
 )
+from ..faults import (
+    FaultInjector,
+    MessageDroppedError,
+    RetryPolicy,
+    TransientFaultError,
+    call_with_retry,
+)
 from .fabric import NetworkFabric, TransferRecord
 from .ftdmp import EpochRecord, FinetuneReport, FTDMPTrainer
 from .npe import (
@@ -71,4 +78,6 @@ __all__ = [
     "check_pipelined_losses", "RunConvergence",
     "PageHinkley", "AccuracyWindowDetector", "MaintenancePolicy",
     "ScheduledPolicy", "DetectionPolicy", "NeverPolicy", "MaintenanceLog",
+    "FaultInjector", "RetryPolicy", "call_with_retry",
+    "TransientFaultError", "MessageDroppedError",
 ]

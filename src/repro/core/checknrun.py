@@ -79,15 +79,27 @@ def encode_delta(old: Dict[str, np.ndarray], new: Dict[str, np.ndarray],
         header = _entry_header(key, diff.shape, meta, len(payload))
         entries.append(header + payload)
     body = b"".join(entries)
-    return _MAGIC + struct.pack(">I", changed) + zlib.compress(body, level)
+    compressed = zlib.compress(body, level)
+    # crc32 over the compressed body: a delta mangled in flight must fail
+    # loudly (DeltaError -> the Tuner falls back to a full resync) instead
+    # of silently corrupting a replica
+    checksum = zlib.crc32(compressed) & 0xFFFFFFFF
+    return (_MAGIC + struct.pack(">I", changed)
+            + struct.pack(">I", checksum) + compressed)
 
 
 def apply_delta(old: Dict[str, np.ndarray], blob: bytes) -> Dict[str, np.ndarray]:
     """Reconstruct the new state dict from the old one plus a delta blob."""
     if not blob.startswith(_MAGIC):
         raise DeltaError("bad delta magic")
+    if len(blob) < 12:
+        raise DeltaError("truncated delta blob")
     (changed,) = struct.unpack(">I", blob[4:8])
-    body = zlib.decompress(blob[8:])
+    (checksum,) = struct.unpack(">I", blob[8:12])
+    compressed = blob[12:]
+    if zlib.crc32(compressed) & 0xFFFFFFFF != checksum:
+        raise DeltaError("delta checksum mismatch (corrupt blob)")
+    body = zlib.decompress(compressed)
     new = {k: v.copy() for k, v in old.items()}
     offset = 0
     for _ in range(changed):

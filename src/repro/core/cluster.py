@@ -14,11 +14,13 @@ a byte-accounted fabric.  Supports the three flows the paper describes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..faults.errors import TransientFaultError
+from ..faults.retry import RetryPolicy, call_with_retry
 from ..models.split import SplitModel
 from ..nn.tensor import Tensor
 from ..storage.imageformat import preprocess
@@ -36,12 +38,22 @@ class RelabelStats:
     photos_processed: int
     labels_changed: int
     label_bytes: int
+    #: stores that could not serve this campaign (down, or every dispatch
+    #: retry failed) — their photos stay outdated for a later pass
+    stores_skipped: List[str] = field(default_factory=list)
+    #: photos left outdated because their store was skipped
+    photos_deferred: int = 0
 
     @property
     def fraction_changed(self) -> float:
         if self.photos_processed == 0:
             return 0.0
         return self.labels_changed / self.photos_processed
+
+    @property
+    def degraded(self) -> bool:
+        """Did any store fail to take part in this campaign?"""
+        return bool(self.stores_skipped or self.photos_deferred)
 
 
 class InferenceServer:
@@ -75,12 +87,16 @@ class NDPipeCluster:
     def __init__(self, model_factory: Callable[[], SplitModel],
                  num_stores: int = 4, split: Optional[int] = None,
                  nominal_raw_bytes: int = 8192, lr: float = 3e-3,
-                 batch_size: int = 64, seed: int = 0):
+                 batch_size: int = 64, seed: int = 0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 journal_uploads: bool = True):
         if num_stores < 1:
             raise ValueError("need at least one PipeStore")
+        self.retry = retry_policy if retry_policy is not None else RetryPolicy()
         self.network = NetworkFabric()
         self.tuner = Tuner(model_factory(), self.network, split=split,
-                           lr=lr, batch_size=batch_size, seed=seed)
+                           lr=lr, batch_size=batch_size, seed=seed,
+                           retry_policy=self.retry)
         self.stores: List[PipeStore] = []
         for i in range(num_stores):
             store = PipeStore(f"pipestore-{i}",
@@ -92,6 +108,11 @@ class NDPipeCluster:
         self.database = PhotoDatabase()
         self._ingest_counter = 0
         self._rr_next = 0
+        # the front end journals uploads (pixels + user tag) until the
+        # photo is durable on a healthy store; the journal is what lets
+        # the cluster re-place photos orphaned on a crashed store
+        self._journal: Optional[Dict[str, Tuple[np.ndarray, Optional[int]]]]
+        self._journal = {} if journal_uploads else None
 
     # -- ingest (online inference) flow --------------------------------------
     def ingest(self, images: np.ndarray, train_labels: Optional[Sequence[int]] = None,
@@ -107,24 +128,54 @@ class NDPipeCluster:
             self._ingest_counter += 1
             label, confidence = self.inference_server.classify(pixels)
             preprocessed = self.inference_server.preprocess(pixels)
-            store = self._next_available_store()
+            train_label = (None if train_labels is None
+                           else int(train_labels[row]))
             photo = StoredPhoto(
                 photo_id=photo_id,
                 pixels=pixels,
                 preprocessed=preprocessed,
-                train_label=None if train_labels is None else int(train_labels[row]),
+                train_label=train_label,
             )
-            # raw photo + offloaded preprocessed binary travel to the store
-            stored_bytes = store.store_photo(photo)
-            self.network.send(self.inference_server.name, store.store_id,
-                              stored_bytes, "ingest")
+            store = self._place_photo(photo)
             self.database.upsert(LabelRecord(
                 photo_id=photo_id, label=label,
                 model_version=self.tuner.version,
                 location=store.store_id, confidence=confidence,
             ))
+            if self._journal is not None:
+                self._journal[photo_id] = (pixels, train_label)
             ids.append(photo_id)
         return ids
+
+    def _place_photo(self, photo: StoredPhoto, kind: str = "ingest",
+                     ) -> PipeStore:
+        """Land one photo (raw blob + offloaded preprocessed binary) on an
+        available store, riding the retry policy around dropped transfers
+        and stores that crash between selection and write."""
+        last_error: Optional[BaseException] = None
+        for _ in range(len(self.stores)):
+            store = self._next_available_store()
+            try:
+                stored_bytes = store.store_photo(photo)
+            except StoreUnavailableError as exc:
+                last_error = exc
+                continue
+            try:
+                call_with_retry(
+                    lambda: self.network.send(self.inference_server.name,
+                                              store.store_id, stored_bytes,
+                                              kind),
+                    self.retry)
+            except TransientFaultError as exc:
+                # placement never became durable-and-acknowledged; undo and
+                # try the next store
+                store.evict_photo(photo.photo_id)
+                last_error = exc
+                continue
+            return store
+        raise StoreUnavailableError(
+            f"no PipeStore accepted {photo.photo_id}"
+        ) from last_error
 
     def _next_available_store(self) -> PipeStore:
         """Round-robin placement that routes around failed servers."""
@@ -136,24 +187,54 @@ class NDPipeCluster:
         raise StoreUnavailableError("no PipeStore is available for ingest")
 
     # -- continuous training flow -----------------------------------------
-    def finetune(self, epochs: int = 2, num_runs: int = 1) -> FinetuneReport:
-        """FT-DMP fine-tuning over every labelled photo in the fleet."""
-        report = self.tuner.finetune(epochs=epochs, num_runs=num_runs)
+    def finetune(self, epochs: int = 2, num_runs: int = 1,
+                 relocate_lost: bool = False) -> FinetuneReport:
+        """FT-DMP fine-tuning over every labelled photo in the fleet.
+
+        With ``relocate_lost`` the run survives losing a PipeStore
+        mid-run: the dead store's shard is re-ingested from the upload
+        journal onto survivors and extracted there in the same round;
+        whatever cannot be re-placed is reported as deferred.
+        """
+        assignments = {
+            store.store_id: [
+                pid for pid in self.database.ids_at(store.store_id)
+                if store.has_train_label(pid)
+            ]
+            for store in self.stores
+        }
+        report = self.tuner.finetune(
+            assignments=assignments, epochs=epochs, num_runs=num_runs,
+            relocate=self._relocate_for_training if relocate_lost else None,
+        )
         self.inference_server.sync_model(self.tuner.model.state_dict())
         return report
 
+    def _relocate_for_training(self, store_id: str,
+                               photo_ids: Sequence[str],
+                               ) -> Dict[str, List[str]]:
+        """Degraded-mode FT-DMP callback: re-place a lost shard, return the
+        new store -> photo-ids assignment for what actually moved."""
+        placement: Dict[str, List[str]] = {}
+        for pid in self.reingest_orphans(store_id, only=photo_ids):
+            location = self.database.lookup(pid).location
+            placement.setdefault(location, []).append(pid)
+        return placement
+
     # -- offline inference flow ---------------------------------------------
     def offline_relabel(self, only_outdated: bool = True) -> RelabelStats:
-        """Refresh database labels with the current model, near the data."""
+        """Refresh database labels with the current model, near the data.
+
+        Stores that are down — or become unreachable mid-campaign despite
+        the Tuner's retries — are skipped *visibly*: the returned stats
+        name them and count the photos left outdated for a later pass.
+        """
         from ..sim.specs import LABEL_BYTES
 
         target_version = self.tuner.version
-        processed = 0
-        changed = 0
-        label_bytes = 0
+        stats = RelabelStats(photos_processed=0, labels_changed=0,
+                             label_bytes=0)
         for store in self.stores:
-            if not store.is_available:
-                continue
             if only_outdated:
                 ids = [
                     pid for pid in self.database.ids_at(store.store_id)
@@ -163,18 +244,97 @@ class NDPipeCluster:
                 ids = self.database.ids_at(store.store_id)
             if not ids:
                 continue
-            results = self.tuner.trigger_offline_inference(store, ids)
-            label_bytes += LABEL_BYTES * len(results)
+            if not store.is_available:
+                stats.stores_skipped.append(store.store_id)
+                stats.photos_deferred += len(ids)
+                continue
+            try:
+                results = self.tuner.trigger_offline_inference(store, ids)
+            except (StoreUnavailableError, TransientFaultError):
+                # lost mid-campaign and every retry failed
+                stats.stores_skipped.append(store.store_id)
+                stats.photos_deferred += len(ids)
+                continue
+            stats.label_bytes += LABEL_BYTES * len(results)
             for pid, (label, confidence) in results.items():
                 record = self.database.lookup(pid)
-                processed += 1
+                stats.photos_processed += 1
                 if self.database.upsert(LabelRecord(
                     photo_id=pid, label=label, model_version=target_version,
                     location=record.location, confidence=confidence,
                 )):
-                    changed += 1
-        return RelabelStats(photos_processed=processed, labels_changed=changed,
-                            label_bytes=label_bytes)
+                    stats.labels_changed += 1
+        return stats
+
+    # -- failure recovery ---------------------------------------------------
+    def reingest_orphans(self, store_id: str,
+                         only: Optional[Sequence[str]] = None) -> List[str]:
+        """Re-place journalled photos stranded on a crashed store.
+
+        Photos whose upload is still in the front end's journal are
+        re-preprocessed and landed on healthy stores; their database
+        records move with them (same label, same model version).  Returns
+        the ids that actually moved — anything not journalled (or not
+        placeable right now) stays orphaned until the store repairs.
+        """
+        if self._journal is None:
+            return []
+        moved: List[str] = []
+        candidates = (self.database.ids_at(store_id) if only is None
+                      else list(only))
+        for pid in candidates:
+            if pid not in self._journal or pid not in self.database:
+                continue
+            record = self.database.lookup(pid)
+            if record.location != store_id:
+                continue  # already moved
+            pixels, train_label = self._journal[pid]
+            photo = StoredPhoto(
+                photo_id=pid, pixels=pixels,
+                preprocessed=self.inference_server.preprocess(pixels),
+                train_label=train_label,
+            )
+            try:
+                target = self._place_photo(photo, kind="re-ingest")
+            except StoreUnavailableError:
+                continue
+            self.database.upsert(LabelRecord(
+                photo_id=pid, label=record.label,
+                model_version=record.model_version,
+                location=target.store_id, confidence=record.confidence,
+            ))
+            moved.append(pid)
+        return moved
+
+    def recover(self, store: Union[str, PipeStore]) -> PipeStore:
+        """Bring a crashed store back: repair, resync the model replica it
+        missed, and evict any photo the cluster re-placed elsewhere while
+        it was down (the database location is authoritative)."""
+        store = self._resolve_store(store)
+        store.repair()
+        store.slowdown = 1.0
+        self.tuner.catch_up(store)
+        self.reconcile(store)
+        return store
+
+    def reconcile(self, store: Union[str, PipeStore]) -> List[str]:
+        """Drop a store's photos whose authoritative location moved away."""
+        store = self._resolve_store(store)
+        evicted = []
+        for pid in store.photo_ids():
+            if (pid not in self.database
+                    or self.database.lookup(pid).location != store.store_id):
+                store.evict_photo(pid)
+                evicted.append(pid)
+        return evicted
+
+    def _resolve_store(self, store: Union[str, PipeStore]) -> PipeStore:
+        if isinstance(store, PipeStore):
+            return store
+        for candidate in self.stores:
+            if candidate.store_id == store:
+                return candidate
+        raise KeyError(f"unknown store {store!r}")
 
     # -- evaluation --------------------------------------------------------
     def evaluate(self, images: np.ndarray, labels: np.ndarray,

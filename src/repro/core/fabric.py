@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..faults.errors import MessageDroppedError
 from ..sim.specs import NetworkSpec, TEN_GBE
 
 
@@ -25,14 +26,28 @@ class TransferRecord:
 
 
 class NetworkFabric:
-    """Records every logical transfer between named nodes."""
+    """Records every logical transfer between named nodes.
 
-    def __init__(self, spec: NetworkSpec = TEN_GBE):
+    ``fault_filter`` is the fault-injection seam: when set (by a
+    :class:`repro.faults.FaultInjector`), every non-local transfer is
+    offered to it first.  The filter may raise
+    :class:`~repro.faults.MessageDroppedError` — the transfer then never
+    happens and the caller is expected to retry or degrade — or return
+    extra latency seconds that are charged to the wire-time accounting.
+    """
+
+    def __init__(self, spec: NetworkSpec = TEN_GBE,
+                 fault_filter: Optional[Callable[["TransferRecord"], float]]
+                 = None):
         self.spec = spec
+        self.fault_filter = fault_filter
         self._by_edge: Counter = Counter()
         self._by_kind: Counter = Counter()
         self.total_bytes = 0
         self.transfer_count = 0
+        self.dropped_count = 0
+        self.dropped_bytes = 0
+        self.injected_latency_s = 0.0
 
     def send(self, src: str, dst: str, num_bytes: int, kind: str,
              payload: Any = None) -> Any:
@@ -43,6 +58,15 @@ class NetworkFabric:
             # local handoff: no network traffic — this is the whole point
             # of near-data processing
             return payload
+        if self.fault_filter is not None:
+            record = TransferRecord(src=src, dst=dst, kind=kind,
+                                    num_bytes=num_bytes)
+            try:
+                self.injected_latency_s += self.fault_filter(record)
+            except MessageDroppedError:
+                self.dropped_count += 1
+                self.dropped_bytes += num_bytes
+                raise
         self._by_edge[(src, dst)] += num_bytes
         self._by_kind[kind] += num_bytes
         self.total_bytes += num_bytes
@@ -59,11 +83,15 @@ class NetworkFabric:
         return dict(self._by_kind)
 
     def transfer_seconds(self) -> float:
-        """Wire time if every recorded byte crossed the shared link."""
-        return self.spec.transfer_time(self.total_bytes)
+        """Wire time if every recorded byte crossed the shared link,
+        plus any latency injected by the fault filter."""
+        return self.spec.transfer_time(self.total_bytes) + self.injected_latency_s
 
     def reset(self) -> None:
         self._by_edge.clear()
         self._by_kind.clear()
         self.total_bytes = 0
         self.transfer_count = 0
+        self.dropped_count = 0
+        self.dropped_bytes = 0
+        self.injected_latency_s = 0.0

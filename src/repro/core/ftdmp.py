@@ -54,12 +54,24 @@ class FinetuneReport:
     accuracy_trace: List[Tuple[int, int, float]] = field(default_factory=list)
     #: PipeStores that were down when the Tuner tried to gather features
     skipped_stores: List[str] = field(default_factory=list)
+    #: photos re-placed onto surviving stores after a mid-run crash and
+    #: successfully extracted there (degraded-mode FT-DMP)
+    photos_repartitioned: int = 0
+    #: photos that could not be trained on this round (store lost and no
+    #: re-placement possible) — the operator reruns after repair
+    photos_deferred: int = 0
 
     @property
     def final_loss(self) -> float:
         if not self.epochs:
             raise ValueError("no epochs recorded")
         return self.epochs[-1].loss
+
+    @property
+    def degraded(self) -> bool:
+        """Did any fault leave its mark on this fine-tuning round?"""
+        return bool(self.skipped_stores or self.photos_deferred
+                    or self.photos_repartitioned)
 
 
 def _make_optimizer(kind: str, params, lr: float) -> Optimizer:

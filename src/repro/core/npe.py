@@ -56,15 +56,27 @@ class ThreadedPipeline:
     submission order; output order is preserved.  Per-stage busy time is
     recorded so callers can identify the bottleneck stage, mirroring how
     the paper profiles its NPE.
+
+    A stage exception aborts the whole run: the feeder stops submitting,
+    every stage drains its input until the sentinel arrives (so no thread
+    ever blocks on a full queue), all threads are joined, and the first
+    error is re-raised to the caller.
+
+    ``stage_hook(stage_name, item)`` is the fault-injection seam: when
+    set, it is invoked before each stage function and may sleep (slow
+    accelerator) or raise (injected stage failure); its time is charged
+    to the stage's busy seconds.
     """
 
-    def __init__(self, stages: Sequence, queue_depth: int = 8):
+    def __init__(self, stages: Sequence, queue_depth: int = 8,
+                 stage_hook: Optional[Callable[[str, object], None]] = None):
         if not stages:
             raise ValueError("need at least one stage")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         self._stages: List = list(stages)
         self._queue_depth = queue_depth
+        self.stage_hook = stage_hook
         self.stats = [StageStats(name) for name, _ in self._stages]
 
     def run(self, items: Iterable) -> List:
@@ -75,28 +87,35 @@ class ThreadedPipeline:
                   for _ in range(len(self._stages) + 1)]
         results: List = []
         errors: List[BaseException] = []
+        abort = threading.Event()
 
-        def worker(index: int, fn: Callable):
+        def worker(index: int, name: str, fn: Callable):
             stats = self.stats[index]
             while True:
                 item = queues[index].get()
                 if item is _SENTINEL:
                     queues[index + 1].put(_SENTINEL)
                     return
+                if abort.is_set():
+                    # drain mode: keep consuming so upstream stages and
+                    # the feeder never block on a full queue
+                    continue
                 try:
                     start = time.perf_counter()
+                    if self.stage_hook is not None:
+                        self.stage_hook(name, item)
                     out = fn(item)
                     stats.busy_seconds += time.perf_counter() - start
                     stats.items += 1
                 except BaseException as exc:  # propagate to the caller
                     errors.append(exc)
-                    queues[index + 1].put(_SENTINEL)
-                    return
+                    abort.set()
+                    continue
                 queues[index + 1].put(out)
 
         threads = [
-            threading.Thread(target=worker, args=(i, fn), daemon=True)
-            for i, (_name, fn) in enumerate(self._stages)
+            threading.Thread(target=worker, args=(i, name, fn), daemon=True)
+            for i, (name, fn) in enumerate(self._stages)
         ]
         for thread in threads:
             thread.start()
@@ -105,9 +124,12 @@ class ThreadedPipeline:
         def feeder():
             try:
                 for item in items:
+                    if abort.is_set():
+                        return
                     queues[0].put(item)
             except BaseException as exc:
                 feeder_error.append(exc)
+                abort.set()
             finally:
                 queues[0].put(_SENTINEL)
 

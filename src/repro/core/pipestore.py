@@ -39,6 +39,12 @@ class StoredPhoto:
     train_label: Optional[int] = None  # supervision (user tags), if any
 
 
+#: accounted accelerator seconds per image at slowdown 1.0 — the fabric
+#: accounts bytes instead of moving packets; PipeStores likewise account
+#: nominal compute seconds so degraded-fleet benchmarks have a clock
+NOMINAL_SECONDS_PER_IMAGE = 1e-3
+
+
 class PipeStore:
     """One computational storage server."""
 
@@ -55,6 +61,10 @@ class PipeStore:
         self.split: int = 0
         self._train_labels: Dict[str, int] = {}
         self._failed = False
+        #: accelerator degradation factor (fault injection); 1.0 = healthy
+        self.slowdown = 1.0
+        #: accounted accelerator busy seconds across near-data jobs
+        self.busy_seconds = 0.0
 
     # -- fault injection ----------------------------------------------------
     @property
@@ -96,6 +106,9 @@ class PipeStore:
     def labeled_photo_ids(self) -> List[str]:
         return sorted(self._train_labels)
 
+    def has_train_label(self, photo_id: str) -> bool:
+        return photo_id in self._train_labels
+
     def train_label(self, photo_id: str) -> int:
         try:
             return self._train_labels[photo_id]
@@ -103,6 +116,14 @@ class PipeStore:
             raise MissingObjectError(
                 f"{photo_id} has no training label on {self.store_id}"
             ) from None
+
+    def evict_photo(self, photo_id: str) -> None:
+        """Drop one photo's blobs and label (after re-placement elsewhere)."""
+        for key in (self.objects.raw_key(photo_id),
+                    self.objects.preproc_key(photo_id)):
+            if self.objects.exists(key):
+                self.objects.delete(key)
+        self._train_labels.pop(photo_id, None)
 
     # -- model management ----------------------------------------------------
     def install_model(self, model: SplitModel, split: int, version: int) -> None:
@@ -137,6 +158,7 @@ class PipeStore:
         for start in range(0, len(inputs), self.batch_size):
             batch = Tensor(inputs[start:start + self.batch_size])
             outputs.append(self.model.forward_until(batch, self.split).data)
+        self._account_compute(len(inputs))
         return np.concatenate(outputs, axis=0)
 
     def offline_infer(self, photo_ids: Sequence[str]) -> Dict[str, Tuple[int, float]]:
@@ -155,9 +177,14 @@ class PipeStore:
             for row, pid in enumerate(chunk_ids):
                 label = int(labels[row])
                 results[pid] = (label, float(probs[row, label]))
+        self._account_compute(len(inputs))
         return results
 
     # -- internals ----------------------------------------------------------
+    def _account_compute(self, num_images: int) -> None:
+        self.busy_seconds += (num_images * NOMINAL_SECONDS_PER_IMAGE
+                              * self.slowdown)
+
     def _require_model(self) -> None:
         if self.model is None:
             raise RuntimeError(f"{self.store_id}: no model installed")

@@ -8,12 +8,15 @@ to the Tuner, so FT-DMP needs no cross-store synchronisation.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.loader import batch_iter
+from ..faults.errors import TransientFaultError
+from ..faults.retry import RetryPolicy, call_with_retry
 from ..models.graph import FEATURE_DTYPE_BYTES
 from ..models.split import SplitModel
 from ..nn.losses import cross_entropy
@@ -24,6 +27,10 @@ from .fabric import NetworkFabric
 from .ftdmp import EpochRecord, FinetuneReport
 from .pipestore import PipeStore, StoreUnavailableError
 
+#: maps a lost store's photo ids to replacement assignments
+#: ``(lost_store_id, photo_ids) -> {new_store_id: [photo_ids...]}``
+Relocator = Callable[[str, Sequence[str]], Dict[str, List[str]]]
+
 
 @dataclass
 class DistributionStats:
@@ -33,6 +40,12 @@ class DistributionStats:
     full_model_bytes: int
     bytes_per_store: int
     used_delta: bool
+    #: stores that did not receive this round (down, or every retry of
+    #: the send dropped); ``catch_up`` resynchronises them after repair
+    stores_missed: List[str] = field(default_factory=list)
+    #: stores that were behind the delta's base version (they missed an
+    #: earlier round) and were resynchronised with a full model instead
+    stores_resynced: List[str] = field(default_factory=list)
 
     @property
     def reduction_factor(self) -> float:
@@ -40,14 +53,20 @@ class DistributionStats:
             raise ValueError("no bytes distributed")
         return self.full_model_bytes / self.bytes_per_store
 
+    @property
+    def degraded(self) -> bool:
+        return bool(self.stores_missed or self.stores_resynced)
+
 
 class Tuner:
     """The training server of NDPipe."""
 
     def __init__(self, model: SplitModel, network: NetworkFabric,
                  split: Optional[int] = None, name: str = "tuner",
-                 lr: float = 3e-3, batch_size: int = 64, seed: int = 0):
+                 lr: float = 3e-3, batch_size: int = 64, seed: int = 0,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.name = name
+        self.retry = retry_policy if retry_policy is not None else RetryPolicy()
         self.model = model
         self.split = model.num_stages - 1 if split is None else split
         if not 0 <= self.split < model.num_stages:
@@ -81,35 +100,70 @@ class Tuner:
 
     # -- model distribution ---------------------------------------------------
     def distribute_update(self) -> DistributionStats:
-        """Ship the current model to every reachable PipeStore as a delta.
+        """Ship the current model to every reachable PipeStore.
 
-        A store that is down keeps its old version; :meth:`catch_up`
-        resynchronises it after repair.
+        Stores whose replica sits exactly at the delta's base version get
+        the Check-N-Run delta; stores that missed an earlier round (crash
+        or dropped delta) would be silently corrupted by a delta encoded
+        against a newer base, so they get a full-model resync instead.
+        Every send is retried with exponential backoff; stores that stay
+        unreachable are recorded in ``stores_missed`` and pick the round
+        up later via :meth:`catch_up`.
         """
         if self._last_distributed is None:
             raise RuntimeError("register stores before distributing updates")
+        base_version = self.version
         new_state = self.model.state_dict()
         blob = checknrun.encode_delta(self._last_distributed, new_state)
         self.version += 1
-        for store in self._stores:
-            if not store.is_available:
-                continue
-            self.network.send(self.name, store.store_id, len(blob), "model-delta")
-            store.apply_model_delta(blob, self.version)
         stats = DistributionStats(
             version=self.version,
             full_model_bytes=checknrun.state_dict_bytes(new_state),
             bytes_per_store=len(blob),
             used_delta=True,
         )
+        for store in self._stores:
+            if not store.is_available:
+                stats.stores_missed.append(store.store_id)
+                continue
+            try:
+                if store.model_version == base_version:
+                    try:
+                        call_with_retry(
+                            lambda s=store: self._send_delta(s, blob),
+                            self.retry)
+                    except checknrun.DeltaError:
+                        # corrupt delta on arrival: fall back to full model
+                        call_with_retry(
+                            lambda s=store: self._send_full(s, new_state),
+                            self.retry)
+                        stats.stores_resynced.append(store.store_id)
+                else:
+                    call_with_retry(
+                        lambda s=store: self._send_full(s, new_state),
+                        self.retry)
+                    stats.stores_resynced.append(store.store_id)
+            except (TransientFaultError, StoreUnavailableError):
+                stats.stores_missed.append(store.store_id)
         self.distributions.append(stats)
         self._last_distributed = new_state
         return stats
 
+    def _send_delta(self, store: PipeStore, blob: bytes) -> None:
+        self.network.send(self.name, store.store_id, len(blob), "model-delta")
+        store.apply_model_delta(blob, self.version)
+
+    def _send_full(self, store: PipeStore, state: Dict[str, np.ndarray]) -> None:
+        num_bytes = checknrun.state_dict_bytes(state)
+        self.network.send(self.name, store.store_id, num_bytes, "model-full")
+        store.model.load_state_dict(state)
+        store.model_version = self.version
+
     # -- FT-DMP fine-tuning ----------------------------------------------------
     def finetune(self, assignments: Optional[Dict[str, Sequence[str]]] = None,
                  epochs: int = 2, num_runs: int = 1,
-                 distribute: bool = True) -> FinetuneReport:
+                 distribute: bool = True,
+                 relocate: Optional[Relocator] = None) -> FinetuneReport:
         """One continuous-training round over the fleet's labelled photos.
 
         ``assignments`` maps store-id -> photo ids to train on (defaults to
@@ -117,6 +171,12 @@ class Tuner:
         ``num_runs`` pipeline runs: within a run every PipeStore extracts
         features for its share and ships them over; the Tuner then trains
         the tail for ``epochs`` epochs before the next run arrives (§5.2).
+
+        ``relocate`` enables degraded-mode FT-DMP: when a store is lost
+        mid-run, its shard is handed to the callback (the cluster re-places
+        journalled photos onto survivors) and the returned assignments are
+        extracted in the same run; photos that cannot be re-placed are
+        counted as deferred in the report.
         """
         if not self._stores:
             raise RuntimeError("no PipeStores registered")
@@ -134,7 +194,7 @@ class Tuner:
         run_chunks = self._plan_runs(assignments, num_runs)
         for run_index, per_store_ids in enumerate(run_chunks):
             features, labels = self._gather_features(
-                store_by_id, per_store_ids, report
+                store_by_id, per_store_ids, report, relocate=relocate
             )
             if len(features) == 0:
                 continue
@@ -157,28 +217,58 @@ class Tuner:
     def _gather_features(self, store_by_id: Dict[str, PipeStore],
                          per_store_ids: Dict[str, List[str]],
                          report: FinetuneReport,
+                         relocate: Optional[Relocator] = None,
                          ) -> Tuple[np.ndarray, np.ndarray]:
         feature_chunks, label_chunks = [], []
-        for store_id, ids in per_store_ids.items():
+        # (store_id, ids, was_relocated); shards re-placed after a crash
+        # re-enter this queue and extract on their new store in-run
+        pending = deque(
+            (store_id, list(ids), False)
+            for store_id, ids in per_store_ids.items()
+        )
+        # bounds relocation ping-pong if stores keep crashing under us
+        relocation_budget = 2 * max(1, len(store_by_id))
+        while pending:
+            store_id, ids, was_relocated = pending.popleft()
             if not ids:
                 continue
             store = store_by_id[store_id]
             try:
                 feats = store.extract_features(ids)
+                labels = np.array([store.train_label(pid) for pid in ids])
             except StoreUnavailableError:
-                # data locality means a down store's photos cannot be
-                # reassigned; train on what the healthy fleet provides and
-                # record the gap so the operator can rerun later
-                report.skipped_stores.append(store_id)
+                if store_id not in report.skipped_stores:
+                    report.skipped_stores.append(store_id)
+                if relocate is not None and relocation_budget > 0:
+                    relocation_budget -= 1
+                    placement = relocate(store_id, ids)
+                    moved = sum(len(v) for v in placement.values())
+                    report.photos_deferred += len(ids) - moved
+                    for new_store_id, new_ids in placement.items():
+                        if new_ids:
+                            pending.append((new_store_id, list(new_ids), True))
+                else:
+                    # without a relocator, data locality pins the shard to
+                    # its dead store; train on what the healthy fleet
+                    # provides and record the gap for a rerun after repair
+                    report.photos_deferred += len(ids)
                 continue
             num_bytes = feats.size * FEATURE_DTYPE_BYTES
-            self.network.send(store_id, self.name, num_bytes, "features", feats)
+            try:
+                call_with_retry(
+                    lambda: self.network.send(store_id, self.name, num_bytes,
+                                              "features", feats),
+                    self.retry)
+            except TransientFaultError:
+                # the feature stream itself is persistently dropped
+                report.photos_deferred += len(ids)
+                continue
             report.feature_bytes += num_bytes
             report.images_extracted += len(ids)
+            if was_relocated:
+                report.photos_repartitioned += len(ids)
             feature_chunks.append(feats)
-            label_chunks.append(
-                np.array([store.train_label(pid) for pid in ids])
-            )
+            label_chunks.append(labels)
         if not feature_chunks:
             return np.empty((0,)), np.empty((0,), dtype=np.int64)
         return (np.concatenate(feature_chunks, axis=0),
@@ -207,23 +297,35 @@ class Tuner:
         if store.model_version == self.version:
             return
         state = self.model.state_dict()
-        num_bytes = checknrun.state_dict_bytes(state)
-        self.network.send(self.name, store.store_id, num_bytes, "model-full")
-        store.model.load_state_dict(state)
-        store.model_version = self.version
+        call_with_retry(lambda: self._send_full(store, state), self.retry)
 
     # -- offline inference orchestration ------------------------------------
     def trigger_offline_inference(self, store: PipeStore,
                                   photo_ids: Sequence[str],
                                   ) -> Dict[str, Tuple[int, float]]:
-        """Ask one PipeStore to relabel its local photos (request + labels)."""
-        self.network.send(self.name, store.store_id, 64, "inference-request")
-        results = store.offline_infer(list(photo_ids))
+        """Ask one PipeStore to relabel its local photos (request + labels).
+
+        The whole dispatch (request, near-data inference, label return) is
+        retried with exponential backoff: a dropped message or a store
+        that recovers between attempts does not abort the campaign.  When
+        every attempt fails, the last error propagates and the caller
+        records the store as skipped.
+        """
         from ..sim.specs import LABEL_BYTES
 
-        self.network.send(store.store_id, self.name,
-                          LABEL_BYTES * len(results), "labels", results)
-        return results
+        ids = list(photo_ids)
+
+        def attempt() -> Dict[str, Tuple[int, float]]:
+            self.network.send(self.name, store.store_id, 64,
+                              "inference-request")
+            results = store.offline_infer(ids)
+            self.network.send(store.store_id, self.name,
+                              LABEL_BYTES * len(results), "labels", results)
+            return results
+
+        return call_with_retry(
+            attempt, self.retry,
+            retryable=(TransientFaultError, StoreUnavailableError))
 
     # -- evaluation ------------------------------------------------------------
     def evaluate(self, x: np.ndarray, y: np.ndarray,

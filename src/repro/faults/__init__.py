@@ -1,0 +1,38 @@
+"""``repro.faults`` — deterministic fault injection and retry policy.
+
+The fleet half of the NDPipe story (§4, Fig. 7) only matters if it
+survives the fleet misbehaving.  This package provides the *injection*
+side — a seedable :class:`FaultInjector` replaying scheduled crashes,
+message drops, latency, and accelerator slowdowns through hooks in the
+fabric, the PipeStores, and the NPE pipeline — while the *tolerance* side
+(retry-with-backoff dispatch, degraded-mode FT-DMP, orphan re-ingest)
+lives in :mod:`repro.core`.  The chaos suite under ``tests/faults/``
+drives both.
+"""
+
+from .errors import (
+    FaultConfigError,
+    FaultError,
+    MessageDroppedError,
+    TransientFaultError,
+)
+from .events import (
+    AddLatency,
+    DropMessages,
+    FaultEvent,
+    SlowAccelerator,
+    SlowStage,
+    StoreCrash,
+    StoreRecover,
+)
+from .retry import RetryPolicy, call_with_retry
+from .injector import FaultInjector
+
+__all__ = [
+    "FaultError", "FaultConfigError", "TransientFaultError",
+    "MessageDroppedError",
+    "FaultEvent", "StoreCrash", "StoreRecover", "DropMessages",
+    "AddLatency", "SlowAccelerator", "SlowStage",
+    "RetryPolicy", "call_with_retry",
+    "FaultInjector",
+]

@@ -1,0 +1,28 @@
+"""Exception taxonomy for injected faults.
+
+Kept dependency-free so both ``repro.core`` (which raises them from the
+fabric) and ``repro.faults`` (which injects them) can import this module
+without creating a package cycle.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for everything the fault subsystem raises."""
+
+
+class FaultConfigError(FaultError):
+    """A fault schedule references something that does not exist."""
+
+
+class TransientFaultError(FaultError):
+    """A fault the caller is expected to survive by retrying.
+
+    Retry helpers (:mod:`repro.faults.retry`) treat subclasses of this as
+    retryable by default; anything else propagates immediately.
+    """
+
+
+class MessageDroppedError(TransientFaultError):
+    """An injected network fault swallowed one fabric transfer."""

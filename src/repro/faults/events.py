@@ -1,0 +1,90 @@
+"""The fault vocabulary: scheduled events the injector can fire.
+
+Events are pinned to a *logical tick*: the injector's clock advances once
+per observed operation (every fabric transfer, every pipeline stage item),
+so a schedule is deterministic regardless of wall-clock timing — the same
+schedule against the same workload always crashes the same store between
+the same two messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base event: fires when the injector clock reaches ``at``."""
+
+    at: int
+
+    def describe(self) -> str:
+        return f"t={self.at} {type(self).__name__}"
+
+
+@dataclass(frozen=True)
+class StoreCrash(FaultEvent):
+    """Take one PipeStore down (its storage survives for a later repair)."""
+
+    store_id: str
+
+    def describe(self) -> str:
+        return f"t={self.at} crash {self.store_id}"
+
+
+@dataclass(frozen=True)
+class StoreRecover(FaultEvent):
+    """Bring a crashed PipeStore back into service."""
+
+    store_id: str
+
+    def describe(self) -> str:
+        return f"t={self.at} recover {self.store_id}"
+
+
+@dataclass(frozen=True)
+class DropMessages(FaultEvent):
+    """Swallow the next ``count`` fabric transfers (optionally one kind)."""
+
+    count: int = 1
+    kind: Optional[str] = None  # None matches any traffic kind
+
+    def describe(self) -> str:
+        what = self.kind or "any"
+        return f"t={self.at} drop {self.count}x {what}"
+
+
+@dataclass(frozen=True)
+class AddLatency(FaultEvent):
+    """Charge extra wire seconds to the next ``count`` matching transfers."""
+
+    seconds: float = 0.0
+    count: int = 1
+    kind: Optional[str] = None
+
+    def describe(self) -> str:
+        what = self.kind or "any"
+        return f"t={self.at} +{self.seconds:g}s on {self.count}x {what}"
+
+
+@dataclass(frozen=True)
+class SlowAccelerator(FaultEvent):
+    """Degrade one store's accelerator by ``factor`` (1.0 = healthy)."""
+
+    store_id: str = ""
+    factor: float = 1.0
+
+    def describe(self) -> str:
+        return f"t={self.at} slow {self.store_id} x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class SlowStage(FaultEvent):
+    """Add per-item seconds to one named :class:`ThreadedPipeline` stage."""
+
+    stage: str = ""
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        return f"t={self.at} stage {self.stage} +{self.seconds:g}s/item"

@@ -1,0 +1,254 @@
+"""Deterministic fault injection for the runnable NDPipe cluster.
+
+A :class:`FaultInjector` owns a schedule of :mod:`~repro.faults.events`
+pinned to logical ticks and hooks into the system through injectable
+callbacks:
+
+* ``NetworkFabric.fault_filter`` — every transfer advances the clock one
+  tick, then may be dropped (:class:`MessageDroppedError`) or charged
+  extra latency;
+* ``ThreadedPipeline.stage_hook`` — every stage item advances the clock
+  and may be slowed;
+* registered ``PipeStore`` objects — crash/recover/slow-accelerator
+  events call ``fail()`` / ``repair()`` / set ``slowdown`` directly.
+
+Because the clock is driven by the workload itself, "crash pipestore-1
+after the 12th message" replays bit-identically across runs — which is
+what lets the chaos suite assert exact accounting under failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .errors import FaultConfigError, MessageDroppedError
+from .events import (
+    AddLatency,
+    DropMessages,
+    FaultEvent,
+    SlowAccelerator,
+    SlowStage,
+    StoreCrash,
+    StoreRecover,
+)
+
+
+class _Budget:
+    """An armed drop/latency allowance consumed by matching transfers."""
+
+    def __init__(self, kind: Optional[str], count: int, seconds: float = 0.0):
+        self.kind = kind
+        self.remaining = count
+        self.seconds = seconds
+
+    def matches(self, kind: str) -> bool:
+        return self.remaining > 0 and (self.kind is None or self.kind == kind)
+
+
+class FaultInjector:
+    """Replays a fault schedule against an attached cluster."""
+
+    def __init__(self, schedule: Sequence[FaultEvent] = ()):
+        self._due = deque(sorted(schedule, key=lambda e: e.at))
+        self.clock = 0
+        self._stores: Dict[str, Any] = {}
+        self._drops: List[_Budget] = []
+        self._latencies: List[_Budget] = []
+        self.stage_latency: Dict[str, float] = {}
+        #: events that have fired, in firing order
+        self.fired: List[FaultEvent] = []
+        #: transfers swallowed by drop budgets (TransferRecord objects)
+        self.dropped: List[Any] = []
+        self.injected_latency_s = 0.0
+        self._fabrics: List[Any] = []
+        self._pipelines: List[Any] = []
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, cluster: Any) -> "FaultInjector":
+        """Hook the whole runnable cluster (fabric + every PipeStore)."""
+        for store in cluster.stores:
+            self.register_store(store)
+        self.attach_fabric(cluster.network)
+        return self
+
+    def attach_fabric(self, fabric: Any) -> "FaultInjector":
+        fabric.fault_filter = self.on_message
+        self._fabrics.append(fabric)
+        self._fire_due()
+        return self
+
+    def attach_pipeline(self, pipeline: Any) -> "FaultInjector":
+        pipeline.stage_hook = self.on_stage_item
+        self._pipelines.append(pipeline)
+        return self
+
+    def register_store(self, store: Any) -> "FaultInjector":
+        self._stores[store.store_id] = store
+        return self
+
+    def detach(self) -> None:
+        """Unhook everything; pending events never fire."""
+        for fabric in self._fabrics:
+            # == not `is`: each attribute access builds a fresh bound method
+            if fabric.fault_filter == self.on_message:
+                fabric.fault_filter = None
+        for pipeline in self._pipelines:
+            if pipeline.stage_hook == self.on_stage_item:
+                pipeline.stage_hook = None
+        self._fabrics.clear()
+        self._pipelines.clear()
+        self._due.clear()
+        self._drops.clear()
+        self._latencies.clear()
+
+    # -- the logical clock -------------------------------------------------
+    def advance(self, ticks: int = 1) -> None:
+        """Move the clock forward, firing every event that comes due."""
+        for _ in range(ticks):
+            self.clock += 1
+            self._fire_due()
+
+    def _fire_due(self) -> None:
+        while self._due and self._due[0].at <= self.clock:
+            self._fire(self._due.popleft())
+
+    def _store(self, store_id: str) -> Any:
+        try:
+            return self._stores[store_id]
+        except KeyError:
+            raise FaultConfigError(
+                f"schedule names unknown store {store_id!r}; registered: "
+                f"{sorted(self._stores)}"
+            ) from None
+
+    def _fire(self, event: FaultEvent) -> None:
+        if isinstance(event, StoreCrash):
+            self._store(event.store_id).fail()
+        elif isinstance(event, StoreRecover):
+            self._store(event.store_id).repair()
+        elif isinstance(event, SlowAccelerator):
+            self._store(event.store_id).slowdown = event.factor
+        elif isinstance(event, DropMessages):
+            self._drops.append(_Budget(event.kind, event.count))
+        elif isinstance(event, AddLatency):
+            self._latencies.append(
+                _Budget(event.kind, event.count, event.seconds))
+        elif isinstance(event, SlowStage):
+            self.stage_latency[event.stage] = event.seconds
+        else:
+            raise FaultConfigError(f"unknown fault event {event!r}")
+        self.fired.append(event)
+
+    # -- hooks the system calls --------------------------------------------
+    def on_message(self, record: Any) -> float:
+        """Fabric filter: returns extra latency seconds or raises a drop."""
+        self.advance()
+        for budget in self._drops:
+            if budget.matches(record.kind):
+                budget.remaining -= 1
+                self.dropped.append(record)
+                raise MessageDroppedError(
+                    f"injected drop: {record.src} -> {record.dst} "
+                    f"({record.kind}, {record.num_bytes} B)"
+                )
+        delay = 0.0
+        for budget in self._latencies:
+            if budget.matches(record.kind):
+                budget.remaining -= 1
+                delay += budget.seconds
+        self.injected_latency_s += delay
+        return delay
+
+    def on_stage_item(self, stage: str, item: Any) -> None:
+        """ThreadedPipeline hook: slow a named stage per item."""
+        self.advance()
+        delay = self.stage_latency.get(stage, 0.0)
+        if delay > 0:
+            import time
+
+            time.sleep(delay)
+            self.injected_latency_s += delay
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def pending(self) -> List[FaultEvent]:
+        return list(self._due)
+
+    def crashed_stores(self) -> List[str]:
+        return sorted(sid for sid, store in self._stores.items()
+                      if not store.is_available)
+
+    def describe(self) -> str:
+        lines = [e.describe() for e in self.fired]
+        lines += [f"(pending) {e.describe()}" for e in self._due]
+        return "\n".join(lines) if lines else "(empty schedule)"
+
+    # -- schedule generation -----------------------------------------------
+    @staticmethod
+    def random_schedule(store_ids: Sequence[str], horizon: int, seed: int,
+                        num_events: Optional[int] = None,
+                        max_concurrent_crashes: Optional[int] = None,
+                        ) -> List[FaultEvent]:
+        """A seeded random crash/recover/drop/latency/slowdown schedule.
+
+        Deterministic for a given ``(store_ids, horizon, seed)``.  At most
+        ``max_concurrent_crashes`` stores (default: all but one) are ever
+        down at once, so ingest always has somewhere to land, and every
+        generated crash is paired with a recover inside ``horizon`` or
+        left down for the test to repair explicitly.  Drop bursts are
+        capped at 2 so the default :class:`RetryPolicy` can absorb them.
+        """
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if not store_ids:
+            raise ValueError("need at least one store id")
+        rng = np.random.default_rng(seed)
+        if num_events is None:
+            num_events = int(rng.integers(3, 9))
+        if max_concurrent_crashes is None:
+            max_concurrent_crashes = max(0, len(store_ids) - 1)
+
+        events: List[FaultEvent] = []
+        # down intervals [start, end) per generated crash, end = inf when
+        # the crash outlives the schedule (the test repairs it explicitly)
+        intervals: List = []  # (start, end, store_id)
+
+        def overlaps(start: int, end: float, store: Optional[str]) -> int:
+            return sum(1 for a, b, s in intervals
+                       if a < end and start < b
+                       and (store is None or s == store))
+
+        for _ in range(num_events):
+            tick = int(rng.integers(1, horizon + 1))
+            roll = rng.random()
+            if roll < 0.40:
+                if rng.random() < 0.7:  # usually recovers inside the run
+                    end: float = tick + int(rng.integers(1, horizon // 2 + 2))
+                else:
+                    end = float("inf")
+                up = [s for s in store_ids if overlaps(tick, end, s) == 0]
+                # conservative: count every interval touching [tick, end)
+                # as concurrent, so the constraint can never be violated
+                if not up or overlaps(tick, end, None) >= max_concurrent_crashes:
+                    continue
+                victim = str(rng.choice(up))
+                events.append(StoreCrash(at=tick, store_id=victim))
+                if end != float("inf"):
+                    events.append(StoreRecover(at=int(end), store_id=victim))
+                intervals.append((tick, end, victim))
+            elif roll < 0.60:
+                events.append(DropMessages(
+                    at=tick, count=int(rng.integers(1, 3)), kind=None))
+            elif roll < 0.80:
+                events.append(AddLatency(
+                    at=tick, seconds=float(rng.uniform(0.001, 0.05)),
+                    count=int(rng.integers(1, 4)), kind=None))
+            else:
+                victim = str(rng.choice(list(store_ids)))
+                events.append(SlowAccelerator(
+                    at=tick, store_id=victim,
+                    factor=float(rng.uniform(1.5, 4.0))))
+        return sorted(events, key=lambda e: e.at)

@@ -1,0 +1,94 @@
+"""Retry with exponential backoff for fleet dispatch.
+
+The Tuner wraps every per-store dispatch (offline-inference triggers,
+Check-N-Run delta sends) in :func:`call_with_retry` so a dropped message
+or a store that recovers between attempts does not abort a whole
+campaign.  Backoff is *accounted*, not slept, by default: the repro's
+fabric models time as byte counts, so the policy records how many seconds
+of backoff a real deployment would have spent instead of stalling the
+test suite.  Pass ``sleep=time.sleep`` for wall-clock behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from .errors import TransientFaultError
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential-backoff schedule plus cumulative accounting.
+
+    Delay before attempt ``k`` (1-based retries) is
+    ``min(base_delay_s * multiplier**(k-1), max_delay_s)`` — deterministic,
+    no jitter, so fault tests replay exactly.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    #: real sleeper (e.g. ``time.sleep``); None = account only
+    sleep: Optional[Callable[[float], None]] = None
+
+    # cumulative accounting across every call made under this policy
+    calls: int = field(default=0, init=False)
+    attempts: int = field(default=0, init=False)
+    retries: int = field(default=0, init=False)
+    giveups: int = field(default=0, init=False)
+    backoff_s: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_for(self, retry_index: int) -> float:
+        """Backoff seconds before the ``retry_index``-th retry (1-based)."""
+        if retry_index < 1:
+            raise ValueError("retry_index is 1-based")
+        return min(self.base_delay_s * self.multiplier ** (retry_index - 1),
+                   self.max_delay_s)
+
+    def _backoff(self, retry_index: int) -> None:
+        delay = self.delay_for(retry_index)
+        self.backoff_s += delay
+        if self.sleep is not None:
+            self.sleep(delay)
+
+
+def call_with_retry(fn: Callable[[], T], policy: RetryPolicy,
+                    retryable: Tuple[Type[BaseException], ...] = (
+                        TransientFaultError,),
+                    on_retry: Optional[Callable[[int, BaseException], None]]
+                    = None) -> T:
+    """Call ``fn`` under ``policy``; re-raise the last error on give-up.
+
+    Only ``retryable`` exceptions trigger another attempt; anything else
+    propagates immediately.  ``on_retry(attempt_index, error)`` is invoked
+    before each backoff, letting callers log degraded operation.
+    """
+    policy.calls += 1
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        policy.attempts += 1
+        try:
+            return fn()
+        except retryable as exc:
+            last = exc
+            if attempt == policy.max_attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            policy.retries += 1
+            policy._backoff(attempt)
+    policy.giveups += 1
+    assert last is not None
+    raise last

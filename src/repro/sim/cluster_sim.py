@@ -178,16 +178,26 @@ def _shard(total: int, parts: int) -> List[int]:
 def simulate_offline_inference(graph: ModelGraph, num_stores: int,
                                images: int, batch_size: int = 128,
                                store_server: ServerSpec = G4DN_4XLARGE,
-                               queue_depth: int = 4) -> ClusterSimResult:
-    """DES run of an offline-inference campaign across PipeStores."""
+                               queue_depth: int = 4,
+                               failed_stores: int = 0) -> ClusterSimResult:
+    """DES run of an offline-inference campaign across PipeStores.
+
+    ``failed_stores`` models a degraded fleet: that many stores are down
+    and their shards are re-sharded over the survivors (what the cluster's
+    re-ingest path does), so the campaign still covers every image at the
+    cost of a longer makespan.
+    """
     if num_stores < 1 or images < 1:
         raise ValueError("need at least one store and one image")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if not 0 <= failed_stores < num_stores:
+        raise ValueError("failed_stores must leave at least one survivor")
+    survivors = num_stores - failed_stores
     sim = Simulation()
     finishers = []
     nodes = []
-    for index, shard in enumerate(_shard(images, num_stores)):
+    for index, shard in enumerate(_shard(images, survivors)):
         if shard == 0:
             continue
         node = _StoreNode(sim, store_server, f"store{index}", queue_depth)

@@ -62,6 +62,80 @@ class TestThreadedPipeline:
         with pytest.raises(RuntimeError, match="stage failed"):
             pipe.run(range(3))
 
+    def test_midstream_failure_does_not_deadlock(self):
+        """A mid-stream stage error with tiny queues and many items used to
+        wedge the pipeline: the feeder blocked on a full queue while the
+        caller waited on a sentinel that never came.  The run must now
+        abort promptly, drain, and re-raise."""
+        import threading
+
+        def middle(x):
+            if x == 7:
+                raise ValueError("item 7 is poison")
+            return x
+
+        pipe = ThreadedPipeline([
+            ("a", lambda x: x),
+            ("poison", middle),
+            ("c", lambda x: x),
+        ], queue_depth=1)
+        outcome = []
+
+        def drive():
+            try:
+                pipe.run(range(500))
+            except BaseException as exc:
+                outcome.append(exc)
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        driver.join(timeout=10)
+        assert not driver.is_alive(), "pipeline deadlocked on stage failure"
+        assert len(outcome) == 1
+        assert isinstance(outcome[0], ValueError)
+        assert "poison" in str(outcome[0])
+
+    def test_midstream_failure_joins_all_threads(self):
+        import threading
+
+        baseline = threading.active_count()
+
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("late failure")
+            return x
+
+        pipe = ThreadedPipeline([
+            ("a", lambda x: x), ("b", boom), ("c", lambda x: x),
+        ], queue_depth=2)
+        with pytest.raises(RuntimeError, match="late failure"):
+            pipe.run(range(50))
+        assert threading.active_count() == baseline
+
+    def test_feeder_exception_propagates_and_shuts_down(self):
+        def items():
+            yield 1
+            yield 2
+            raise OSError("source went away")
+
+        pipe = ThreadedPipeline([("noop", lambda x: x)], queue_depth=1)
+        with pytest.raises(OSError, match="source went away"):
+            pipe.run(items())
+
+    def test_results_before_failure_are_discarded_not_returned(self):
+        """An aborted run raises; it never hands back a partial result."""
+        def boom(x):
+            if x >= 5:
+                raise RuntimeError("boom")
+            return x
+
+        pipe = ThreadedPipeline([("boom", boom)], queue_depth=2)
+        with pytest.raises(RuntimeError):
+            pipe.run(range(20))
+        # the pipeline object is reusable after a failed run
+        ok = ThreadedPipeline([("noop", lambda x: x)]).run(range(4))
+        assert ok == [0, 1, 2, 3]
+
     def test_empty_input(self):
         pipe = ThreadedPipeline([("noop", lambda x: x)])
         assert pipe.run([]) == []

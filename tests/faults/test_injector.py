@@ -1,0 +1,208 @@
+"""Unit tests for the deterministic FaultInjector."""
+
+import numpy as np
+import pytest
+
+from repro.core.fabric import NetworkFabric
+from repro.core.npe import ThreadedPipeline
+from repro.core.pipestore import PipeStore
+from repro.faults import (
+    AddLatency,
+    DropMessages,
+    FaultConfigError,
+    FaultInjector,
+    MessageDroppedError,
+    SlowAccelerator,
+    SlowStage,
+    StoreCrash,
+    StoreRecover,
+)
+
+
+def make_fleet(n=3):
+    return [PipeStore(f"pipestore-{i}") for i in range(n)]
+
+
+class TestScheduleFiring:
+    def test_events_fire_at_their_tick(self):
+        stores = make_fleet()
+        injector = FaultInjector([
+            StoreCrash(at=2, store_id="pipestore-1"),
+            StoreRecover(at=4, store_id="pipestore-1"),
+        ])
+        for store in stores:
+            injector.register_store(store)
+        injector.advance()  # t=1
+        assert stores[1].is_available
+        injector.advance()  # t=2: crash fires
+        assert not stores[1].is_available
+        assert injector.crashed_stores() == ["pipestore-1"]
+        injector.advance(2)  # t=4: recover fires
+        assert stores[1].is_available
+        assert injector.pending == []
+
+    def test_unknown_store_in_schedule_is_loud(self):
+        injector = FaultInjector([StoreCrash(at=1, store_id="nope")])
+        with pytest.raises(FaultConfigError, match="nope"):
+            injector.advance()
+
+    def test_slow_accelerator_sets_factor(self):
+        stores = make_fleet(1)
+        injector = FaultInjector([
+            SlowAccelerator(at=1, store_id="pipestore-0", factor=3.0)])
+        injector.register_store(stores[0])
+        injector.advance()
+        assert stores[0].slowdown == 3.0
+
+    def test_describe_lists_fired_and_pending(self):
+        injector = FaultInjector([
+            DropMessages(at=1), DropMessages(at=99)])
+        injector.advance()
+        text = injector.describe()
+        assert "t=1 drop" in text
+        assert "(pending) t=99 drop" in text
+        assert FaultInjector([]).describe() == "(empty schedule)"
+
+
+class TestFabricHook:
+    def test_messages_advance_clock_and_drop(self):
+        fabric = NetworkFabric()
+        injector = FaultInjector([
+            DropMessages(at=2, count=1)]).attach_fabric(fabric)
+        fabric.send("a", "b", 10, "x")  # tick 1: fine
+        with pytest.raises(MessageDroppedError):
+            fabric.send("a", "b", 20, "x")  # tick 2: dropped
+        fabric.send("a", "b", 30, "x")  # budget exhausted
+        assert injector.clock == 3
+        assert fabric.dropped_count == 1
+        assert fabric.dropped_bytes == 20
+        # the dropped transfer was never accounted as delivered
+        assert fabric.total_bytes == 40
+        assert len(injector.dropped) == 1
+        assert injector.dropped[0].num_bytes == 20
+
+    def test_kind_filtered_drop_passes_other_traffic(self):
+        fabric = NetworkFabric()
+        FaultInjector([
+            DropMessages(at=1, count=5, kind="features")]
+        ).attach_fabric(fabric)
+        fabric.send("a", "b", 10, "labels")  # not matched
+        with pytest.raises(MessageDroppedError):
+            fabric.send("a", "b", 10, "features")
+
+    def test_injected_latency_charged_to_wire_time(self):
+        fabric = NetworkFabric()
+        injector = FaultInjector([
+            AddLatency(at=1, seconds=0.5, count=2)]).attach_fabric(fabric)
+        base = fabric.transfer_seconds()
+        fabric.send("a", "b", 8, "x")
+        fabric.send("a", "b", 8, "x")
+        fabric.send("a", "b", 8, "x")  # budget spent, no extra charge
+        assert injector.injected_latency_s == pytest.approx(1.0)
+        assert fabric.transfer_seconds() - base > 1.0
+
+    def test_local_handoffs_do_not_tick_the_clock(self):
+        fabric = NetworkFabric()
+        injector = FaultInjector([]).attach_fabric(fabric)
+        fabric.send("a", "a", 10, "x")
+        assert injector.clock == 0
+
+    def test_detach_unhooks_fabric(self):
+        fabric = NetworkFabric()
+        injector = FaultInjector([
+            DropMessages(at=1, count=99)]).attach_fabric(fabric)
+        injector.detach()
+        fabric.send("a", "b", 10, "x")  # no drop, no tick
+        assert injector.clock == 0
+        assert fabric.fault_filter is None
+
+
+class TestPipelineHook:
+    def test_stage_hook_ticks_per_item(self):
+        pipe = ThreadedPipeline([("noop", lambda x: x)])
+        injector = FaultInjector([]).attach_pipeline(pipe)
+        pipe.run(range(5))
+        assert injector.clock == 5
+
+    def test_slow_stage_adds_wall_time(self):
+        import time
+
+        pipe = ThreadedPipeline([("work", lambda x: x)])
+        FaultInjector([
+            SlowStage(at=1, stage="work", seconds=0.02)]
+        ).attach_pipeline(pipe)
+        start = time.perf_counter()
+        pipe.run(range(5))
+        elapsed = time.perf_counter() - start
+        # first item ticks the clock to 1 and arms the slowdown; at least
+        # the remaining 4 items pay 20ms each
+        assert elapsed >= 0.95 * 4 * 0.02
+        assert pipe.stats[0].busy_seconds >= 0.95 * 4 * 0.02
+
+
+class TestRandomSchedule:
+    IDS = ["pipestore-0", "pipestore-1", "pipestore-2"]
+
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector.random_schedule(self.IDS, horizon=50, seed=7)
+        b = FaultInjector.random_schedule(self.IDS, horizon=50, seed=7)
+        assert a == b
+        c = FaultInjector.random_schedule(self.IDS, horizon=50, seed=8)
+        assert a != c
+
+    def test_events_within_horizon_and_sorted(self):
+        for seed in range(10):
+            schedule = FaultInjector.random_schedule(
+                self.IDS, horizon=30, seed=seed)
+            assert all(1 <= e.at for e in schedule)
+            assert [e.at for e in schedule] == sorted(e.at for e in schedule)
+            crashes = [e for e in schedule if isinstance(e, StoreCrash)]
+            assert all(e.at <= 30 for e in crashes)
+
+    def test_never_takes_whole_fleet_down(self):
+        """Replaying any generated schedule leaves >= 1 store up at every
+        tick (max_concurrent_crashes defaults to n - 1)."""
+        for seed in range(25):
+            schedule = FaultInjector.random_schedule(
+                self.IDS, horizon=40, seed=seed)
+            down = set()
+            for event in schedule:
+                if isinstance(event, StoreCrash):
+                    down.add(event.store_id)
+                elif isinstance(event, StoreRecover):
+                    down.discard(event.store_id)
+                assert len(down) < len(self.IDS), (seed, schedule)
+
+    def test_crash_cap_zero_generates_no_crashes(self):
+        for seed in range(10):
+            schedule = FaultInjector.random_schedule(
+                self.IDS, horizon=40, seed=seed, num_events=12,
+                max_concurrent_crashes=0)
+            assert not any(isinstance(e, StoreCrash) for e in schedule)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector.random_schedule([], horizon=10, seed=0)
+        with pytest.raises(ValueError):
+            FaultInjector.random_schedule(self.IDS, horizon=0, seed=0)
+
+    def test_replay_is_deterministic_against_a_fabric(self):
+        """Same schedule + same message sequence => identical drops."""
+        def run():
+            fabric = NetworkFabric()
+            injector = FaultInjector(FaultInjector.random_schedule(
+                self.IDS, horizon=20, seed=3, num_events=8))
+            for sid in self.IDS:
+                injector.register_store(PipeStore(sid))
+            injector.attach_fabric(fabric)
+            outcomes = []
+            for i in range(30):
+                try:
+                    fabric.send("a", "b", 10 + i, "x")
+                    outcomes.append("ok")
+                except MessageDroppedError:
+                    outcomes.append("drop")
+            return outcomes, injector.injected_latency_s
+
+        first, second = run(), run()
+        assert first == second
