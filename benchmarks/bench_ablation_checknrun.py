@@ -8,7 +8,6 @@ in weight error.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.tables import format_bytes, format_table
 from repro.core.checknrun import apply_delta, delta_stats, encode_delta

@@ -8,7 +8,6 @@ policies and compares mean accuracy vs update count.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.tables import format_table
 from repro.core.driftdetect import (

@@ -10,7 +10,6 @@ constant.
 
 import dataclasses
 
-import pytest
 
 from repro.analysis.tables import format_table
 from repro.core.apo import plan_organization

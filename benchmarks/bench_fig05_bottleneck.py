@@ -8,7 +8,7 @@ from repro.analysis.perf import fig05_bottleneck
 from repro.analysis.tables import format_table
 
 
-def test_fig05_bottleneck(benchmark, report):
+def test_fig05_bottleneck(benchmark, report, bench_json):
     out = benchmark(fig05_bottleneck)
 
     rows = [
@@ -25,6 +25,18 @@ def test_fig05_bottleneck(benchmark, report):
              / out["finetune_time_min"]["Ideal"])
     text += f"\nfine-tune slowdown: {ratio:.2f}x (paper: 3.7x)"
     report("fig05_bottleneck", text)
+
+    results = [
+        ("finetune_time", out["finetune_time_min"][variant], "min",
+         {"system": variant})
+        for variant in ("Typical", "Ideal")
+    ] + [
+        ("offline_inference_throughput", out["inference_ips"][variant],
+         "images/s", {"system": variant})
+        for variant in ("Typical", "Ideal")
+    ] + [("finetune_slowdown", ratio, "x", {})]
+    bench_json("fig05_bottleneck", results,
+               config={"model": "ResNet50", "dataset_images": 1_200_000})
 
     assert 3.0 < ratio < 4.6
     assert out["inference_ips"]["Typical"] < out["inference_ips"]["Ideal"]

@@ -11,7 +11,7 @@ from repro.core.npe import ABLATION_LEVELS, npe_throughput_ips
 from repro.models.catalog import model_graph
 
 
-def test_fig12_npe_ablation(benchmark, report):
+def test_fig12_npe_ablation(benchmark, report, bench_json):
     out = benchmark(fig12_npe_ablation)
 
     parts = []
@@ -29,6 +29,23 @@ def test_fig12_npe_ablation(benchmark, report):
              for level in ABLATION_LEVELS]
     text = "\n\n".join(parts) + "\n\npipelined PipeStore throughput: " + ", ".join(rates)
     report("fig12_npe_ablation", text)
+
+    results = [
+        ("npe_throughput_ips", npe_throughput_ips(graph, level), "images/s",
+         {"level": level})
+        for level in ABLATION_LEVELS
+    ]
+    for task in ("finetune", "inference"):
+        for row in out[task]:
+            for key, value in row.items():
+                if key == "level":
+                    continue
+                results.append((
+                    "npe_subtask_time", value, "ms/image",
+                    {"task": task, "level": row["level"],
+                     "subtask": key.replace("_ms", "")},
+                ))
+    bench_json("fig12_npe_ablation", results, config={"model": "ResNet50"})
 
     inf = {r["level"]: r for r in out["inference"]}
     assert inf["Naive"]["Preproc_ms"] == max(

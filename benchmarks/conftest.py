@@ -2,8 +2,12 @@
 
 Every benchmark regenerates one paper table/figure, prints it, and writes
 it to ``benchmarks/results/<name>.txt`` so the output survives pytest's
-capture.  ``REPRO_BENCH_SCALE`` (smoke|fast|paper) sizes the runnable
-accuracy experiments; the timing experiments are exact either way.
+capture.  Benchmarks that report headline numbers additionally write
+``benchmarks/results/<name>.json`` through the ``bench_json`` fixture
+(the :mod:`repro.obs.benchjson` schema) so the perf trajectory is
+machine-readable and diffs across PRs.  ``REPRO_BENCH_SCALE``
+(smoke|fast|paper) sizes the runnable accuracy experiments; the timing
+experiments are exact either way.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.accuracy import FAST, PAPER, SMOKE, Scale
+from repro.obs.benchjson import BenchResult, write_bench_json
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -41,3 +46,22 @@ def report():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _report
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Write one benchmark's structured results to results/<name>.json.
+
+    ``_write(name, results, config=None)`` takes ``BenchResult`` objects
+    (or ``(metric, value, unit)`` / ``(metric, value, unit, labels)``
+    tuples for brevity) and persists them in the shared schema.
+    """
+
+    def _write(name: str, results, config=None) -> Path:
+        normalised = [
+            r if isinstance(r, BenchResult) else BenchResult(*r)
+            for r in results
+        ]
+        return write_bench_json(RESULTS_DIR, name, normalised, config)
+
+    return _write

@@ -9,7 +9,7 @@ scripted.  The ``Scale`` knob trades fidelity for runtime; benches use
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

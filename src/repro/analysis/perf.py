@@ -18,7 +18,6 @@ from ..core.partition import (
 )
 from ..models.catalog import FIGURE_MODELS, model_graph
 from ..sim.cost import run_cost
-from ..sim.power import server_power
 from ..sim.specs import (
     DEFAULT_DATASET_IMAGES,
     G4DN_4XLARGE,
@@ -27,7 +26,6 @@ from ..sim.specs import (
     P3_2XLARGE,
     P3_8XLARGE,
     NetworkSpec,
-    ServerSpec,
     TEN_GBE,
     TESLA_T4,
     TESLA_V100,

@@ -7,6 +7,10 @@ Commands:
 * ``figures``  — regenerate the simulator-backed paper figures as text
   tables (the fast subset; accuracy figures live in the benchmarks);
 * ``demo``     — run the end-to-end tiny-cluster lifecycle;
+* ``metrics``  — run the lifecycle and export the cluster's metrics
+  (Prometheus text or JSON);
+* ``trace``    — run the lifecycle and export a Chrome ``trace_event``
+  JSON of the nested flow/FT-DMP spans;
 * ``catalog``  — dump the calibrated hardware catalog.
 """
 
@@ -117,6 +121,52 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lifecycle(stores: int, photos: int):
+    """One ingest -> finetune -> relabel pass on a tiny cluster."""
+    import numpy as np
+
+    from .core.cluster import NDPipeCluster
+    from .data.drift import DriftingPhotoWorld, WorldConfig
+    from .models.registry import tiny_model
+
+    world = DriftingPhotoWorld(WorldConfig(
+        initial_classes=6, max_classes=8, image_size=16, noise=0.3, seed=0,
+    ))
+    cluster = NDPipeCluster(
+        lambda: tiny_model("ResNet50", num_classes=8, width=8, seed=7),
+        num_stores=stores, nominal_raw_bytes=8192,
+    )
+    x, y = world.sample(photos, 0, rng=np.random.default_rng(1))
+    cluster.ingest(x, train_labels=y)
+    cluster.finetune(epochs=1)
+    cluster.offline_relabel()
+    return cluster
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    cluster = _run_lifecycle(args.stores, args.photos)
+    if args.format == "json":
+        _emit(cluster.metrics.export_json(indent=2), args.out)
+    else:
+        _emit(cluster.metrics.export_prometheus(), args.out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cluster = _run_lifecycle(args.stores, args.photos)
+    _emit(cluster.tracer.export_chrome_trace(indent=2), args.out)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .analysis.validate import calibration_report, validate_calibration
 
@@ -177,6 +227,26 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--stores", type=int, default=3)
     demo.add_argument("--photos", type=int, default=90)
     demo.set_defaults(func=_cmd_demo)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the lifecycle and export cluster metrics")
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus")
+    metrics.add_argument("--stores", type=int, default=3)
+    metrics.add_argument("--photos", type=int, default=48)
+    metrics.add_argument("--out", default=None,
+                         help="write to a file instead of stdout")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run the lifecycle and export a chrome://tracing JSON")
+    trace.add_argument("--stores", type=int, default=3)
+    trace.add_argument("--photos", type=int, default=48)
+    trace.add_argument("--out", default=None,
+                       help="write to a file instead of stdout")
+    trace.set_defaults(func=_cmd_trace)
 
     catalog = sub.add_parser("catalog", help="dump the hardware catalog")
     catalog.set_defaults(func=_cmd_catalog)

@@ -13,9 +13,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..models.graph import ModelGraph
-from ..sim.power import PowerDraw, ips_per_kilojoule, server_power, total_power
+from ..sim.power import PowerDraw, server_power
 from ..sim.specs import (
-    AcceleratorSpec,
     G4DN_4XLARGE,
     NetworkSpec,
     P3_2XLARGE,

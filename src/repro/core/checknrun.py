@@ -10,6 +10,14 @@ holds only the tail layers and compresses well.
 Encoding is exact (bit-identical reconstruction); an optional quantised
 mode trades a bounded weight error for a few extra x of compression, like
 Check-N-Run's quantisation.
+
+Exactness is guaranteed by construction: the exact path encodes each
+changed tensor as an XOR of bit patterns in the tensor's **native dtype**
+(``new ^ old`` on the raw bytes), so ``old ^ diff`` reconstructs ``new``
+bit-for-bit in any dtype — float32, float64, or integer.  An arithmetic
+diff cannot make that promise (``fl(fl(new - old) + old) != new`` under
+cancellation, and the old float64 round-trip broke float32 states), and
+it also shipped float32 diffs at float64 width, doubling the wire size.
 """
 
 from __future__ import annotations
@@ -21,7 +29,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
-_MAGIC = b"CNR1"
+# CNR2: entry headers carry the tensor dtype and exact payloads are
+# native-dtype XOR bit diffs (CNR1 shipped float64 arithmetic diffs,
+# which were neither bit-exact nor compact for float32 states)
+_MAGIC = b"CNR2"
 
 
 class DeltaError(ValueError):
@@ -52,12 +63,14 @@ def state_dict_bytes(state: Dict[str, np.ndarray]) -> int:
 def encode_delta(old: Dict[str, np.ndarray], new: Dict[str, np.ndarray],
                  quantize_bits: Optional[int] = None,
                  level: int = 6) -> bytes:
-    """Encode ``new - old`` as a compressed delta blob.
+    """Encode ``new`` relative to ``old`` as a compressed delta blob.
 
-    Only tensors that actually changed are included.  With
-    ``quantize_bits`` set (e.g. 8), differences are uniformly quantised
-    per-tensor before compression — reconstruction is then approximate
-    with max error ``range / 2^bits``.
+    Only tensors that actually changed are included.  The exact mode
+    (default) ships the XOR of the two tensors' bit patterns in the
+    native dtype — reconstruction is bit-identical for every dtype.
+    With ``quantize_bits`` set (e.g. 8), arithmetic differences are
+    uniformly quantised per-tensor before compression — reconstruction
+    is then approximate with max error ``range / 2^bits``.
     """
     if set(old) != set(new):
         raise DeltaError(
@@ -68,15 +81,21 @@ def encode_delta(old: Dict[str, np.ndarray], new: Dict[str, np.ndarray],
     for key in sorted(new):
         if old[key].shape != new[key].shape:
             raise DeltaError(f"shape changed for {key}")
+        if old[key].dtype != new[key].dtype:
+            raise DeltaError(f"dtype changed for {key}")
         if np.array_equal(old[key], new[key]):
             continue
         changed += 1
-        diff = (new[key] - old[key]).astype(np.float64)
         if quantize_bits is not None:
+            # quantisation is approximate anyway; diff in float64 so the
+            # grid is computed on exact differences
+            diff = (new[key].astype(np.float64)
+                    - old[key].astype(np.float64))
             payload, meta = _quantize(diff, quantize_bits)
         else:
-            payload, meta = diff.tobytes(), (0, 0.0, 0.0)
-        header = _entry_header(key, diff.shape, meta, len(payload))
+            payload, meta = _xor_payload(old[key], new[key]), (0, 0.0, 0.0)
+        header = _entry_header(key, new[key].shape, new[key].dtype, meta,
+                               len(payload))
         entries.append(header + payload)
     body = b"".join(entries)
     compressed = zlib.compress(body, level)
@@ -103,19 +122,25 @@ def apply_delta(old: Dict[str, np.ndarray], blob: bytes) -> Dict[str, np.ndarray
     new = {k: v.copy() for k, v in old.items()}
     offset = 0
     for _ in range(changed):
-        key, shape, meta, payload_len, offset = _read_entry_header(body, offset)
+        key, shape, dtype, meta, payload_len, offset = _read_entry_header(
+            body, offset)
         payload = body[offset:offset + payload_len]
         offset += payload_len
         if key not in new:
             raise DeltaError(f"delta names unknown tensor {key!r}")
+        if new[key].shape != tuple(shape):
+            raise DeltaError(f"shape mismatch applying delta to {key}")
+        if new[key].dtype != dtype:
+            raise DeltaError(
+                f"dtype mismatch applying delta to {key}: base is "
+                f"{new[key].dtype}, delta encoded {dtype}"
+            )
         bits, low, step = meta
         if bits:
             diff = _dequantize(payload, bits, low, step, shape)
+            new[key] = (new[key].astype(np.float64) + diff).astype(dtype)
         else:
-            diff = np.frombuffer(payload, dtype=np.float64).reshape(shape)
-        if new[key].shape != tuple(shape):
-            raise DeltaError(f"shape mismatch applying delta to {key}")
-        new[key] = (new[key] + diff).astype(old[key].dtype)
+            new[key] = _apply_xor_payload(new[key], payload, dtype, shape)
     if offset != len(body):
         raise DeltaError("trailing bytes in delta body")
     return new
@@ -138,13 +163,35 @@ def delta_stats(old: Dict[str, np.ndarray], new: Dict[str, np.ndarray],
 
 # -- wire format helpers ----------------------------------------------------
 
-def _entry_header(key: str, shape, meta, payload_len: int) -> bytes:
+def _xor_payload(old: np.ndarray, new: np.ndarray) -> bytes:
+    """XOR of the two tensors' raw bit patterns (native dtype width)."""
+    a = np.frombuffer(np.ascontiguousarray(old).tobytes(), dtype=np.uint8)
+    b = np.frombuffer(np.ascontiguousarray(new).tobytes(), dtype=np.uint8)
+    return np.bitwise_xor(a, b).tobytes()
+
+
+def _apply_xor_payload(base: np.ndarray, payload: bytes,
+                       dtype: np.dtype, shape) -> np.ndarray:
+    raw = np.frombuffer(np.ascontiguousarray(base).tobytes(), dtype=np.uint8)
+    if len(payload) != raw.size:
+        raise DeltaError(
+            f"payload is {len(payload)} B but tensor occupies {raw.size} B"
+        )
+    patched = np.bitwise_xor(
+        raw, np.frombuffer(payload, dtype=np.uint8))
+    return np.frombuffer(patched.tobytes(), dtype=dtype).reshape(shape)
+
+
+def _entry_header(key: str, shape, dtype: np.dtype, meta,
+                  payload_len: int) -> bytes:
     key_bytes = key.encode()
+    dtype_bytes = np.dtype(dtype).str.encode()
     bits, low, step = meta
     return (
         struct.pack(">H", len(key_bytes)) + key_bytes
         + struct.pack(">B", len(shape))
         + b"".join(struct.pack(">I", dim) for dim in shape)
+        + struct.pack(">B", len(dtype_bytes)) + dtype_bytes
         + struct.pack(">Bdd", bits, low, step)
         + struct.pack(">I", payload_len)
     )
@@ -162,11 +209,18 @@ def _read_entry_header(body: bytes, offset: int):
         (dim,) = struct.unpack_from(">I", body, offset)
         shape.append(dim)
         offset += 4
+    (dtype_len,) = struct.unpack_from(">B", body, offset)
+    offset += 1
+    try:
+        dtype = np.dtype(body[offset:offset + dtype_len].decode())
+    except TypeError as exc:
+        raise DeltaError(f"unknown dtype in delta entry for {key!r}") from exc
+    offset += dtype_len
     bits, low, step = struct.unpack_from(">Bdd", body, offset)
     offset += struct.calcsize(">Bdd")
     (payload_len,) = struct.unpack_from(">I", body, offset)
     offset += 4
-    return key, tuple(shape), (bits, low, step), payload_len, offset
+    return key, tuple(shape), dtype, (bits, low, step), payload_len, offset
 
 
 def _quantize(diff: np.ndarray, bits: int):

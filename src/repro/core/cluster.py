@@ -23,6 +23,8 @@ from ..faults.errors import TransientFaultError
 from ..faults.retry import RetryPolicy, call_with_retry
 from ..models.split import SplitModel
 from ..nn.tensor import Tensor
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from ..storage.imageformat import preprocess
 from ..storage.photodb import LabelRecord, PhotoDatabase
 from .fabric import NetworkFabric
@@ -89,18 +91,28 @@ class NDPipeCluster:
                  nominal_raw_bytes: int = 8192, lr: float = 3e-3,
                  batch_size: int = 64, seed: int = 0,
                  retry_policy: Optional[RetryPolicy] = None,
-                 journal_uploads: bool = True):
+                 journal_uploads: bool = True,
+                 journal_max_entries: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         if num_stores < 1:
             raise ValueError("need at least one PipeStore")
+        if journal_max_entries is not None and journal_max_entries < 1:
+            raise ValueError("journal_max_entries must be >= 1")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.retry = retry_policy if retry_policy is not None else RetryPolicy()
-        self.network = NetworkFabric()
+        self.retry.bind_metrics(self.metrics)
+        self.network = NetworkFabric(metrics=self.metrics)
         self.tuner = Tuner(model_factory(), self.network, split=split,
                            lr=lr, batch_size=batch_size, seed=seed,
-                           retry_policy=self.retry)
+                           retry_policy=self.retry, metrics=self.metrics,
+                           tracer=self.tracer)
         self.stores: List[PipeStore] = []
         for i in range(num_stores):
             store = PipeStore(f"pipestore-{i}",
                               nominal_raw_bytes=nominal_raw_bytes)
+            store.bind_metrics(self.metrics)
             self.tuner.register(store, model_factory())
             self.stores.append(store)
         self.inference_server = InferenceServer(model_factory())
@@ -108,11 +120,25 @@ class NDPipeCluster:
         self.database = PhotoDatabase()
         self._ingest_counter = 0
         self._rr_next = 0
-        # the front end journals uploads (pixels + user tag) until the
-        # photo is durable on a healthy store; the journal is what lets
-        # the cluster re-place photos orphaned on a crashed store
+        # the front end journals uploads (pixels + user tag) so photos
+        # orphaned on a crashed store can be re-placed onto survivors.
+        # The journal is bounded: entries whose photo left the database
+        # are pruned, and ``journal_max_entries`` caps residency (oldest
+        # entries fall out first) so raw pixel buffers cannot accumulate
+        # for the lifetime of the cluster.
         self._journal: Optional[Dict[str, Tuple[np.ndarray, Optional[int]]]]
         self._journal = {} if journal_uploads else None
+        self._journal_max_entries = journal_max_entries
+        self._m_journal = self.metrics.gauge(
+            "cluster_journal_entries", "upload-journal entries resident")
+        self._m_journal_pruned = self.metrics.counter(
+            "cluster_journal_pruned_total", "journal entries pruned",
+            label_names=("reason",))
+        self._m_ingested = self.metrics.counter(
+            "cluster_photos_ingested_total", "photos accepted by ingest")
+        self._m_relabel = self.metrics.counter(
+            "cluster_relabel_photos_total",
+            "photos refreshed by offline relabel campaigns")
 
     # -- ingest (online inference) flow --------------------------------------
     def ingest(self, images: np.ndarray, train_labels: Optional[Sequence[int]] = None,
@@ -123,28 +149,29 @@ class NDPipeCluster:
         if train_labels is not None and len(train_labels) != len(images):
             raise ValueError("train_labels length mismatch")
         ids: List[str] = []
-        for row, pixels in enumerate(images):
-            photo_id = f"photo-{self._ingest_counter:08d}"
-            self._ingest_counter += 1
-            label, confidence = self.inference_server.classify(pixels)
-            preprocessed = self.inference_server.preprocess(pixels)
-            train_label = (None if train_labels is None
-                           else int(train_labels[row]))
-            photo = StoredPhoto(
-                photo_id=photo_id,
-                pixels=pixels,
-                preprocessed=preprocessed,
-                train_label=train_label,
-            )
-            store = self._place_photo(photo)
-            self.database.upsert(LabelRecord(
-                photo_id=photo_id, label=label,
-                model_version=self.tuner.version,
-                location=store.store_id, confidence=confidence,
-            ))
-            if self._journal is not None:
-                self._journal[photo_id] = (pixels, train_label)
-            ids.append(photo_id)
+        with self.tracer.span("cluster.ingest", photos=len(images)):
+            for row, pixels in enumerate(images):
+                photo_id = f"photo-{self._ingest_counter:08d}"
+                self._ingest_counter += 1
+                label, confidence = self.inference_server.classify(pixels)
+                preprocessed = self.inference_server.preprocess(pixels)
+                train_label = (None if train_labels is None
+                               else int(train_labels[row]))
+                photo = StoredPhoto(
+                    photo_id=photo_id,
+                    pixels=pixels,
+                    preprocessed=preprocessed,
+                    train_label=train_label,
+                )
+                store = self._place_photo(photo)
+                self.database.upsert(LabelRecord(
+                    photo_id=photo_id, label=label,
+                    model_version=self.tuner.version,
+                    location=store.store_id, confidence=confidence,
+                ))
+                self._journal_put(photo_id, pixels, train_label)
+                self._m_ingested.inc()
+                ids.append(photo_id)
         return ids
 
     def _place_photo(self, photo: StoredPhoto, kind: str = "ingest",
@@ -203,11 +230,13 @@ class NDPipeCluster:
             ]
             for store in self.stores
         }
-        report = self.tuner.finetune(
-            assignments=assignments, epochs=epochs, num_runs=num_runs,
-            relocate=self._relocate_for_training if relocate_lost else None,
-        )
-        self.inference_server.sync_model(self.tuner.model.state_dict())
+        with self.tracer.span("cluster.finetune", epochs=epochs,
+                              num_runs=num_runs):
+            report = self.tuner.finetune(
+                assignments=assignments, epochs=epochs, num_runs=num_runs,
+                relocate=self._relocate_for_training if relocate_lost else None,
+            )
+            self.inference_server.sync_model(self.tuner.model.state_dict())
         return report
 
     def _relocate_for_training(self, store_id: str,
@@ -229,11 +258,19 @@ class NDPipeCluster:
         the Tuner's retries — are skipped *visibly*: the returned stats
         name them and count the photos left outdated for a later pass.
         """
-        from ..sim.specs import LABEL_BYTES
-
         target_version = self.tuner.version
         stats = RelabelStats(photos_processed=0, labels_changed=0,
                              label_bytes=0)
+        with self.tracer.span("cluster.offline_relabel",
+                              target_version=target_version):
+            self._offline_relabel(stats, target_version, only_outdated)
+        self._m_relabel.inc(stats.photos_processed)
+        return stats
+
+    def _offline_relabel(self, stats: RelabelStats, target_version: int,
+                         only_outdated: bool) -> None:
+        from ..sim.specs import LABEL_BYTES
+
         for store in self.stores:
             if only_outdated:
                 ids = [
@@ -264,7 +301,44 @@ class NDPipeCluster:
                     location=record.location, confidence=confidence,
                 )):
                     stats.labels_changed += 1
-        return stats
+
+    # -- upload journal -----------------------------------------------------
+    @property
+    def journal_size(self) -> int:
+        """Entries currently resident in the upload journal."""
+        return 0 if self._journal is None else len(self._journal)
+
+    def _journal_put(self, photo_id: str, pixels: np.ndarray,
+                     train_label: Optional[int]) -> None:
+        if self._journal is None:
+            return
+        self._journal[photo_id] = (pixels, train_label)
+        cap = self._journal_max_entries
+        if cap is not None and len(self._journal) > cap:
+            # dict preserves insertion order: evict the oldest uploads
+            overflow = len(self._journal) - cap
+            for pid in list(self._journal)[:overflow]:
+                del self._journal[pid]
+            self._m_journal_pruned.inc(overflow, reason="capacity")
+        self._m_journal.set(len(self._journal))
+
+    def prune_journal(self) -> int:
+        """Drop journal entries whose photo is gone from the database.
+
+        The database is the single source of truth for placement; a photo
+        that left it can never need re-ingestion, so its raw pixel buffer
+        has no business staying resident.  Returns how many entries were
+        dropped.  Called automatically by :meth:`reconcile`.
+        """
+        if self._journal is None:
+            return 0
+        stale = [pid for pid in self._journal if pid not in self.database]
+        for pid in stale:
+            del self._journal[pid]
+        if stale:
+            self._m_journal_pruned.inc(len(stale), reason="departed")
+        self._m_journal.set(len(self._journal))
+        return len(stale)
 
     # -- failure recovery ---------------------------------------------------
     def reingest_orphans(self, store_id: str,
@@ -282,28 +356,30 @@ class NDPipeCluster:
         moved: List[str] = []
         candidates = (self.database.ids_at(store_id) if only is None
                       else list(only))
-        for pid in candidates:
-            if pid not in self._journal or pid not in self.database:
-                continue
-            record = self.database.lookup(pid)
-            if record.location != store_id:
-                continue  # already moved
-            pixels, train_label = self._journal[pid]
-            photo = StoredPhoto(
-                photo_id=pid, pixels=pixels,
-                preprocessed=self.inference_server.preprocess(pixels),
-                train_label=train_label,
-            )
-            try:
-                target = self._place_photo(photo, kind="re-ingest")
-            except StoreUnavailableError:
-                continue
-            self.database.upsert(LabelRecord(
-                photo_id=pid, label=record.label,
-                model_version=record.model_version,
-                location=target.store_id, confidence=record.confidence,
-            ))
-            moved.append(pid)
+        with self.tracer.span("cluster.reingest_orphans", store=store_id,
+                              candidates=len(candidates)):
+            for pid in candidates:
+                if pid not in self._journal or pid not in self.database:
+                    continue
+                record = self.database.lookup(pid)
+                if record.location != store_id:
+                    continue  # already moved
+                pixels, train_label = self._journal[pid]
+                photo = StoredPhoto(
+                    photo_id=pid, pixels=pixels,
+                    preprocessed=self.inference_server.preprocess(pixels),
+                    train_label=train_label,
+                )
+                try:
+                    target = self._place_photo(photo, kind="re-ingest")
+                except StoreUnavailableError:
+                    continue
+                self.database.upsert(LabelRecord(
+                    photo_id=pid, label=record.label,
+                    model_version=record.model_version,
+                    location=target.store_id, confidence=record.confidence,
+                ))
+                moved.append(pid)
         return moved
 
     def recover(self, store: Union[str, PipeStore]) -> PipeStore:
@@ -311,10 +387,11 @@ class NDPipeCluster:
         missed, and evict any photo the cluster re-placed elsewhere while
         it was down (the database location is authoritative)."""
         store = self._resolve_store(store)
-        store.repair()
-        store.slowdown = 1.0
-        self.tuner.catch_up(store)
-        self.reconcile(store)
+        with self.tracer.span("cluster.recover", store=store.store_id):
+            store.repair()
+            store.slowdown = 1.0
+            self.tuner.catch_up(store)
+            self.reconcile(store)
         return store
 
     def reconcile(self, store: Union[str, PipeStore]) -> List[str]:
@@ -326,6 +403,7 @@ class NDPipeCluster:
                     or self.database.lookup(pid).location != store.store_id):
                 store.evict_photo(pid)
                 evicted.append(pid)
+        self.prune_journal()
         return evicted
 
     def _resolve_store(self, store: Union[str, PipeStore]) -> PipeStore:

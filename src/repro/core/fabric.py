@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
 from ..faults.errors import MessageDroppedError
+from ..obs.metrics import MetricsRegistry
 from ..sim.specs import NetworkSpec, TEN_GBE
 
 
@@ -38,7 +39,8 @@ class NetworkFabric:
 
     def __init__(self, spec: NetworkSpec = TEN_GBE,
                  fault_filter: Optional[Callable[["TransferRecord"], float]]
-                 = None):
+                 = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.spec = spec
         self.fault_filter = fault_filter
         self._by_edge: Counter = Counter()
@@ -48,6 +50,25 @@ class NetworkFabric:
         self.dropped_count = 0
         self.dropped_bytes = 0
         self.injected_latency_s = 0.0
+        self._metrics: Optional[MetricsRegistry] = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Report every transfer into a shared registry from now on."""
+        self._metrics = metrics
+        self._m_bytes = metrics.counter(
+            "fabric_bytes_total", "bytes moved per traffic kind and edge",
+            label_names=("kind", "src", "dst"))
+        self._m_transfers = metrics.counter(
+            "fabric_transfers_total", "completed transfers per traffic kind",
+            label_names=("kind",))
+        self._m_dropped = metrics.counter(
+            "fabric_dropped_total", "transfers dropped by fault injection",
+            label_names=("kind",))
+        self._m_dropped_bytes = metrics.counter(
+            "fabric_dropped_bytes_total", "bytes lost to dropped transfers",
+            label_names=("kind",))
 
     def send(self, src: str, dst: str, num_bytes: int, kind: str,
              payload: Any = None) -> Any:
@@ -66,11 +87,17 @@ class NetworkFabric:
             except MessageDroppedError:
                 self.dropped_count += 1
                 self.dropped_bytes += num_bytes
+                if self._metrics is not None:
+                    self._m_dropped.inc(kind=kind)
+                    self._m_dropped_bytes.inc(num_bytes, kind=kind)
                 raise
         self._by_edge[(src, dst)] += num_bytes
         self._by_kind[kind] += num_bytes
         self.total_bytes += num_bytes
         self.transfer_count += 1
+        if self._metrics is not None:
+            self._m_bytes.inc(num_bytes, kind=kind, src=src, dst=dst)
+            self._m_transfers.inc(kind=kind)
         return payload
 
     def bytes_between(self, src: str, dst: str) -> int:

@@ -16,7 +16,7 @@ at large ``num_runs`` (Fig. 17) is an emergent behaviour, not a formula.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..models.graph import ModelGraph
+from ..obs.metrics import MetricsRegistry
 from ..sim.specs import (
     COMPRESSED_PREPROCESSED_BYTES,
     PREPROCESSED_BYTES,
@@ -66,10 +67,19 @@ class ThreadedPipeline:
     set, it is invoked before each stage function and may sleep (slow
     accelerator) or raise (injected stage failure); its time is charged
     to the stage's busy seconds.
+
+    ``stats`` describes the **latest** ``run()`` only, so ``bottleneck()``
+    on a reused pipeline never mixes runs (it used to accumulate across
+    runs and report stale totals).  ``cumulative_stats`` keeps the
+    lifetime view, and with ``metrics`` set the same totals land in the
+    shared registry (``npe_stage_items_total`` /
+    ``npe_stage_busy_seconds_total``, labelled by pipeline and stage).
     """
 
     def __init__(self, stages: Sequence, queue_depth: int = 8,
-                 stage_hook: Optional[Callable[[str, object], None]] = None):
+                 stage_hook: Optional[Callable[[str, object], None]] = None,
+                 name: str = "npe",
+                 metrics: Optional[MetricsRegistry] = None):
         if not stages:
             raise ValueError("need at least one stage")
         if queue_depth < 1:
@@ -77,12 +87,29 @@ class ThreadedPipeline:
         self._stages: List = list(stages)
         self._queue_depth = queue_depth
         self.stage_hook = stage_hook
+        self.name = name
         self.stats = [StageStats(name) for name, _ in self._stages]
+        self.cumulative_stats = [StageStats(name) for name, _ in self._stages]
+        self._metrics: Optional[MetricsRegistry] = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Accumulate per-stage items/busy time in a shared registry."""
+        self._metrics = metrics
+        self._m_items = metrics.counter(
+            "npe_stage_items_total", "items processed per pipeline stage",
+            label_names=("pipeline", "stage"))
+        self._m_busy = metrics.counter(
+            "npe_stage_busy_seconds_total", "busy seconds per pipeline stage",
+            label_names=("pipeline", "stage"))
 
     def run(self, items: Iterable) -> List:
         """Push every item through all stages; returns outputs in order."""
         import time
 
+        # per-run view: a reused pipeline must not report stale totals
+        self.stats = [StageStats(name) for name, _ in self._stages]
         queues = [queue.Queue(maxsize=self._queue_depth)
                   for _ in range(len(self._stages) + 1)]
         results: List = []
@@ -143,11 +170,23 @@ class ThreadedPipeline:
         feed_thread.join()
         for thread in threads:
             thread.join()
+        self._absorb_run_stats()
         if errors:
             raise errors[0]
         if feeder_error:
             raise feeder_error[0]
         return results
+
+    def _absorb_run_stats(self) -> None:
+        """Fold the finished run into the cumulative and metric views."""
+        for run_stats, lifetime in zip(self.stats, self.cumulative_stats):
+            lifetime.items += run_stats.items
+            lifetime.busy_seconds += run_stats.busy_seconds
+            if self._metrics is not None and run_stats.items:
+                self._m_items.inc(run_stats.items, pipeline=self.name,
+                                  stage=run_stats.name)
+                self._m_busy.inc(run_stats.busy_seconds, pipeline=self.name,
+                                 stage=run_stats.name)
 
     def bottleneck(self) -> StageStats:
         return max(self.stats, key=lambda s: s.busy_seconds)
@@ -193,7 +232,8 @@ def _level_config(level: str) -> NpeConfig:
     raise ValueError(f"unknown NPE level {level!r}; use one of {ABLATION_LEVELS}")
 
 
-def npe_task_times(graph: ModelGraph, level: str, task: str = "inference",
+def npe_task_times(graph: ModelGraph, level: Union[str, NpeConfig],
+                   task: str = "inference",
                    accelerator: AcceleratorSpec = TESLA_T4,
                    cpu: CpuSpec = STORAGE_CPU,
                    disk: DiskSpec = ST1_RAID,
@@ -202,10 +242,11 @@ def npe_task_times(graph: ModelGraph, level: str, task: str = "inference",
 
     ``task`` is ``"inference"`` (Read / Preproc / Decomp / FE&Cl) or
     ``"finetune"`` (Read / Decomp / FE).  This regenerates Fig. 12.
+    ``level`` is an ablation-level name or a custom :class:`NpeConfig`.
     """
     if task not in ("inference", "finetune"):
         raise ValueError("task must be 'inference' or 'finetune'")
-    cfg = _level_config(level)
+    cfg = level if isinstance(level, NpeConfig) else _level_config(level)
     times: Dict[str, float] = {}
 
     read_bytes = (cfg.read_bytes_inference if task == "inference"
@@ -247,12 +288,32 @@ def npe_ablation(graph: ModelGraph, task: str = "inference",
     }
 
 
-def npe_throughput_ips(graph: ModelGraph, level: str, task: str = "inference",
+def npe_pipeline_stage_times(times: Dict[str, float]) -> Dict[str, float]:
+    """Fold subtask times into the 3 physical pipeline stages.
+
+    The pipeline has exactly three stages — disk read, CPU work, and the
+    accelerator — and Preproc and Decomp both run on the *same* CPU
+    stage, so their times add rather than pipeline against each other.
+    """
+    return {
+        "read": times.get("Read", 0.0),
+        "cpu": times.get("Preproc", 0.0) + times.get("Decomp", 0.0),
+        "accelerator": times.get("FE&Cl", times.get("FE", 0.0)),
+    }
+
+
+def npe_throughput_ips(graph: ModelGraph, level: Union[str, NpeConfig],
+                       task: str = "inference",
                        accelerator: AcceleratorSpec = TESLA_T4,
                        ) -> float:
-    """Steady-state PipeStore throughput: 3-stage pipelined bottleneck."""
+    """Steady-state PipeStore throughput: 3-stage pipelined bottleneck.
+
+    The bottleneck is ``max(Read, Preproc + Decomp, FE)`` — *not* the max
+    over subtasks, because preprocessing and decompression share the CPU
+    stage (a config enabling both is slower than either alone).
+    """
     times = npe_task_times(graph, level, task, accelerator)
-    slowest_ms = max(times.values())
+    slowest_ms = max(npe_pipeline_stage_times(times).values())
     if slowest_ms <= 0:
         return float("inf")
     return 1e3 / slowest_ms

@@ -27,7 +27,6 @@ from ..sim.specs import (
     CpuSpec,
     DiskSpec,
     NetworkSpec,
-    ServerSpec,
     ST1_RAID,
     STORAGE_CPU,
 )

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..models.split import SplitModel
 from ..nn.tensor import Tensor
+from ..obs.metrics import MetricsRegistry
 from ..storage.compression import deflate, inflate
 from ..storage.imageformat import (
     decode_preprocessed,
@@ -65,6 +66,42 @@ class PipeStore:
         self.slowdown = 1.0
         #: accounted accelerator busy seconds across near-data jobs
         self.busy_seconds = 0.0
+        self._metrics: Optional[MetricsRegistry] = None
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Report storage and near-data-job activity into a registry."""
+        self._metrics = metrics
+        self._m_stored = metrics.counter(
+            "pipestore_photos_stored_total", "photos ingested per store",
+            label_names=("store",))
+        self._m_stored_bytes = metrics.counter(
+            "pipestore_bytes_stored_total",
+            "raw + preprocessed bytes persisted per store",
+            label_names=("store",))
+        self._m_evicted = metrics.counter(
+            "pipestore_photos_evicted_total",
+            "photos dropped after re-placement elsewhere",
+            label_names=("store",))
+        self._m_extracted = metrics.counter(
+            "pipestore_features_extracted_total",
+            "images run through the frozen front (FT-DMP Store stage)",
+            label_names=("store",))
+        self._m_relabelled = metrics.counter(
+            "pipestore_photos_relabelled_total",
+            "images run through whole-model offline inference",
+            label_names=("store",))
+        self._m_model_updates = metrics.counter(
+            "pipestore_model_updates_total",
+            "model replica updates applied, by mechanism",
+            label_names=("store", "mechanism"))
+        self._m_busy = metrics.counter(
+            "pipestore_busy_seconds_total",
+            "accounted accelerator seconds per store",
+            label_names=("store",))
+
+    def _count(self, counter_name: str, amount: float = 1.0) -> None:
+        if self._metrics is not None:
+            getattr(self, counter_name).inc(amount, store=self.store_id)
 
     # -- fault injection ----------------------------------------------------
     @property
@@ -93,7 +130,10 @@ class PipeStore:
         self.objects.put(self.objects.preproc_key(photo.photo_id), pre_blob)
         if photo.train_label is not None:
             self._train_labels[photo.photo_id] = photo.train_label
-        return len(raw_blob) + len(pre_blob)
+        stored = len(raw_blob) + len(pre_blob)
+        self._count("_m_stored")
+        self._count("_m_stored_bytes", stored)
+        return stored
 
     def load_preprocessed(self, photo_id: str) -> np.ndarray:
         """Read + inflate + decode one preprocessed binary."""
@@ -124,6 +164,7 @@ class PipeStore:
             if self.objects.exists(key):
                 self.objects.delete(key)
         self._train_labels.pop(photo_id, None)
+        self._count("_m_evicted")
 
     # -- model management ----------------------------------------------------
     def install_model(self, model: SplitModel, split: int, version: int) -> None:
@@ -134,6 +175,17 @@ class PipeStore:
         self.split = split
         self.model_version = version
         self.model.eval()
+        if self._metrics is not None:
+            self._m_model_updates.inc(store=self.store_id, mechanism="full")
+
+    def apply_full_state(self, state: Dict[str, np.ndarray],
+                         version: int) -> None:
+        """Load a full-model resync into the local replica."""
+        self._require_model()
+        self.model.load_state_dict(state)
+        self.model_version = version
+        if self._metrics is not None:
+            self._m_model_updates.inc(store=self.store_id, mechanism="full")
 
     def apply_model_delta(self, blob: bytes, version: int) -> None:
         """Apply a Check-N-Run delta to the local replica."""
@@ -147,6 +199,8 @@ class PipeStore:
         new_state = checknrun.apply_delta(self.model.state_dict(), blob)
         self.model.load_state_dict(new_state)
         self.model_version = version
+        if self._metrics is not None:
+            self._m_model_updates.inc(store=self.store_id, mechanism="delta")
 
     # -- near-data jobs --------------------------------------------------------
     def extract_features(self, photo_ids: Sequence[str]) -> np.ndarray:
@@ -159,6 +213,7 @@ class PipeStore:
             batch = Tensor(inputs[start:start + self.batch_size])
             outputs.append(self.model.forward_until(batch, self.split).data)
         self._account_compute(len(inputs))
+        self._count("_m_extracted", len(inputs))
         return np.concatenate(outputs, axis=0)
 
     def offline_infer(self, photo_ids: Sequence[str]) -> Dict[str, Tuple[int, float]]:
@@ -178,12 +233,14 @@ class PipeStore:
                 label = int(labels[row])
                 results[pid] = (label, float(probs[row, label]))
         self._account_compute(len(inputs))
+        self._count("_m_relabelled", len(inputs))
         return results
 
     # -- internals ----------------------------------------------------------
     def _account_compute(self, num_images: int) -> None:
-        self.busy_seconds += (num_images * NOMINAL_SECONDS_PER_IMAGE
-                              * self.slowdown)
+        seconds = num_images * NOMINAL_SECONDS_PER_IMAGE * self.slowdown
+        self.busy_seconds += seconds
+        self._count("_m_busy", seconds)
 
     def _require_model(self) -> None:
         if self.model is None:

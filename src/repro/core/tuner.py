@@ -22,6 +22,8 @@ from ..models.split import SplitModel
 from ..nn.losses import cross_entropy
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from . import checknrun
 from .fabric import NetworkFabric
 from .ftdmp import EpochRecord, FinetuneReport
@@ -64,9 +66,15 @@ class Tuner:
     def __init__(self, model: SplitModel, network: NetworkFabric,
                  split: Optional[int] = None, name: str = "tuner",
                  lr: float = 3e-3, batch_size: int = 64, seed: int = 0,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         self.name = name
         self.retry = retry_policy if retry_policy is not None else RetryPolicy()
+        self.tracer = tracer
+        self._metrics: Optional[MetricsRegistry] = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
         self.model = model
         self.split = model.num_stages - 1 if split is None else split
         if not 0 <= self.split < model.num_stages:
@@ -81,6 +89,38 @@ class Tuner:
         self._last_distributed: Optional[Dict[str, np.ndarray]] = None
         model.freeze_features()
         self.distributions: List[DistributionStats] = []
+
+    # -- observability -------------------------------------------------------
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Report FT-DMP run timings and distribution rounds into a registry."""
+        self._metrics = metrics
+        self._m_store_stage = metrics.histogram(
+            "ftdmp_store_stage_seconds",
+            "wall seconds per run gathering features from the fleet")
+        self._m_tuner_stage = metrics.histogram(
+            "ftdmp_tuner_stage_seconds",
+            "wall seconds per run training the tail on gathered features")
+        self._m_runs = metrics.counter(
+            "ftdmp_runs_total", "pipeline runs executed across fine-tunes")
+        self._m_images = metrics.counter(
+            "ftdmp_images_extracted_total",
+            "images whose features reached the Tuner")
+        self._m_feature_bytes = metrics.counter(
+            "ftdmp_feature_bytes_total", "feature bytes shipped to the Tuner")
+        self._m_distributions = metrics.counter(
+            "checknrun_distributions_total", "model distribution rounds",
+            label_names=("mechanism",))
+        self._m_distributed_bytes = metrics.counter(
+            "checknrun_distributed_bytes_total",
+            "bytes shipped distributing model updates",
+            label_names=("mechanism",))
+
+    def _span(self, name: str, **args):
+        if self.tracer is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.tracer.span(name, category="ftdmp", **args)
 
     # -- fleet management ---------------------------------------------------
     def register(self, store: PipeStore, replica: SplitModel) -> None:
@@ -147,6 +187,19 @@ class Tuner:
                 stats.stores_missed.append(store.store_id)
         self.distributions.append(stats)
         self._last_distributed = new_state
+        if self._metrics is not None:
+            full_bytes = checknrun.state_dict_bytes(new_state)
+            num_resynced = len(stats.stores_resynced)
+            num_delta = (len(self._stores) - len(stats.stores_missed)
+                         - num_resynced)
+            if num_delta:
+                self._m_distributions.inc(num_delta, mechanism="delta")
+                self._m_distributed_bytes.inc(num_delta * len(blob),
+                                              mechanism="delta")
+            if num_resynced:
+                self._m_distributions.inc(num_resynced, mechanism="full")
+                self._m_distributed_bytes.inc(num_resynced * full_bytes,
+                                              mechanism="full")
         return stats
 
     def _send_delta(self, store: PipeStore, blob: bytes) -> None:
@@ -156,8 +209,7 @@ class Tuner:
     def _send_full(self, store: PipeStore, state: Dict[str, np.ndarray]) -> None:
         num_bytes = checknrun.state_dict_bytes(state)
         self.network.send(self.name, store.store_id, num_bytes, "model-full")
-        store.model.load_state_dict(state)
-        store.model_version = self.version
+        store.apply_full_state(state, self.version)
 
     # -- FT-DMP fine-tuning ----------------------------------------------------
     def finetune(self, assignments: Optional[Dict[str, Sequence[str]]] = None,
@@ -190,17 +242,35 @@ class Tuner:
         if self._optimizer is None:
             self._optimizer = Adam(self.model.classifier.parameters(), lr=self.lr)
 
+        import time as _time
+
         store_by_id = {s.store_id: s for s in self._stores}
         run_chunks = self._plan_runs(assignments, num_runs)
         for run_index, per_store_ids in enumerate(run_chunks):
-            features, labels = self._gather_features(
-                store_by_id, per_store_ids, report, relocate=relocate
-            )
+            images_before = report.images_extracted
+            bytes_before = report.feature_bytes
+            start = _time.perf_counter()
+            with self._span("ftdmp.store_stage", run=run_index):
+                features, labels = self._gather_features(
+                    store_by_id, per_store_ids, report, relocate=relocate
+                )
+            store_seconds = _time.perf_counter() - start
+            if self._metrics is not None:
+                self._m_runs.inc()
+                self._m_store_stage.observe(store_seconds)
+                self._m_images.inc(report.images_extracted - images_before)
+                self._m_feature_bytes.inc(report.feature_bytes - bytes_before)
             if len(features) == 0:
                 continue
-            self._train_tail(features, labels, epochs, run_index, report)
+            start = _time.perf_counter()
+            with self._span("ftdmp.tuner_stage", run=run_index,
+                            images=len(features)):
+                self._train_tail(features, labels, epochs, run_index, report)
+            if self._metrics is not None:
+                self._m_tuner_stage.observe(_time.perf_counter() - start)
         if distribute:
-            self.distribute_update()
+            with self._span("ftdmp.distribute"):
+                self.distribute_update()
         return report
 
     def _plan_runs(self, assignments: Dict[str, Sequence[str]],

@@ -20,7 +20,7 @@ what lets the chaos suite assert exact accounting under failure.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 

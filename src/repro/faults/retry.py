@@ -42,6 +42,27 @@ class RetryPolicy:
     giveups: int = field(default=0, init=False)
     backoff_s: float = field(default=0.0, init=False)
 
+    # observability seam (kept out of __init__/__eq__): when bound, the
+    # same accounting lands in a shared MetricsRegistry
+    _metrics: Optional[object] = field(default=None, init=False, repr=False,
+                                       compare=False)
+
+    def bind_metrics(self, metrics) -> None:
+        """Mirror retry accounting into ``metrics`` (a MetricsRegistry)."""
+        self._metrics = metrics
+        self._m_attempts = metrics.counter(
+            "retry_attempts_total", "dispatch attempts under the policy")
+        self._m_retries = metrics.counter(
+            "retry_retries_total", "attempts that were retried after a fault")
+        self._m_giveups = metrics.counter(
+            "retry_giveups_total", "dispatches abandoned after max attempts")
+        self._m_backoff = metrics.counter(
+            "retry_backoff_seconds_total", "accounted exponential backoff")
+
+    def _record(self, counter_name: str, amount: float = 1.0) -> None:
+        if self._metrics is not None:
+            getattr(self, counter_name).inc(amount)
+
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -60,6 +81,7 @@ class RetryPolicy:
     def _backoff(self, retry_index: int) -> None:
         delay = self.delay_for(retry_index)
         self.backoff_s += delay
+        self._record("_m_backoff", delay)
         if self.sleep is not None:
             self.sleep(delay)
 
@@ -79,6 +101,7 @@ def call_with_retry(fn: Callable[[], T], policy: RetryPolicy,
     last: Optional[BaseException] = None
     for attempt in range(1, policy.max_attempts + 1):
         policy.attempts += 1
+        policy._record("_m_attempts")
         try:
             return fn()
         except retryable as exc:
@@ -88,7 +111,9 @@ def call_with_retry(fn: Callable[[], T], policy: RetryPolicy,
             if on_retry is not None:
                 on_retry(attempt, exc)
             policy.retries += 1
+            policy._record("_m_retries")
             policy._backoff(attempt)
     policy.giveups += 1
+    policy._record("_m_giveups")
     assert last is not None
     raise last

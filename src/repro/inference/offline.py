@@ -12,9 +12,8 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..models.graph import ModelGraph
-from ..sim.power import PowerDraw
 from ..sim.specs import LABEL_BYTES, ServerSpec, G4DN_4XLARGE
-from ..train.baselines import SystemPoint, ndpipe_inference, srv_inference
+from ..train.baselines import ndpipe_inference, srv_inference
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,6 @@ from ..nn.layers import (
     BatchNorm2d,
     Conv2d,
     Identity,
-    MaxPool2d,
     ReLU,
     Sequential,
 )

@@ -16,7 +16,7 @@ Graphs exist at two scales:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 #: bytes per element when features are shipped PipeStore -> Tuner (fp32;

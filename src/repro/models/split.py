@@ -9,7 +9,7 @@ that a split forward equals the unsplit forward bit-for-bit.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

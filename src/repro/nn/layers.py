@@ -6,7 +6,7 @@ deterministic — the drift experiments depend on reproducible initial models.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -14,7 +14,7 @@ operands are reduced back to the operand's shape by :func:`_unbroadcast`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -1,0 +1,97 @@
+"""Structured benchmark results — the machine-readable bench trajectory.
+
+Every ``bench_fig*`` script historically wrote a human-readable text
+table; nothing downstream could diff a number across PRs.  This module
+gives the bench harness one JSON schema:
+
+.. code-block:: json
+
+    {
+      "bench": "fig12_npe_ablation",
+      "schema_version": 1,
+      "config": {"model": "ResNet50", "scale": "fast"},
+      "results": [
+        {"metric": "npe_throughput_ips", "value": 2129.0,
+         "unit": "images/s", "labels": {"level": "+Batch"}}
+      ]
+    }
+
+Values are plain floats/ints, labels are flat string maps, and nothing
+time- or host-dependent is written, so two runs of the same code produce
+byte-identical files and the results directory diffs cleanly across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["BenchResult", "bench_payload", "write_bench_json"]
+
+SCHEMA_VERSION = 1
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured number: name, value, unit, and identifying labels."""
+
+    metric: str
+    value: Number
+    unit: str
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        out: Dict = {
+            "metric": self.metric,
+            "value": self.value,
+            "unit": self.unit,
+        }
+        if self.labels:
+            out["labels"] = {k: str(v) for k, v in sorted(self.labels.items())}
+        return out
+
+
+def bench_payload(bench: str, results: Sequence[BenchResult],
+                  config: Optional[Dict] = None) -> Dict:
+    """Assemble the canonical payload dict for one benchmark."""
+    if not bench:
+        raise ValueError("bench name must be non-empty")
+    for result in results:
+        if not isinstance(result, BenchResult):
+            raise TypeError(f"expected BenchResult, got {type(result)!r}")
+    return {
+        "bench": bench,
+        "schema_version": SCHEMA_VERSION,
+        "config": {k: config[k] for k in sorted(config)} if config else {},
+        "results": [r.to_dict() for r in results],
+    }
+
+
+def write_bench_json(directory: Union[str, Path], bench: str,
+                     results: Sequence[BenchResult],
+                     config: Optional[Dict] = None) -> Path:
+    """Write ``<directory>/<bench>.json``; returns the written path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{bench}.json"
+    payload = bench_payload(bench, results, config)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_bench_json(path: Union[str, Path]) -> List[BenchResult]:
+    """Read a results file back into :class:`BenchResult` objects."""
+    payload = json.loads(Path(path).read_text())
+    return [
+        BenchResult(
+            metric=entry["metric"],
+            value=entry["value"],
+            unit=entry["unit"],
+            labels=dict(entry.get("labels", {})),
+        )
+        for entry in payload["results"]
+    ]

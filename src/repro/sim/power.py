@@ -12,7 +12,7 @@ each server's draw as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable
 
 from .specs import ServerSpec
 

@@ -7,8 +7,8 @@ newer model's offline inference corrects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ System definitions (§3.4, §6.2):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..models.graph import ModelGraph
 from ..sim.pipeline import Stage, pipelined_throughput, sequential_throughput

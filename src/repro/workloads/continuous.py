@@ -11,7 +11,7 @@ label freshness, update counts, and network traffic per day.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

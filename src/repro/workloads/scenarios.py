@@ -9,12 +9,11 @@ against fresh test sets, optionally fine-tuned or fully retrained.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.ftdmp import FTDMPTrainer
-from ..data.datasets import DatasetProfile
 from ..data.drift import DriftingPhotoWorld
 from ..data.loader import normalize_images
 from ..models.split import SplitModel

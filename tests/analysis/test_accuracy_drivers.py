@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis.accuracy import (
     SMOKE,
-    Scale,
     fig04_drift_study,
     fig17_pipelined_training,
     make_model,

@@ -143,3 +143,68 @@ class TestTrafficReduction:
         stats = delta_stats(old_state, model.state_dict())
         assert stats.changed_tensors <= 2  # classifier weight + bias
         assert stats.reduction_factor > 5
+
+
+class TestNativeDtype:
+    """CNR2 regression tests: deltas are encoded in the tensor's native
+    dtype, and the exact path is an XOR of bit patterns, so reconstruction
+    is bit-identical where the old float64 arithmetic round-trip was not."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_roundtrip_is_bit_identical(self, rng, dtype):
+        old = {"w": rng.normal(size=(257,)).astype(dtype)}
+        new = {"w": old["w"] + rng.normal(size=(257,)).astype(dtype)}
+        rebuilt = apply_delta(old, encode_delta(old, new))
+        assert rebuilt["w"].dtype == np.dtype(dtype)
+        assert rebuilt["w"].tobytes() == new["w"].tobytes()
+
+    def test_float32_cancellation_roundtrip(self):
+        """Adversarial values: a float32 arithmetic diff absorbs 1e-8
+        against 1.0 (eps(float32) ~ 1.2e-7), so fl(fl(new-old)+old) != new.
+        The XOR encoding must still reconstruct exactly."""
+        old = {"w": np.array([1.0, 1e-8, -1.0, 0.25], dtype=np.float32)}
+        new = {"w": np.array([1e-8, 1.0, -1.0 + 1e-8, 0.25 + 1e-8],
+                             dtype=np.float32)}
+        rebuilt = apply_delta(old, encode_delta(old, new))
+        assert rebuilt["w"].tobytes() == new["w"].tobytes()
+
+    def test_special_values_preserved_bitwise(self):
+        old = {"w": np.array([0.0, -0.0, 1.0, np.inf], dtype=np.float32)}
+        new = {"w": np.array([np.nan, 0.0, -np.inf, -0.0], dtype=np.float32)}
+        rebuilt = apply_delta(old, encode_delta(old, new))
+        assert rebuilt["w"].tobytes() == new["w"].tobytes()
+
+    def test_integer_state_roundtrip(self, rng):
+        old = {"steps": np.arange(16, dtype=np.int64)}
+        new = {"steps": old["steps"] + 3}
+        rebuilt = apply_delta(old, encode_delta(old, new))
+        assert rebuilt["steps"].dtype == np.int64
+        assert np.array_equal(rebuilt["steps"], new["steps"])
+
+    def test_float32_delta_not_inflated_to_float64(self, rng):
+        """The old encoder shipped float32 diffs at float64 width."""
+        vals = rng.normal(size=(4096,))
+        blob32 = encode_delta({"w": vals.astype(np.float32)},
+                              {"w": (vals + 1.0).astype(np.float32)})
+        blob64 = encode_delta({"w": vals}, {"w": vals + 1.0})
+        assert len(blob32) < 0.75 * len(blob64)
+
+    def test_quantized_roundtrip_preserves_dtype(self, rng):
+        old = {"w": rng.normal(size=(128,)).astype(np.float32)}
+        new = {"w": old["w"]
+               + rng.normal(size=(128,)).astype(np.float32) * 0.1}
+        rebuilt = apply_delta(old, encode_delta(old, new, quantize_bits=8))
+        assert rebuilt["w"].dtype == np.float32
+
+    def test_dtype_change_rejected_on_encode(self, rng):
+        old = {"w": rng.normal(size=(8,)).astype(np.float32)}
+        new = {"w": old["w"].astype(np.float64) + 1.0}
+        with pytest.raises(DeltaError, match="dtype"):
+            encode_delta(old, new)
+
+    def test_apply_to_wrong_dtype_base_rejected(self, rng):
+        old = {"w": rng.normal(size=(8,)).astype(np.float32)}
+        new = {"w": old["w"] + np.float32(1.0)}
+        blob = encode_delta(old, new)
+        with pytest.raises(DeltaError, match="dtype mismatch"):
+            apply_delta({"w": old["w"].astype(np.float64)}, blob)

@@ -225,3 +225,66 @@ class TestEvaluation:
     def test_cluster_validation(self):
         with pytest.raises(ValueError):
             NDPipeCluster(factory, num_stores=0)
+
+
+class TestUploadJournal:
+    """Regression: the upload journal grew without bound — every ingested
+    photo's raw pixels stayed resident for the cluster's lifetime."""
+
+    def test_journal_capped_bounds_memory(self, small_world):
+        cluster = NDPipeCluster(factory, num_stores=2,
+                                nominal_raw_bytes=4096,
+                                journal_max_entries=16)
+        rng = np.random.default_rng(4)
+        for _ in range(3):
+            x, y = small_world.sample(20, 0, rng=rng)
+            cluster.ingest(x, train_labels=y)
+            assert cluster.journal_size <= 16
+        assert cluster.journal_size == 16
+        pruned = cluster.metrics.get("cluster_journal_pruned_total")
+        assert pruned.value(reason="capacity") == 60 - 16
+        assert cluster.metrics.get("cluster_journal_entries").value() == 16
+
+    def test_cap_evicts_oldest_uploads_first(self, small_world):
+        cluster = NDPipeCluster(factory, num_stores=2,
+                                journal_max_entries=5)
+        x, y = small_world.sample(8, 0, rng=np.random.default_rng(5))
+        ids = cluster.ingest(x, train_labels=y)
+        assert sorted(cluster._journal) == sorted(ids[-5:])
+
+    def test_uncapped_journal_tracks_every_upload(self, loaded_cluster):
+        cluster, ids, _ = loaded_cluster
+        assert cluster.journal_size == len(ids)
+
+    def test_prune_drops_entries_departed_from_database(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        cluster._journal["ghost-upload"] = (np.zeros((3, 16, 16)), None)
+        assert cluster.prune_journal() == 1
+        assert "ghost-upload" not in cluster._journal
+        assert cluster.prune_journal() == 0
+        pruned = cluster.metrics.get("cluster_journal_pruned_total")
+        assert pruned.value(reason="departed") == 1
+
+    def test_reconcile_prunes_the_journal(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        cluster._journal["ghost-upload"] = (np.zeros((3, 16, 16)), None)
+        cluster.reconcile(cluster.stores[0])
+        assert "ghost-upload" not in cluster._journal
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            NDPipeCluster(factory, num_stores=1, journal_max_entries=0)
+
+    def test_capped_journal_still_recovers_recent_orphans(self, small_world):
+        """The cap trades recovery depth for memory: photos still inside
+        the window re-place onto survivors after a crash."""
+        cluster = NDPipeCluster(factory, num_stores=3,
+                                nominal_raw_bytes=4096,
+                                journal_max_entries=64)
+        x, y = small_world.sample(12, 0, rng=np.random.default_rng(6))
+        cluster.ingest(x, train_labels=y)
+        victim = cluster.stores[0]
+        orphans = cluster.database.ids_at(victim.store_id)
+        victim.fail()
+        moved = cluster.reingest_orphans(victim.store_id)
+        assert sorted(moved) == sorted(orphans)

@@ -2,17 +2,19 @@
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.npe import (
     ABLATION_LEVELS,
+    NpeConfig,
     ThreadedPipeline,
     npe_ablation,
+    npe_pipeline_stage_times,
     npe_task_times,
     npe_throughput_ips,
 )
 from repro.models.catalog import model_graph
+from repro.sim.specs import PREPROCESSED_BYTES
 
 
 class TestThreadedPipeline:
@@ -227,3 +229,88 @@ class TestAblationModel:
             npe_task_times(graph, "turbo")
         with pytest.raises(ValueError):
             npe_task_times(graph, "Naive", task="training")
+
+
+class TestStatsAcrossRuns:
+    """Regression: ``stats`` used to accumulate across ``run()`` calls, so
+    ``bottleneck()`` on a reused pipeline mixed totals from old runs."""
+
+    def test_stats_reset_per_run(self):
+        pipe = ThreadedPipeline([("noop", lambda x: x)])
+        pipe.run(range(7))
+        pipe.run(range(3))
+        assert pipe.stats[0].items == 3  # latest run only
+
+    def test_cumulative_stats_keep_lifetime_view(self):
+        pipe = ThreadedPipeline([("noop", lambda x: x)])
+        pipe.run(range(7))
+        pipe.run(range(3))
+        assert pipe.cumulative_stats[0].items == 10
+
+    def test_bottleneck_reflects_latest_run_only(self):
+        import time as _time
+
+        calls = {"n": 0}
+
+        def sometimes_slow(x):
+            calls["n"] += 1
+            if calls["n"] <= 10:  # slow only during the first run
+                _time.sleep(0.005)
+            return x
+
+        pipe = ThreadedPipeline([
+            ("flaky", sometimes_slow), ("steady", lambda x: x),
+        ])
+        pipe.run(range(10))
+        assert pipe.bottleneck().name == "flaky"
+        pipe.run(range(10))
+        assert pipe.stats[0].busy_seconds < 0.005 * 10
+
+    def test_metrics_accumulate_across_runs(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        pipe = ThreadedPipeline([("noop", lambda x: x)], name="p",
+                                metrics=reg)
+        pipe.run(range(4))
+        pipe.run(range(6))
+        items = reg.get("npe_stage_items_total")
+        assert items.value(pipeline="p", stage="noop") == 10
+
+
+class TestSharedCpuStage:
+    """Regression: throughput took max() over subtasks, but Preproc and
+    Decomp share the CPU stage — the bottleneck is their sum."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return model_graph("ResNet50")
+
+    def test_pipeline_stage_folding(self, graph):
+        times = npe_task_times(graph, "+Comp", "inference")
+        stages = npe_pipeline_stage_times(times)
+        assert stages["read"] == times["Read"]
+        assert stages["cpu"] == times["Preproc"] + times["Decomp"]
+        assert stages["accelerator"] == times["FE&Cl"]
+
+    def test_both_cpu_subtasks_sum_into_bottleneck(self, graph):
+        cfg = NpeConfig(
+            "custom", PREPROCESSED_BYTES, PREPROCESSED_BYTES,
+            preprocess_on_store=True, decompress=True,
+            batch_size=1, decompress_cores=2,
+        )
+        times = npe_task_times(graph, cfg, "inference")
+        assert times["Preproc"] > 0 and times["Decomp"] > 0
+        stages = npe_pipeline_stage_times(times)
+        assert stages["cpu"] == max(stages.values())
+        ips = npe_throughput_ips(graph, cfg, "inference")
+        assert ips == pytest.approx(1e3 / stages["cpu"])
+        # the old max-over-subtasks bottleneck overstated throughput
+        assert ips < 1e3 / max(times.values())
+
+    def test_standard_levels_unchanged(self, graph):
+        """At every Fig. 12 level at most one CPU subtask is active, so
+        the fix leaves the published ablation rates alone."""
+        for level in ABLATION_LEVELS:
+            times = npe_task_times(graph, level, "inference")
+            assert times["Preproc"] == 0.0 or times["Decomp"] == 0.0

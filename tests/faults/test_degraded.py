@@ -152,7 +152,13 @@ class TestDeltaIntegrity:
 
     def test_truncated_blob_raises(self):
         with pytest.raises(checknrun.DeltaError, match="truncated"):
-            checknrun.apply_delta({}, b"CNR1\x00\x00\x00")
+            checknrun.apply_delta({}, b"CNR2\x00\x00\x00")
+
+    def test_old_wire_version_rejected(self):
+        # CNR1 blobs (float64 arithmetic diffs) must fail loudly, not be
+        # misparsed by the CNR2 reader
+        with pytest.raises(checknrun.DeltaError, match="magic"):
+            checknrun.apply_delta({}, b"CNR1" + b"\x00" * 16)
 
 
 class TestOrphanReingest:

@@ -1,6 +1,5 @@
 """Unit tests for the deterministic FaultInjector."""
 
-import numpy as np
 import pytest
 
 from repro.core.fabric import NetworkFabric

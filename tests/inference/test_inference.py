@@ -1,6 +1,5 @@
 """Tests for online/offline inference paths and campaign estimates."""
 
-import numpy as np
 import pytest
 
 from repro.core.cluster import InferenceServer

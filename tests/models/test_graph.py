@@ -1,6 +1,5 @@
 """Unit & property tests for model stage graphs and partition points."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

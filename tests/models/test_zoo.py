@@ -6,7 +6,6 @@ import pytest
 from repro.models.blocks import channel_shuffle
 from repro.models.registry import TINY_FACTORIES, tiny_model
 from repro.models.split import SplitModel, assert_split_consistent
-from repro.nn.layers import Linear
 from repro.nn.tensor import Tensor
 
 MODELS = sorted(TINY_FACTORIES)

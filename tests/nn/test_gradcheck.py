@@ -1,7 +1,6 @@
 """Property-based gradient verification: autograd vs finite differences."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.nn import functional as F

@@ -1,0 +1,67 @@
+"""Tests for the structured benchmark-results schema."""
+
+import json
+
+import pytest
+
+from repro.obs.benchjson import (
+    SCHEMA_VERSION,
+    BenchResult,
+    bench_payload,
+    load_bench_json,
+    write_bench_json,
+)
+
+
+class TestPayload:
+    def test_payload_shape(self):
+        payload = bench_payload(
+            "fig12",
+            [BenchResult("ips", 2129.0, "images/s", {"level": "+Batch"})],
+            config={"model": "ResNet50"},
+        )
+        assert payload["bench"] == "fig12"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["config"] == {"model": "ResNet50"}
+        assert payload["results"] == [{
+            "metric": "ips", "value": 2129.0, "unit": "images/s",
+            "labels": {"level": "+Batch"},
+        }]
+
+    def test_unlabelled_result_omits_labels(self):
+        payload = bench_payload("b", [BenchResult("x", 1, "count")])
+        assert "labels" not in payload["results"][0]
+
+    def test_empty_bench_name_rejected(self):
+        with pytest.raises(ValueError):
+            bench_payload("", [])
+
+    def test_non_benchresult_rejected(self):
+        with pytest.raises(TypeError):
+            bench_payload("b", [("x", 1, "count")])
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        results = [
+            BenchResult("ips", 94.0, "images/s", {"system": "Typical"}),
+            BenchResult("slowdown", 3.7, "x"),
+        ]
+        path = write_bench_json(tmp_path, "fig05", results,
+                                config={"images": 1_200_000})
+        assert path == tmp_path / "fig05.json"
+        assert load_bench_json(path) == results
+
+    def test_output_is_deterministic(self, tmp_path):
+        results = [BenchResult("ips", 94.0, "images/s", {"b": "2", "a": "1"})]
+        p1 = write_bench_json(tmp_path / "run1", "b", results,
+                              config={"z": 1, "a": 2})
+        p2 = write_bench_json(tmp_path / "run2", "b", results,
+                              config={"a": 2, "z": 1})
+        assert p1.read_text() == p2.read_text()
+
+    def test_written_file_is_valid_json_with_newline(self, tmp_path):
+        path = write_bench_json(tmp_path, "b", [BenchResult("x", 1, "n")])
+        text = path.read_text()
+        assert text.endswith("\n")
+        json.loads(text)

@@ -53,3 +53,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "photos ingested" in out
         assert "model delta" in out
+
+
+class TestObservabilityCommands:
+    def test_metrics_prometheus(self, capsys):
+        assert main(["metrics", "--stores", "2", "--photos", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE fabric_bytes_total counter" in out
+        assert 'fabric_bytes_total{kind="ingest"' in out
+        assert "# TYPE ftdmp_store_stage_seconds histogram" in out
+
+    def test_metrics_json(self, capsys):
+        import json
+
+        assert main(["metrics", "--format", "json",
+                     "--stores", "2", "--photos", "12"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cluster_photos_ingested_total"]["value"] == 12
+
+    def test_metrics_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        assert main(["metrics", "--stores", "2", "--photos", "12",
+                     "--out", str(out_path)]) == 0
+        assert "fabric_bytes_total" in out_path.read_text()
+        assert str(out_path) in capsys.readouterr().out
+
+    def test_trace_command(self, capsys):
+        import json
+
+        assert main(["trace", "--stores", "2", "--photos", "12"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"cluster.ingest", "cluster.finetune",
+                "cluster.offline_relabel"} <= names

@@ -5,7 +5,6 @@ the benchmarks at scale); each must complete and print its headline table.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.models.catalog import model_graph
-from repro.sim.specs import NetworkSpec, TEN_GBE
+from repro.sim.specs import NetworkSpec
 from repro.train.baselines import (
     ideal_finetune,
     ideal_offline_inference,
