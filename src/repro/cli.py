@@ -11,6 +11,10 @@ Commands:
   (Prometheus text or JSON);
 * ``trace``    — run the lifecycle and export a Chrome ``trace_event``
   JSON of the nested flow/FT-DMP spans;
+* ``checkpoint`` — run the lifecycle and write a durable ``.ndcp``
+  checkpoint (optionally from a mid-fine-tune run boundary);
+* ``resume``   — restore a ``.ndcp`` checkpoint into a fresh cluster and
+  finish whatever fine-tuning was pending;
 * ``catalog``  — dump the calibrated hardware catalog.
 """
 
@@ -167,6 +171,94 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_demo_cluster(stores: int, replication: int = 1):
+    from .core.cluster import NDPipeCluster
+    from .models.registry import tiny_model
+
+    return NDPipeCluster(
+        lambda: tiny_model("ResNet50", num_classes=8, width=8, seed=7),
+        num_stores=stores, nominal_raw_bytes=8192,
+        replication=replication,
+    )
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.tables import format_table
+    from .data.drift import DriftingPhotoWorld, WorldConfig
+    from .durability import inspect_checkpoint
+
+    world = DriftingPhotoWorld(WorldConfig(
+        initial_classes=6, max_classes=8, image_size=16, noise=0.3, seed=0,
+    ))
+    cluster = _make_demo_cluster(args.stores, replication=args.replication)
+    x, y = world.sample(args.photos, 0, rng=np.random.default_rng(1))
+    cluster.ingest(x, train_labels=y)
+    run_blobs = {}
+    cluster.finetune(
+        epochs=1, num_runs=args.runs,
+        checkpoint_sink=lambda run, blob: run_blobs.__setitem__(run, blob),
+    )
+    if args.at_run is not None:
+        if args.at_run not in run_blobs:
+            print(f"no checkpoint at run {args.at_run} "
+                  f"(runs 0..{args.runs - 1})", file=sys.stderr)
+            return 1
+        blob = run_blobs[args.at_run]
+    else:
+        cluster.offline_relabel()
+        blob = cluster.checkpoint()
+    with open(args.out, "wb") as handle:
+        handle.write(blob)
+    info = inspect_checkpoint(blob)
+    pending = info["pending_finetune"]
+    print(format_table(
+        ["field", "value"],
+        [
+            ["file", args.out],
+            ["bytes", len(blob)],
+            ["tuner version", info["tuner_version"]],
+            ["stores", info["num_stores"]],
+            ["photos", info["photos"]],
+            ["replication", info["replication"]],
+            ["pending fine-tune",
+             "none" if pending is None else
+             f"run {pending['next_run']}/{pending['num_runs']}"],
+        ],
+        title="NDPipe checkpoint",
+    ))
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .durability import inspect_checkpoint
+
+    with open(args.ckpt, "rb") as handle:
+        blob = handle.read()
+    info = inspect_checkpoint(blob)
+    cluster = _make_demo_cluster(info["num_stores"],
+                                 replication=info["replication"])
+    progress = cluster.restore(blob)
+    rows = [
+        ["restored photos", len(cluster.database)],
+        ["tuner version (restored)", info["tuner_version"]],
+    ]
+    if progress is not None:
+        report = cluster.finetune(resume=progress)
+        rows += [
+            ["resumed at run", progress.next_run],
+            ["runs completed", report.num_runs],
+            ["final loss", f"{report.final_loss:.4f}"],
+        ]
+    else:
+        rows.append(["pending fine-tune", "none"])
+    rows.append(["tuner version (now)", cluster.tuner.version])
+    print(format_table(["field", "value"], rows, title="NDPipe resume"))
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .analysis.validate import calibration_report, validate_calibration
 
@@ -247,6 +339,27 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", default=None,
                        help="write to a file instead of stdout")
     trace.set_defaults(func=_cmd_trace)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run the lifecycle and write a durable checkpoint blob")
+    checkpoint.add_argument("--stores", type=int, default=3)
+    checkpoint.add_argument("--photos", type=int, default=48)
+    checkpoint.add_argument("--runs", type=int, default=3)
+    checkpoint.add_argument("--replication", type=int, default=1)
+    checkpoint.add_argument(
+        "--at-run", type=int, default=None,
+        help="write the mid-fine-tune checkpoint taken after this run "
+             "(default: the final post-lifecycle state)")
+    checkpoint.add_argument("--out", default="ndpipe.ndcp",
+                            help="checkpoint file to write")
+    checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    resume = sub.add_parser(
+        "resume",
+        help="restore a checkpoint and finish any pending fine-tune")
+    resume.add_argument("ckpt", help="checkpoint file written by 'checkpoint'")
+    resume.set_defaults(func=_cmd_resume)
 
     catalog = sub.add_parser("catalog", help="dump the hardware catalog")
     catalog.set_defaults(func=_cmd_catalog)

@@ -19,6 +19,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..durability.checkpoint import (
+    CheckpointError,
+    FinetuneProgress,
+    pack_arrays,
+    read_frame,
+    unpack_arrays,
+    write_frame,
+)
+from ..durability.integrity import ClusterScrubReport
+from ..durability.replication import ReplicaMap
 from ..faults.errors import TransientFaultError
 from ..faults.retry import RetryPolicy, call_with_retry
 from ..models.split import SplitModel
@@ -26,6 +36,13 @@ from ..nn.tensor import Tensor
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from ..storage.imageformat import preprocess
+from ..storage.objectstore import CorruptObjectError, MissingObjectError
+from ..storage.persistence import (
+    dump_object_store,
+    dump_photo_database,
+    load_object_store,
+    load_photo_database,
+)
 from ..storage.photodb import LabelRecord, PhotoDatabase
 from .fabric import NetworkFabric
 from .ftdmp import FinetuneReport
@@ -93,12 +110,19 @@ class NDPipeCluster:
                  retry_policy: Optional[RetryPolicy] = None,
                  journal_uploads: bool = True,
                  journal_max_entries: Optional[int] = None,
+                 replication: int = 1,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None):
         if num_stores < 1:
             raise ValueError("need at least one PipeStore")
         if journal_max_entries is not None and journal_max_entries < 1:
             raise ValueError("journal_max_entries must be >= 1")
+        if not 1 <= replication <= num_stores:
+            raise ValueError(
+                f"replication {replication} must be in [1, {num_stores}]")
+        self.replication = replication
+        self.model_factory = model_factory
+        self.replicas = ReplicaMap()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.retry = retry_policy if retry_policy is not None else RetryPolicy()
@@ -139,6 +163,31 @@ class NDPipeCluster:
         self._m_relabel = self.metrics.counter(
             "cluster_relabel_photos_total",
             "photos refreshed by offline relabel campaigns")
+        self._m_replicas_placed = self.metrics.counter(
+            "durability_replicas_placed_total",
+            "replica copies landed per store", label_names=("store",))
+        self._m_replicas_promoted = self.metrics.counter(
+            "durability_replicas_promoted_total",
+            "replicas promoted to primary after losing the primary's store")
+        self._m_underreplicated = self.metrics.counter(
+            "durability_underreplicated_total",
+            "ingests that could not reach the configured replica count")
+        self._m_repaired = self.metrics.counter(
+            "durability_objects_repaired_total",
+            "corrupt objects rewritten from a healthy replica",
+            label_names=("store",))
+        self._m_restored = self.metrics.counter(
+            "durability_objects_restored_total",
+            "lost objects re-fetched from a healthy replica",
+            label_names=("store",))
+        self._m_unrecoverable = self.metrics.counter(
+            "durability_objects_unrecoverable_total",
+            "damaged objects with no healthy replica anywhere",
+            label_names=("store",))
+        self._m_checkpoints = self.metrics.counter(
+            "durability_checkpoints_total", "checkpoints serialised")
+        self._m_checkpoint_bytes = self.metrics.gauge(
+            "durability_checkpoint_bytes", "size of the latest checkpoint")
 
     # -- ingest (online inference) flow --------------------------------------
     def ingest(self, images: np.ndarray, train_labels: Optional[Sequence[int]] = None,
@@ -169,6 +218,11 @@ class NDPipeCluster:
                     model_version=self.tuner.version,
                     location=store.store_id, confidence=confidence,
                 ))
+                holders = [store.store_id]
+                holders += self._place_replicas(photo, exclude=holders)
+                self.replicas.place(photo_id, holders)
+                if len(holders) < self.replication:
+                    self._m_underreplicated.inc()
                 self._journal_put(photo_id, pixels, train_label)
                 self._m_ingested.inc()
                 ids.append(photo_id)
@@ -204,6 +258,41 @@ class NDPipeCluster:
             f"no PipeStore accepted {photo.photo_id}"
         ) from last_error
 
+    def _place_replicas(self, photo: StoredPhoto,
+                        exclude: Sequence[str]) -> List[str]:
+        """Land up to ``replication - 1`` extra copies on distinct stores.
+
+        Placement is best-effort: a fleet with too few healthy stores
+        leaves the photo under-replicated (counted in the metrics) rather
+        than failing the ingest — the primary copy is already durable.
+        """
+        placed: List[str] = []
+        if self.replication <= 1:
+            return placed
+        taken = set(exclude)
+        # walk the ring from the round-robin cursor for even spread
+        order = (self.stores[self._rr_next:] + self.stores[:self._rr_next])
+        for store in order:
+            if len(placed) >= self.replication - 1:
+                break
+            if store.store_id in taken or not store.is_available:
+                continue
+            try:
+                stored_bytes = store.store_photo(photo)
+                call_with_retry(
+                    lambda s=store, b=stored_bytes: self.network.send(
+                        self.inference_server.name, s.store_id, b,
+                        "replicate"),
+                    self.retry)
+            except (StoreUnavailableError, TransientFaultError):
+                if store.objects.exists(store.objects.raw_key(photo.photo_id)):
+                    store.evict_photo(photo.photo_id)
+                continue
+            placed.append(store.store_id)
+            taken.add(store.store_id)
+            self._m_replicas_placed.inc(store=store.store_id)
+        return placed
+
     def _next_available_store(self) -> PipeStore:
         """Round-robin placement that routes around failed servers."""
         for _ in range(len(self.stores)):
@@ -215,26 +304,65 @@ class NDPipeCluster:
 
     # -- continuous training flow -----------------------------------------
     def finetune(self, epochs: int = 2, num_runs: int = 1,
-                 relocate_lost: bool = False) -> FinetuneReport:
+                 relocate_lost: bool = False,
+                 checkpoint_sink: Optional[Callable[[int, bytes], None]] = None,
+                 resume: Optional[FinetuneProgress] = None) -> FinetuneReport:
         """FT-DMP fine-tuning over every labelled photo in the fleet.
 
         With ``relocate_lost`` the run survives losing a PipeStore
         mid-run: the dead store's shard is re-ingested from the upload
         journal onto survivors and extracted there in the same round;
         whatever cannot be re-placed is reported as deferred.
+
+        With ``checkpoint_sink`` every completed run becomes a durable
+        resume point: the sink receives ``(run_index, checkpoint_blob)``
+        after each run trains.  After a Tuner crash, :meth:`restore` the
+        latest blob into a fresh cluster and pass the returned
+        :class:`FinetuneProgress` back here as ``resume`` — the lifecycle
+        picks up at the first incomplete run with the identical per-run
+        schedule, optimizer state, and RNG stream, so the resumed model
+        matches an uninterrupted run bit for bit.
         """
-        assignments = {
-            store.store_id: [
-                pid for pid in self.database.ids_at(store.store_id)
-                if store.has_train_label(pid)
+        start_run = 0
+        run_plan = None
+        report = None
+        if resume is not None:
+            run_plan = [
+                {sid: list(ids) for sid, ids in per_store.items()}
+                for per_store in resume.run_plan
             ]
-            for store in self.stores
-        }
+            start_run = resume.next_run
+            epochs = resume.epochs
+            relocate_lost = relocate_lost or resume.relocate_lost
+            if resume.report:
+                report = FinetuneReport.from_dict(resume.report)
+        assignments = None
+        if run_plan is None:
+            assignments = {
+                store.store_id: [
+                    pid for pid in self.database.ids_at(store.store_id)
+                    if store.has_train_label(pid)
+                ]
+                for store in self.stores
+            }
+        on_run_complete = None
+        if checkpoint_sink is not None:
+            def on_run_complete(run_index, plan, partial_report,
+                                _epochs=epochs, _relocate=relocate_lost):
+                progress = FinetuneProgress(
+                    num_runs=len(plan), epochs=_epochs,
+                    next_run=run_index + 1,
+                    run_plan=plan, report=partial_report.to_dict(),
+                    relocate_lost=_relocate,
+                )
+                checkpoint_sink(run_index, self.checkpoint(ftdmp=progress))
         with self.tracer.span("cluster.finetune", epochs=epochs,
                               num_runs=num_runs):
             report = self.tuner.finetune(
                 assignments=assignments, epochs=epochs, num_runs=num_runs,
                 relocate=self._relocate_for_training if relocate_lost else None,
+                start_run=start_run, run_plan=run_plan,
+                on_run_complete=on_run_complete, report=report,
             )
             self.inference_server.sync_model(self.tuner.model.state_dict())
         return report
@@ -359,11 +487,18 @@ class NDPipeCluster:
         with self.tracer.span("cluster.reingest_orphans", store=store_id,
                               candidates=len(candidates)):
             for pid in candidates:
-                if pid not in self._journal or pid not in self.database:
+                if pid not in self.database:
                     continue
                 record = self.database.lookup(pid)
                 if record.location != store_id:
                     continue  # already moved
+                # cheapest recovery first: a healthy replica already holds
+                # the blobs and label, so promotion moves zero bytes
+                if self._promote_replica(pid, record, store_id):
+                    moved.append(pid)
+                    continue
+                if self._journal is None or pid not in self._journal:
+                    continue
                 pixels, train_label = self._journal[pid]
                 photo = StoredPhoto(
                     photo_id=pid, pixels=pixels,
@@ -379,8 +514,43 @@ class NDPipeCluster:
                     model_version=record.model_version,
                     location=target.store_id, confidence=record.confidence,
                 ))
+                old_holders = self.replicas.holders(pid)
+                self.replicas.place(pid, [target.store_id] + [
+                    h for h in old_holders
+                    if h not in (store_id, target.store_id)
+                ])
                 moved.append(pid)
         return moved
+
+    def _promote_replica(self, pid: str, record: LabelRecord,
+                         lost_store_id: str) -> Optional[str]:
+        """Make a healthy replica the authoritative copy of one photo.
+
+        The crashed store stays in the holder list: its blobs survive the
+        outage, so on recovery it resumes replica duty (and a scrub
+        re-fetches anything that did not survive)."""
+        for holder in self.replicas.holders(pid):
+            if holder == lost_store_id:
+                continue
+            try:
+                candidate = self._resolve_store(holder)
+            except KeyError:
+                continue
+            if not candidate.is_available:
+                continue
+            if not candidate.objects.exists(candidate.objects.raw_key(pid)):
+                continue
+            self.database.upsert(LabelRecord(
+                photo_id=pid, label=record.label,
+                model_version=record.model_version,
+                location=holder, confidence=record.confidence,
+            ))
+            holders = self.replicas.holders(pid)
+            holders.remove(holder)
+            self.replicas.place(pid, [holder] + holders)
+            self._m_replicas_promoted.inc()
+            return holder
+        return None
 
     def recover(self, store: Union[str, PipeStore]) -> PipeStore:
         """Bring a crashed store back: repair, resync the model replica it
@@ -395,14 +565,21 @@ class NDPipeCluster:
         return store
 
     def reconcile(self, store: Union[str, PipeStore]) -> List[str]:
-        """Drop a store's photos whose authoritative location moved away."""
+        """Drop a store's photos whose authoritative location moved away.
+
+        Replica copies are not orphans: a photo stays if the store is in
+        its holder list, even when the database points elsewhere."""
         store = self._resolve_store(store)
         evicted = []
         for pid in store.photo_ids():
-            if (pid not in self.database
-                    or self.database.lookup(pid).location != store.store_id):
-                store.evict_photo(pid)
-                evicted.append(pid)
+            if pid in self.database:
+                record = self.database.lookup(pid)
+                if (record.location == store.store_id
+                        or self.replicas.is_holder(pid, store.store_id)):
+                    continue
+            store.evict_photo(pid)
+            self.replicas.remove_holder(pid, store.store_id)
+            evicted.append(pid)
         self.prune_journal()
         return evicted
 
@@ -413,6 +590,262 @@ class NDPipeCluster:
             if candidate.store_id == store:
                 return candidate
         raise KeyError(f"unknown store {store!r}")
+
+    # -- integrity: scrub and replica repair --------------------------------
+    def scrub_and_repair(self) -> ClusterScrubReport:
+        """CRC-sweep every available store; heal damage from replicas.
+
+        Two kinds of damage are repaired: objects whose bytes rotted in
+        place (scrub finds a CRC mismatch) and objects lost outright
+        (expected by the replica map but absent).  Both are re-fetched
+        from the first healthy holder over the fabric; objects with no
+        healthy copy anywhere are reported — and counted — as
+        unrecoverable rather than silently dropped.
+        """
+        report = ClusterScrubReport()
+        with self.tracer.span("cluster.scrub_and_repair"):
+            for store in self.stores:
+                if not store.is_available:
+                    report.stores_skipped.append(store.store_id)
+                    continue
+                scrub = store.scrub()
+                report.scrubs.append(scrub)
+                for key in scrub.corrupt_keys:
+                    if self._repair_object(store, key):
+                        report.repaired.append((store.store_id, key))
+                        self._m_repaired.inc(store=store.store_id)
+                    else:
+                        report.unrecoverable.append((store.store_id, key))
+                        self._m_unrecoverable.inc(store=store.store_id)
+                self._restore_missing(store, report)
+        return report
+
+    def _restore_missing(self, store: PipeStore,
+                         report: ClusterScrubReport) -> None:
+        """Re-fetch objects the replica map expects on a store but that
+        vanished (crash-lost media), including their training labels."""
+        for pid in self.replicas.photos_on(store.store_id):
+            for key in (store.objects.raw_key(pid),
+                        store.objects.preproc_key(pid)):
+                if store.objects.exists(key):
+                    continue
+                if self._repair_object(store, key):
+                    report.restored.append((store.store_id, key))
+                    self._m_restored.inc(store=store.store_id)
+                else:
+                    report.unrecoverable.append((store.store_id, key))
+                    self._m_unrecoverable.inc(store=store.store_id)
+            if not store.has_train_label(pid):
+                for holder in self.replicas.holders(pid):
+                    if holder == store.store_id:
+                        continue
+                    try:
+                        donor = self._resolve_store(holder)
+                    except KeyError:
+                        continue
+                    if donor.is_available and donor.has_train_label(pid):
+                        store.set_train_label(pid, donor.train_label(pid))
+                        break
+
+    def _repair_object(self, target: PipeStore, key: str) -> bool:
+        """Overwrite one damaged object with a verified replica copy."""
+        pid = key.split("/", 1)[1] if "/" in key else key
+        for holder in self.replicas.holders(pid):
+            if holder == target.store_id:
+                continue
+            try:
+                donor = self._resolve_store(holder)
+            except KeyError:
+                continue
+            if not donor.is_available:
+                continue
+            try:
+                blob = donor.donate_object(key)
+            except (CorruptObjectError, MissingObjectError,
+                    StoreUnavailableError):
+                continue  # this holder cannot vouch for its copy
+            try:
+                call_with_retry(
+                    lambda b=blob, h=holder: self.network.send(
+                        h, target.store_id, len(b), "repair"),
+                    self.retry)
+            except TransientFaultError:
+                continue
+            target.accept_repair(key, blob)
+            return True
+        return False
+
+    # -- checkpoint / restore -----------------------------------------------
+    def checkpoint(self, ftdmp: Optional[FinetuneProgress] = None) -> bytes:
+        """Serialise the full lifecycle into one CRC-trailed blob.
+
+        Captures everything resume needs bit-exactly: the Tuner's model,
+        optimizer moments and RNG stream, every store's object snapshot,
+        model replica and training labels, the label database with its
+        version history, the replica map, the upload journal, and — when
+        taken mid-fine-tune — the FT-DMP run journal ``ftdmp``.
+        """
+        blobs: List[bytes] = []
+
+        def add(blob: bytes) -> int:
+            blobs.append(blob)
+            return len(blobs) - 1
+
+        tuner_state = self.tuner.export_training_state()
+        tuner_manifest = {
+            "version": tuner_state["version"],
+            "split": tuner_state["split"],
+            "lr": tuner_state["lr"],
+            "rng": tuner_state["rng"],
+            "model_blob": add(pack_arrays(tuner_state["model"])),
+            "last_distributed_blob": (
+                None if tuner_state["last_distributed"] is None
+                else add(pack_arrays(tuner_state["last_distributed"]))),
+            "optimizer": None,
+        }
+        if tuner_state["optimizer"] is not None:
+            opt = tuner_state["optimizer"]
+            tuner_manifest["optimizer"] = {
+                "t": opt["t"],
+                "m_blob": add(pack_arrays(opt["m"])),
+                "v_blob": add(pack_arrays(opt["v"])),
+            }
+        stores_manifest = []
+        for store in self.stores:
+            stores_manifest.append({
+                "store_id": store.store_id,
+                "model_version": store.model_version,
+                "objects_blob": add(dump_object_store(store.objects)),
+                "model_blob": add(pack_arrays(store.model.state_dict())),
+                "train_labels": store.train_labels(),
+            })
+        journal_manifest = None
+        if self._journal is not None:
+            journal_manifest = {
+                "labels": {pid: label
+                           for pid, (_pixels, label) in self._journal.items()},
+                "pixels_blob": add(pack_arrays(
+                    {pid: pixels
+                     for pid, (pixels, _label) in self._journal.items()})),
+            }
+        manifest = {
+            "cluster": {
+                "ingest_counter": self._ingest_counter,
+                "rr_next": self._rr_next,
+                "replication": self.replication,
+            },
+            "tuner": tuner_manifest,
+            "stores": stores_manifest,
+            "db_blob": add(dump_photo_database(self.database)),
+            "replica_map": self.replicas.to_dict(),
+            "journal": journal_manifest,
+            "ftdmp": None if ftdmp is None else ftdmp.to_dict(),
+        }
+        with self.tracer.span("cluster.checkpoint",
+                              tuner_version=self.tuner.version):
+            blob = write_frame(manifest, blobs)
+        self._m_checkpoints.inc()
+        self._m_checkpoint_bytes.set(len(blob))
+        return blob
+
+    def restore(self, blob: bytes) -> Optional[FinetuneProgress]:
+        """Load a checkpoint into this (freshly built) cluster.
+
+        The cluster must have been constructed with the same store fleet
+        the checkpoint describes (``inspect_checkpoint`` reports it).
+        Returns the pending :class:`FinetuneProgress` if the checkpoint
+        was taken mid-fine-tune — pass it to :meth:`finetune` as
+        ``resume`` to finish the lifecycle — or ``None``.
+        """
+        manifest, blobs = read_frame(blob)
+        try:
+            checkpoint_ids = [s["store_id"] for s in manifest["stores"]]
+            cluster_ids = [s.store_id for s in self.stores]
+            if checkpoint_ids != cluster_ids:
+                raise CheckpointError(
+                    f"checkpoint describes stores {checkpoint_ids} but this "
+                    f"cluster has {cluster_ids}; size the cluster from "
+                    "inspect_checkpoint() first"
+                )
+            tuner_manifest = manifest["tuner"]
+            if tuner_manifest["split"] != self.tuner.split:
+                raise CheckpointError(
+                    f"checkpoint split {tuner_manifest['split']} does not "
+                    f"match this cluster's split {self.tuner.split}"
+                )
+            last_blob = tuner_manifest["last_distributed_blob"]
+            tuner_state = {
+                "version": tuner_manifest["version"],
+                "rng": tuner_manifest["rng"],
+                "model": unpack_arrays(blobs[tuner_manifest["model_blob"]]),
+                "last_distributed": (
+                    None if last_blob is None
+                    else unpack_arrays(blobs[last_blob])),
+                "optimizer": None,
+            }
+            if tuner_manifest["optimizer"] is not None:
+                opt = tuner_manifest["optimizer"]
+                tuner_state["optimizer"] = {
+                    "t": opt["t"],
+                    "m": unpack_arrays(blobs[opt["m_blob"]]),
+                    "v": unpack_arrays(blobs[opt["v_blob"]]),
+                }
+            store_states = [
+                (load_object_store(blobs[entry["objects_blob"]],
+                                   name=entry["store_id"]),
+                 unpack_arrays(blobs[entry["model_blob"]]),
+                 int(entry["model_version"]),
+                 dict(entry["train_labels"]))
+                for entry in manifest["stores"]
+            ]
+            database = load_photo_database(blobs[manifest["db_blob"]])
+            replicas = ReplicaMap.from_dict(manifest["replica_map"])
+            journal_manifest = manifest["journal"]
+            journal = None
+            if journal_manifest is not None:
+                pixels = unpack_arrays(blobs[journal_manifest["pixels_blob"]])
+                journal = {
+                    pid: (pixels[pid],
+                          None if label is None else int(label))
+                    for pid, label in journal_manifest["labels"].items()
+                }
+            cluster_manifest = manifest["cluster"]
+            replication = int(cluster_manifest["replication"])
+            if not 1 <= replication <= len(self.stores):
+                raise CheckpointError(
+                    f"checkpoint replication {replication} does not fit a "
+                    f"{len(self.stores)}-store cluster"
+                )
+            progress = (None if manifest["ftdmp"] is None
+                        else FinetuneProgress.from_dict(manifest["ftdmp"]))
+        except (KeyError, IndexError, TypeError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint manifest: {exc!r}") from exc
+        # everything parsed and validated — only now mutate the cluster
+        with self.tracer.span("cluster.restore",
+                              tuner_version=tuner_state["version"]):
+            self.tuner.import_training_state(tuner_state)
+            for store, (objects, model_state, version, labels) in zip(
+                    self.stores, store_states):
+                store.objects = objects
+                store.model.load_state_dict(model_state)
+                store.model_version = version
+                for pid, label in labels.items():
+                    store.set_train_label(pid, label)
+            self.database = database
+            self.replicas = replicas
+            self._ingest_counter = int(cluster_manifest["ingest_counter"])
+            self._rr_next = int(cluster_manifest["rr_next"])
+            self.replication = replication
+            if self._journal is not None and journal is not None:
+                self._journal = journal
+            self._m_journal.set(self.journal_size)
+            # the front end serves whatever model was last distributed
+            state = tuner_state["last_distributed"]
+            if state is None:
+                state = self.tuner.model.state_dict()
+            self.inference_server.sync_model(state)
+        return progress
 
     # -- evaluation --------------------------------------------------------
     def evaluate(self, images: np.ndarray, labels: np.ndarray,

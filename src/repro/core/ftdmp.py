@@ -73,6 +73,36 @@ class FinetuneReport:
         return bool(self.skipped_stores or self.photos_deferred
                     or self.photos_repartitioned)
 
+    # -- checkpoint (de)serialisation ---------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "num_runs": self.num_runs,
+            "split": self.split,
+            "feature_bytes": self.feature_bytes,
+            "images_extracted": self.images_extracted,
+            "photos_repartitioned": self.photos_repartitioned,
+            "photos_deferred": self.photos_deferred,
+            "skipped_stores": list(self.skipped_stores),
+            "accuracy_trace": [list(t) for t in self.accuracy_trace],
+            "epochs": [
+                {"run": e.run, "epoch": e.epoch, "loss": e.loss,
+                 "images": e.images}
+                for e in self.epochs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FinetuneReport":
+        report = cls(num_runs=data["num_runs"], split=data["split"])
+        report.feature_bytes = data["feature_bytes"]
+        report.images_extracted = data["images_extracted"]
+        report.photos_repartitioned = data["photos_repartitioned"]
+        report.photos_deferred = data["photos_deferred"]
+        report.skipped_stores = list(data["skipped_stores"])
+        report.accuracy_trace = [tuple(t) for t in data["accuracy_trace"]]
+        report.epochs = [EpochRecord(**e) for e in data["epochs"]]
+        return report
+
 
 def _make_optimizer(kind: str, params, lr: float) -> Optimizer:
     if kind == "adam":

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..durability.integrity import ScrubReport
 from ..models.split import SplitModel
 from ..nn.tensor import Tensor
 from ..obs.metrics import MetricsRegistry
@@ -98,6 +99,14 @@ class PipeStore:
             "pipestore_busy_seconds_total",
             "accounted accelerator seconds per store",
             label_names=("store",))
+        self._m_scrubbed = metrics.counter(
+            "pipestore_objects_scrubbed_total",
+            "objects CRC-checked by scrub passes",
+            label_names=("store",))
+        self._m_corrupt = metrics.counter(
+            "pipestore_corrupt_objects_total",
+            "objects a scrub found failing their CRC32",
+            label_names=("store",))
 
     def _count(self, counter_name: str, amount: float = 1.0) -> None:
         if self._metrics is not None:
@@ -149,6 +158,14 @@ class PipeStore:
     def has_train_label(self, photo_id: str) -> bool:
         return photo_id in self._train_labels
 
+    def train_labels(self) -> Dict[str, int]:
+        """A copy of every training label (checkpoint / repair donor)."""
+        return dict(self._train_labels)
+
+    def set_train_label(self, photo_id: str, label: int) -> None:
+        """Reinstate one training label (restore / replication repair)."""
+        self._train_labels[photo_id] = int(label)
+
     def train_label(self, photo_id: str) -> int:
         try:
             return self._train_labels[photo_id]
@@ -165,6 +182,38 @@ class PipeStore:
                 self.objects.delete(key)
         self._train_labels.pop(photo_id, None)
         self._count("_m_evicted")
+
+    # -- durability ----------------------------------------------------------
+    def scrub(self) -> ScrubReport:
+        """CRC-sweep every stored object; report what rotted.
+
+        Reads go through the unaccounted ``peek`` path, so a scrub never
+        perturbs the workload IO counters the experiments assert on.
+        """
+        self._require_available()
+        report = ScrubReport(store_id=self.store_id)
+        for key in self.objects.keys():
+            report.objects_checked += 1
+            if not self.objects.verify(key):
+                report.corrupt_keys.append(key)
+        self._count("_m_scrubbed", report.objects_checked)
+        if report.corrupt_keys:
+            self._count("_m_corrupt", len(report.corrupt_keys))
+        return report
+
+    def donate_object(self, key: str) -> bytes:
+        """Serve a verified copy of one object for replication repair.
+
+        Raises :class:`~repro.storage.objectstore.CorruptObjectError` if
+        this replica is itself rotten — repair then tries the next holder.
+        """
+        self._require_available()
+        return self.objects.peek(key, verify=True)
+
+    def accept_repair(self, key: str, blob: bytes) -> None:
+        """Overwrite one object with a healthy donor copy (fresh CRC)."""
+        self._require_available()
+        self.objects.put(key, blob)
 
     # -- model management ----------------------------------------------------
     def install_model(self, model: SplitModel, split: int, version: int) -> None:

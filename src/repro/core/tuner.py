@@ -215,7 +215,13 @@ class Tuner:
     def finetune(self, assignments: Optional[Dict[str, Sequence[str]]] = None,
                  epochs: int = 2, num_runs: int = 1,
                  distribute: bool = True,
-                 relocate: Optional[Relocator] = None) -> FinetuneReport:
+                 relocate: Optional[Relocator] = None,
+                 start_run: int = 0,
+                 run_plan: Optional[List[Dict[str, List[str]]]] = None,
+                 on_run_complete: Optional[
+                     Callable[[int, List[Dict[str, List[str]]],
+                               FinetuneReport], None]] = None,
+                 report: Optional[FinetuneReport] = None) -> FinetuneReport:
         """One continuous-training round over the fleet's labelled photos.
 
         ``assignments`` maps store-id -> photo ids to train on (defaults to
@@ -229,24 +235,39 @@ class Tuner:
         journalled photos onto survivors) and the returned assignments are
         extracted in the same run; photos that cannot be re-placed are
         counted as deferred in the report.
+
+        The remaining parameters exist for crash-consistent resume:
+        ``run_plan`` pins an explicit per-run schedule (replacing the
+        ``assignments``/``num_runs`` planning), ``start_run`` skips runs
+        that already completed before a crash, ``report`` continues
+        accumulating into a restored report, and ``on_run_complete(run,
+        plan, report)`` fires after each run trains — the cluster hooks
+        it to write a checkpoint, making every run boundary a durable
+        resume point.
         """
         if not self._stores:
             raise RuntimeError("no PipeStores registered")
-        if num_runs < 1:
-            raise ValueError("num_runs must be >= 1")
-        if assignments is None:
-            assignments = {
-                s.store_id: s.labeled_photo_ids() for s in self._stores
-            }
-        report = FinetuneReport(num_runs=num_runs, split=self.split)
+        if run_plan is None:
+            if num_runs < 1:
+                raise ValueError("num_runs must be >= 1")
+            if assignments is None:
+                assignments = {
+                    s.store_id: s.labeled_photo_ids() for s in self._stores
+                }
+            run_plan = self._plan_runs(assignments, num_runs)
+        if not 0 <= start_run <= len(run_plan):
+            raise ValueError(
+                f"start_run {start_run} outside the {len(run_plan)}-run plan")
+        if report is None:
+            report = FinetuneReport(num_runs=len(run_plan), split=self.split)
         if self._optimizer is None:
             self._optimizer = Adam(self.model.classifier.parameters(), lr=self.lr)
 
         import time as _time
 
         store_by_id = {s.store_id: s for s in self._stores}
-        run_chunks = self._plan_runs(assignments, num_runs)
-        for run_index, per_store_ids in enumerate(run_chunks):
+        for run_index in range(start_run, len(run_plan)):
+            per_store_ids = run_plan[run_index]
             images_before = report.images_extracted
             bytes_before = report.feature_bytes
             start = _time.perf_counter()
@@ -260,14 +281,16 @@ class Tuner:
                 self._m_store_stage.observe(store_seconds)
                 self._m_images.inc(report.images_extracted - images_before)
                 self._m_feature_bytes.inc(report.feature_bytes - bytes_before)
-            if len(features) == 0:
-                continue
-            start = _time.perf_counter()
-            with self._span("ftdmp.tuner_stage", run=run_index,
-                            images=len(features)):
-                self._train_tail(features, labels, epochs, run_index, report)
-            if self._metrics is not None:
-                self._m_tuner_stage.observe(_time.perf_counter() - start)
+            if len(features) > 0:
+                start = _time.perf_counter()
+                with self._span("ftdmp.tuner_stage", run=run_index,
+                                images=len(features)):
+                    self._train_tail(features, labels, epochs, run_index,
+                                     report)
+                if self._metrics is not None:
+                    self._m_tuner_stage.observe(_time.perf_counter() - start)
+            if on_run_complete is not None:
+                on_run_complete(run_index, run_plan, report)
         if distribute:
             with self._span("ftdmp.distribute"):
                 self.distribute_update()
@@ -368,6 +391,56 @@ class Tuner:
             return
         state = self.model.state_dict()
         call_with_retry(lambda: self._send_full(store, state), self.retry)
+
+    # -- checkpoint support ---------------------------------------------------
+    def export_training_state(self) -> Dict:
+        """Everything a checkpoint needs to resume training bit-exactly:
+        model weights, optimizer moments, RNG state, version counters."""
+        from ..durability.checkpoint import rng_state_to_json
+
+        state: Dict = {
+            "version": self.version,
+            "split": self.split,
+            "lr": self.lr,
+            "rng": rng_state_to_json(self._rng),
+            "model": self.model.state_dict(),
+            "last_distributed": self._last_distributed,
+            "optimizer": None,
+        }
+        if self._optimizer is not None:
+            opt = self._optimizer
+            state["optimizer"] = {
+                "t": opt._t,
+                "m": {f"{i:04d}": arr for i, arr in enumerate(opt._m)},
+                "v": {f"{i:04d}": arr for i, arr in enumerate(opt._v)},
+            }
+        return state
+
+    def import_training_state(self, state: Dict) -> None:
+        """Inverse of :meth:`export_training_state` on a fresh Tuner."""
+        self.version = int(state["version"])
+        self.model.load_state_dict(state["model"])
+        self._last_distributed = state["last_distributed"]
+        self._rng.bit_generator.state = state["rng"]
+        opt_state = state["optimizer"]
+        if opt_state is None:
+            self._optimizer = None
+            return
+        optimizer = Adam(self.model.classifier.parameters(), lr=self.lr)
+        moments_m = [opt_state["m"][k] for k in sorted(opt_state["m"])]
+        moments_v = [opt_state["v"][k] for k in sorted(opt_state["v"])]
+        if len(moments_m) != len(optimizer._m):
+            raise ValueError(
+                "checkpointed optimizer disagrees with the model's "
+                f"trainable tail: {len(moments_m)} != {len(optimizer._m)}"
+            )
+        for slot, loaded in zip(optimizer._m, moments_m):
+            if slot.shape != loaded.shape:
+                raise ValueError("optimizer moment shape mismatch")
+        optimizer._m = [np.array(a, copy=True) for a in moments_m]
+        optimizer._v = [np.array(a, copy=True) for a in moments_v]
+        optimizer._t = int(opt_state["t"])
+        self._optimizer = optimizer
 
     # -- offline inference orchestration ------------------------------------
     def trigger_offline_inference(self, store: PipeStore,

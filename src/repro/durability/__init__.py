@@ -1,0 +1,37 @@
+"""``repro.durability`` — the layer that keeps photos alive.
+
+The paper's premise is that photos *live* on the PipeStores (§4, §5.4);
+a production photo store must therefore survive process crashes and
+silent media corruption, not just the transient faults
+:mod:`repro.faults` injects.  Three mechanisms, composed by
+:class:`repro.core.cluster.NDPipeCluster`:
+
+* **integrity** — every :class:`~repro.storage.objectstore.ObjectStore`
+  blob carries a write-time CRC32, verified on workload reads; a
+  ``scrub()`` pass walks a store and reports what rotted
+  (:class:`ScrubReport`);
+* **replication** — k-way placement of photos across PipeStores
+  (:class:`ReplicaMap`), so scrub-detected or crash-lost objects are
+  re-fetched from a healthy replica over the fabric;
+* **checkpoint/resume** — versioned, CRC-sealed serialisation of the
+  whole lifecycle state (:mod:`repro.durability.checkpoint`), so a
+  Tuner crash mid-run resumes from the last completed run instead of
+  restarting the lifecycle.
+"""
+
+from .integrity import ClusterScrubReport, ScrubReport
+from .replication import ReplicaMap
+from .checkpoint import (
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    FinetuneProgress,
+    inspect_checkpoint,
+    pack_arrays,
+    unpack_arrays,
+)
+
+__all__ = [
+    "ScrubReport", "ClusterScrubReport", "ReplicaMap",
+    "CheckpointError", "CHECKPOINT_MAGIC", "FinetuneProgress",
+    "inspect_checkpoint", "pack_arrays", "unpack_arrays",
+]

@@ -1,0 +1,246 @@
+"""Crash-consistent checkpoint framing for the whole NDPipe lifecycle.
+
+One checkpoint is a single self-describing blob:
+
+``NDCP | version(1B) | deflate(manifest + blob table) | CRC32 trailer``
+
+The JSON manifest holds every scalar (tuner version, RNG state, ingest
+counters, the FT-DMP run journal) and points into a table of binary
+blobs for the heavy payloads — model ``state_dict`` tensors, optimizer
+moments, per-store :class:`ObjectStore` snapshots, the photo database.
+The CRC32 trailer covers the entire frame, so a truncated-after-inflate
+or bit-flipped checkpoint fails with :class:`CheckpointError` instead of
+resuming from silently-wrong state (the same promise Check-N-Run makes
+for model deltas in flight).
+
+The assembly of a cluster's manifest lives in
+:meth:`repro.core.cluster.NDPipeCluster.checkpoint` /
+:meth:`~repro.core.cluster.NDPipeCluster.restore`; this module owns the
+format so storage and core never disagree about bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..storage.compression import deflate, inflate
+
+CHECKPOINT_MAGIC = b"NDCP"
+_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Raised on malformed, truncated, or bit-flipped checkpoint blobs."""
+
+
+# ---------------------------------------------------------------------------
+# FT-DMP progress journal
+# ---------------------------------------------------------------------------
+@dataclass
+class FinetuneProgress:
+    """The run journal a mid-lifecycle checkpoint carries.
+
+    ``next_run`` is the first run that has *not* completed; ``run_plan``
+    pins the per-run, per-store photo assignment so a resumed lifecycle
+    replays the identical schedule.  ``report`` carries the cumulative
+    :class:`~repro.core.ftdmp.FinetuneReport` fields so far, so the
+    resumed report matches an uninterrupted one.
+    """
+
+    num_runs: int
+    epochs: int
+    next_run: int
+    run_plan: List[Dict[str, List[str]]]
+    report: Dict[str, Any] = field(default_factory=dict)
+    relocate_lost: bool = False
+
+    @property
+    def finished_gathering(self) -> bool:
+        """Every run trained; only the distribution round remains."""
+        return self.next_run >= self.num_runs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_runs": self.num_runs, "epochs": self.epochs,
+            "next_run": self.next_run, "run_plan": self.run_plan,
+            "report": self.report, "relocate_lost": self.relocate_lost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FinetuneProgress":
+        return cls(
+            num_runs=data["num_runs"], epochs=data["epochs"],
+            next_run=data["next_run"], run_plan=data["run_plan"],
+            report=data.get("report", {}),
+            relocate_lost=data.get("relocate_lost", False),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Array packing (state dicts, optimizer moments)
+# ---------------------------------------------------------------------------
+def pack_arrays(arrays: Dict[str, np.ndarray]) -> bytes:
+    """Serialise named arrays bit-exactly (key, dtype, shape, raw bytes)."""
+    buffer = io.BytesIO()
+    buffer.write(struct.pack(">I", len(arrays)))
+    for key in sorted(arrays):
+        # asarray(order="C"), not ascontiguousarray: the latter silently
+        # promotes 0-d arrays to shape (1,), breaking bit-exactness
+        arr = np.asarray(arrays[key], order="C")
+        key_bytes = key.encode()
+        dtype_bytes = arr.dtype.str.encode()
+        buffer.write(struct.pack(">H", len(key_bytes)))
+        buffer.write(key_bytes)
+        buffer.write(struct.pack(">B", len(dtype_bytes)))
+        buffer.write(dtype_bytes)
+        buffer.write(struct.pack(">B", arr.ndim))
+        for dim in arr.shape:
+            buffer.write(struct.pack(">Q", dim))
+        raw = arr.tobytes()
+        buffer.write(struct.pack(">Q", len(raw)))
+        buffer.write(raw)
+    return buffer.getvalue()
+
+
+def unpack_arrays(blob: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`pack_arrays`."""
+    try:
+        offset = 0
+        (count,) = struct.unpack_from(">I", blob, offset)
+        offset += 4
+        arrays: Dict[str, np.ndarray] = {}
+        for _ in range(count):
+            (key_len,) = struct.unpack_from(">H", blob, offset)
+            offset += 2
+            key = blob[offset:offset + key_len].decode()
+            offset += key_len
+            (dtype_len,) = struct.unpack_from(">B", blob, offset)
+            offset += 1
+            dtype = np.dtype(blob[offset:offset + dtype_len].decode())
+            offset += dtype_len
+            (ndim,) = struct.unpack_from(">B", blob, offset)
+            offset += 1
+            shape = []
+            for _ in range(ndim):
+                (dim,) = struct.unpack_from(">Q", blob, offset)
+                offset += 8
+                shape.append(dim)
+            (raw_len,) = struct.unpack_from(">Q", blob, offset)
+            offset += 8
+            raw = blob[offset:offset + raw_len]
+            if len(raw) != raw_len:
+                raise CheckpointError("array table truncated")
+            offset += raw_len
+            arrays[key] = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    except (struct.error, UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(f"corrupt array table: {exc}") from exc
+    if offset != len(blob):
+        raise CheckpointError("trailing bytes in array table")
+    return arrays
+
+
+# ---------------------------------------------------------------------------
+# The outer frame
+# ---------------------------------------------------------------------------
+def write_frame(manifest: Dict[str, Any], blobs: List[bytes]) -> bytes:
+    """Seal a manifest + blob table into one CRC-trailed checkpoint blob."""
+    manifest_bytes = json.dumps(manifest).encode()
+    body = io.BytesIO()
+    body.write(struct.pack(">I", len(manifest_bytes)))
+    body.write(manifest_bytes)
+    body.write(struct.pack(">I", len(blobs)))
+    for blob in blobs:
+        body.write(struct.pack(">Q", len(blob)))
+        body.write(blob)
+    frame = (CHECKPOINT_MAGIC + struct.pack(">B", _VERSION)
+             + deflate(body.getvalue()))
+    return frame + struct.pack(">I", zlib.crc32(frame))
+
+
+def read_frame(blob: bytes) -> Tuple[Dict[str, Any], List[bytes]]:
+    """Verify and unpack a checkpoint frame; loud on any damage."""
+    if len(blob) < len(CHECKPOINT_MAGIC) + 1 + 4:
+        raise CheckpointError("checkpoint too short")
+    if not blob.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointError("not an NDPipe checkpoint (bad magic)")
+    frame, (expected,) = blob[:-4], struct.unpack(">I", blob[-4:])
+    if zlib.crc32(frame) != expected:
+        raise CheckpointError(
+            "checkpoint failed its CRC32 trailer check — refusing to "
+            "resume from corrupt state"
+        )
+    (version,) = struct.unpack_from(">B", frame, len(CHECKPOINT_MAGIC))
+    if version != _VERSION:
+        raise CheckpointError(f"unsupported checkpoint version {version}")
+    try:
+        body = inflate(frame[len(CHECKPOINT_MAGIC) + 1:])
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint body: {exc}") from exc
+    try:
+        offset = 0
+        (manifest_len,) = struct.unpack_from(">I", body, offset)
+        offset += 4
+        manifest = json.loads(body[offset:offset + manifest_len].decode())
+        offset += manifest_len
+        (num_blobs,) = struct.unpack_from(">I", body, offset)
+        offset += 4
+        blobs: List[bytes] = []
+        for _ in range(num_blobs):
+            (blob_len,) = struct.unpack_from(">Q", body, offset)
+            offset += 8
+            chunk = body[offset:offset + blob_len]
+            if len(chunk) != blob_len:
+                raise CheckpointError("checkpoint blob table truncated")
+            offset += blob_len
+            blobs.append(chunk)
+    except (struct.error, UnicodeDecodeError,
+            json.JSONDecodeError) as exc:
+        raise CheckpointError(f"corrupt checkpoint manifest: {exc}") from exc
+    if offset != len(body):
+        raise CheckpointError("trailing bytes in checkpoint body")
+    return manifest, blobs
+
+
+def inspect_checkpoint(blob: bytes) -> Dict[str, Any]:
+    """A cheap summary of a checkpoint (no state is reconstructed)."""
+    manifest, blobs = read_frame(blob)
+    ftdmp = manifest.get("ftdmp")
+    return {
+        "tuner_version": manifest["tuner"]["version"],
+        "num_stores": len(manifest["stores"]),
+        "store_ids": [s["store_id"] for s in manifest["stores"]],
+        "photos": manifest["cluster"]["ingest_counter"],
+        "replication": manifest["cluster"]["replication"],
+        "pending_finetune": (None if ftdmp is None else {
+            "next_run": ftdmp["next_run"], "num_runs": ftdmp["num_runs"],
+        }),
+        "blob_bytes": sum(len(b) for b in blobs),
+    }
+
+
+def rng_state_to_json(rng: np.random.Generator) -> Dict[str, Any]:
+    """A JSON-safe copy of a Generator's bit-generator state."""
+    return _jsonify(rng.bit_generator.state)
+
+
+def rng_state_from_json(state: Dict[str, Any]) -> Dict[str, Any]:
+    return state
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value

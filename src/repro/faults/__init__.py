@@ -3,11 +3,13 @@
 The fleet half of the NDPipe story (§4, Fig. 7) only matters if it
 survives the fleet misbehaving.  This package provides the *injection*
 side — a seedable :class:`FaultInjector` replaying scheduled crashes,
-message drops, latency, and accelerator slowdowns through hooks in the
-fabric, the PipeStores, and the NPE pipeline — while the *tolerance* side
-(retry-with-backoff dispatch, degraded-mode FT-DMP, orphan re-ingest)
-lives in :mod:`repro.core`.  The chaos suite under ``tests/faults/``
-drives both.
+message drops, latency, accelerator slowdowns, silent storage corruption
+(bit rot, torn writes), and Tuner crashes through hooks in the fabric,
+the PipeStores, and the NPE pipeline — while the *tolerance* side
+(retry-with-backoff dispatch, degraded-mode FT-DMP, orphan re-ingest,
+scrub-and-repair, checkpoint/resume) lives in :mod:`repro.core` and
+:mod:`repro.durability`.  The chaos suites under ``tests/faults/`` and
+``tests/durability/`` drive both.
 """
 
 from .errors import (
@@ -15,24 +17,29 @@ from .errors import (
     FaultError,
     MessageDroppedError,
     TransientFaultError,
+    TunerCrashError,
 )
 from .events import (
     AddLatency,
+    BitRot,
     DropMessages,
     FaultEvent,
     SlowAccelerator,
     SlowStage,
     StoreCrash,
     StoreRecover,
+    TornWrite,
+    TunerCrash,
 )
 from .retry import RetryPolicy, call_with_retry
 from .injector import FaultInjector
 
 __all__ = [
     "FaultError", "FaultConfigError", "TransientFaultError",
-    "MessageDroppedError",
+    "MessageDroppedError", "TunerCrashError",
     "FaultEvent", "StoreCrash", "StoreRecover", "DropMessages",
     "AddLatency", "SlowAccelerator", "SlowStage",
+    "BitRot", "TornWrite", "TunerCrash",
     "RetryPolicy", "call_with_retry",
     "FaultInjector",
 ]

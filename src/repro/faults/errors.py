@@ -26,3 +26,12 @@ class TransientFaultError(FaultError):
 
 class MessageDroppedError(TransientFaultError):
     """An injected network fault swallowed one fabric transfer."""
+
+
+class TunerCrashError(FaultError):
+    """The Tuner process died mid-lifecycle (fault injection).
+
+    Deliberately *not* transient: no retry policy can bring a dead
+    process back.  The operator restores the cluster from its latest
+    checkpoint and resumes from the last completed run.
+    """

@@ -88,3 +88,57 @@ class SlowStage(FaultEvent):
 
     def describe(self) -> str:
         return f"t={self.at} stage {self.stage} +{self.seconds:g}s/item"
+
+
+@dataclass(frozen=True)
+class BitRot(FaultEvent):
+    """Silently flip bits in stored objects on one PipeStore.
+
+    Models media decay on the st1 arrays: the bytes change under the
+    store's feet while its write-time CRC32 stays stale, so the damage is
+    invisible until a verified read or a ``scrub()`` pass.  Victim
+    objects are chosen deterministically by ``seed`` among keys matching
+    ``prefix`` (or pinned with an explicit ``key``).
+    """
+
+    store_id: str = ""
+    key: Optional[str] = None  # explicit victim; else a seeded pick
+    num_objects: int = 1
+    flips_per_object: int = 8
+    prefix: str = ""  # restrict seeded picks to one namespace
+    seed: int = 0
+
+    def describe(self) -> str:
+        what = self.key or f"{self.num_objects}x {self.prefix or 'any'}"
+        return f"t={self.at} bit-rot {self.store_id}:{what}"
+
+
+@dataclass(frozen=True)
+class TornWrite(FaultEvent):
+    """Truncate one stored object mid-blob (a partial write that stuck).
+
+    The object keeps its key but only ``keep_fraction`` of its bytes;
+    the stale CRC32 makes the tear detectable exactly like bit rot.
+    """
+
+    store_id: str = ""
+    key: Optional[str] = None
+    keep_fraction: float = 0.5
+    prefix: str = ""
+    seed: int = 0
+
+    def describe(self) -> str:
+        what = self.key or (self.prefix or "any")
+        return (f"t={self.at} torn-write {self.store_id}:{what} "
+                f"keep={self.keep_fraction:g}")
+
+
+@dataclass(frozen=True)
+class TunerCrash(FaultEvent):
+    """Kill the Tuner process: every subsequent observed operation raises
+    :class:`~repro.faults.errors.TunerCrashError` until the injector is
+    detached.  Recovery means restoring from a checkpoint, not retrying.
+    """
+
+    def describe(self) -> str:
+        return f"t={self.at} tuner crash"

@@ -24,15 +24,18 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .errors import FaultConfigError, MessageDroppedError
+from .errors import FaultConfigError, MessageDroppedError, TunerCrashError
 from .events import (
     AddLatency,
+    BitRot,
     DropMessages,
     FaultEvent,
     SlowAccelerator,
     SlowStage,
     StoreCrash,
     StoreRecover,
+    TornWrite,
+    TunerCrash,
 )
 
 
@@ -62,6 +65,10 @@ class FaultInjector:
         self.fired: List[FaultEvent] = []
         #: transfers swallowed by drop budgets (TransferRecord objects)
         self.dropped: List[Any] = []
+        #: objects damaged by bit-rot / torn-write events:
+        #: (store_id, key) in corruption order
+        self.corrupted: List[Any] = []
+        self._tuner_crashed = False
         self.injected_latency_s = 0.0
         self._fabrics: List[Any] = []
         self._pipelines: List[Any] = []
@@ -103,6 +110,7 @@ class FaultInjector:
         self._due.clear()
         self._drops.clear()
         self._latencies.clear()
+        self._tuner_crashed = False
 
     # -- the logical clock -------------------------------------------------
     def advance(self, ticks: int = 1) -> None:
@@ -138,14 +146,51 @@ class FaultInjector:
                 _Budget(event.kind, event.count, event.seconds))
         elif isinstance(event, SlowStage):
             self.stage_latency[event.stage] = event.seconds
+        elif isinstance(event, (BitRot, TornWrite)):
+            self._corrupt(event)
+        elif isinstance(event, TunerCrash):
+            self._tuner_crashed = True
         else:
             raise FaultConfigError(f"unknown fault event {event!r}")
         self.fired.append(event)
+
+    def _corrupt(self, event) -> None:
+        """Damage stored objects on one store without touching their CRCs."""
+        objects = self._store(event.store_id).objects
+        rng = np.random.default_rng(event.seed)
+        if event.key is not None:
+            if not objects.exists(event.key):
+                raise FaultConfigError(
+                    f"corruption event names missing object {event.key!r} "
+                    f"on {event.store_id}"
+                )
+            victims = [event.key]
+        else:
+            pool = objects.keys(event.prefix)
+            if not pool:
+                return  # nothing stored yet: the rot has nothing to eat
+            count = (event.num_objects if isinstance(event, BitRot) else 1)
+            picks = rng.choice(len(pool), size=min(count, len(pool)),
+                               replace=False)
+            victims = [pool[int(i)] for i in sorted(picks)]
+        for key in victims:
+            blob = bytearray(objects.peek(key))
+            if isinstance(event, BitRot):
+                if not blob:
+                    continue
+                for _ in range(event.flips_per_object):
+                    pos = int(rng.integers(0, len(blob)))
+                    blob[pos] ^= 1 << int(rng.integers(0, 8))
+            else:  # TornWrite
+                blob = blob[:int(len(blob) * event.keep_fraction)]
+            objects.corrupt_object(key, bytes(blob))
+            self.corrupted.append((event.store_id, key))
 
     # -- hooks the system calls --------------------------------------------
     def on_message(self, record: Any) -> float:
         """Fabric filter: returns extra latency seconds or raises a drop."""
         self.advance()
+        self._check_tuner_alive()
         for budget in self._drops:
             if budget.matches(record.kind):
                 budget.remaining -= 1
@@ -165,6 +210,7 @@ class FaultInjector:
     def on_stage_item(self, stage: str, item: Any) -> None:
         """ThreadedPipeline hook: slow a named stage per item."""
         self.advance()
+        self._check_tuner_alive()
         delay = self.stage_latency.get(stage, 0.0)
         if delay > 0:
             import time
@@ -172,7 +218,18 @@ class FaultInjector:
             time.sleep(delay)
             self.injected_latency_s += delay
 
+    def _check_tuner_alive(self) -> None:
+        if self._tuner_crashed:
+            raise TunerCrashError(
+                "injected tuner crash: the process is gone until the "
+                "operator restores from a checkpoint"
+            )
+
     # -- introspection -----------------------------------------------------
+    @property
+    def tuner_crashed(self) -> bool:
+        return self._tuner_crashed
+
     @property
     def pending(self) -> List[FaultEvent]:
         return list(self._due)

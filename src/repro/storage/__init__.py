@@ -22,6 +22,7 @@ from .imageformat import (
     preprocess,
 )
 from .objectstore import (
+    CorruptObjectError,
     MissingObjectError,
     ObjectStore,
     StorageFullError,
@@ -43,6 +44,7 @@ __all__ = [
     "encode_photo", "decode_photo", "preprocess", "encode_preprocessed",
     "decode_preprocessed", "CodecError", "PhotoSizes",
     "ObjectStore", "Volume", "StorageFullError", "MissingObjectError",
+    "CorruptObjectError",
     "PhotoDatabase", "LabelRecord",
     "dump_object_store", "load_object_store", "dump_photo_database",
     "load_photo_database", "snapshot_sizes", "SnapshotError",

@@ -4,10 +4,18 @@ Each PipeStore owns one :class:`ObjectStore` backed by a capacity-limited
 :class:`Volume`.  Keys are namespaced (``raw/<id>``, ``preproc/<id>``) the
 way the paper stores raw photos next to their compressed preprocessed
 binaries (§5.4).
+
+Every blob carries a CRC32 computed at write time and verified on every
+workload read, so silent media corruption (bit rot, torn writes) surfaces
+as :class:`CorruptObjectError` instead of propagating garbage into
+near-data jobs.  Maintenance traffic — snapshots, scrubs, replication
+repair — reads through :meth:`ObjectStore.peek`, which neither counts
+toward workload IO accounting nor insists on a valid checksum.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -18,6 +26,15 @@ class StorageFullError(RuntimeError):
 
 class MissingObjectError(KeyError):
     """Raised when a key is absent from the store."""
+
+
+class CorruptObjectError(RuntimeError):
+    """A stored blob no longer matches its write-time CRC32."""
+
+    def __init__(self, store: str, key: str):
+        super().__init__(f"{store}: object {key!r} failed its CRC32 check")
+        self.store = store
+        self.key = key
 
 
 @dataclass
@@ -38,6 +55,8 @@ class Volume:
         self.used_bytes += num_bytes
 
     def release(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("cannot release negative bytes")
         if num_bytes > self.used_bytes:
             raise ValueError("releasing more bytes than used")
         self.used_bytes -= num_bytes
@@ -60,6 +79,7 @@ class ObjectStore:
         self.name = name
         self.volume = volume or Volume(capacity_bytes=1 << 40)
         self._objects: Dict[str, bytes] = {}
+        self._crcs: Dict[str, int] = {}
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -74,31 +94,51 @@ class ObjectStore:
         elif delta < 0:
             self.volume.release(-delta)
         self._objects[key] = blob
+        self._crcs[key] = zlib.crc32(blob)
         self.bytes_written += len(blob)
 
     def get(self, key: str) -> bytes:
-        try:
-            blob = self._objects[key]
-        except KeyError:
-            raise MissingObjectError(key) from None
+        """Workload read: counts toward IO accounting, verifies the CRC."""
+        blob = self._lookup(key)
+        if zlib.crc32(blob) != self._crcs[key]:
+            raise CorruptObjectError(self.name, key)
         self.bytes_read += len(blob)
         return blob
+
+    def peek(self, key: str, verify: bool = False) -> bytes:
+        """Maintenance read (snapshot / scrub / replication repair).
+
+        Does not count toward ``bytes_read`` — taking a snapshot must not
+        mutate workload IO stats.  With ``verify`` the CRC is still
+        enforced, which is what repair uses to pick a healthy donor.
+        """
+        blob = self._lookup(key)
+        if verify and zlib.crc32(blob) != self._crcs[key]:
+            raise CorruptObjectError(self.name, key)
+        return blob
+
+    def verify(self, key: str) -> bool:
+        """Does the stored blob still match its write-time CRC32?"""
+        return zlib.crc32(self._lookup(key)) == self._crcs[key]
+
+    def stored_crc(self, key: str) -> int:
+        """The CRC32 recorded when the object was last written."""
+        self._lookup(key)
+        return self._crcs[key]
 
     def delete(self, key: str) -> None:
         try:
             blob = self._objects.pop(key)
         except KeyError:
             raise MissingObjectError(key) from None
+        self._crcs.pop(key, None)
         self.volume.release(len(blob))
 
     def exists(self, key: str) -> bool:
         return key in self._objects
 
     def size_of(self, key: str) -> int:
-        try:
-            return len(self._objects[key])
-        except KeyError:
-            raise MissingObjectError(key) from None
+        return len(self._lookup(key))
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -107,8 +147,33 @@ class ObjectStore:
         return sorted(k for k in self._objects if k.startswith(prefix))
 
     def iter_items(self, prefix: str = "") -> Iterator:
+        """Maintenance iteration: unaccounted, unverified reads."""
         for key in self.keys(prefix):
-            yield key, self.get(key)
+            yield key, self.peek(key)
+
+    # -- fault-injection / restore seams ----------------------------------
+    def corrupt_object(self, key: str, blob: bytes) -> None:
+        """Replace stored bytes *without* refreshing the CRC.
+
+        This is the fault-injection seam for ``bit_rot`` / ``torn_write``
+        events: volume accounting tracks the new length (the media still
+        holds that many bytes) but the write-time checksum is left stale,
+        exactly like silent corruption under a filesystem.
+        """
+        old = self._lookup(key)
+        delta = len(blob) - len(old)
+        if delta > 0:
+            self.volume.reserve(delta)
+        elif delta < 0:
+            self.volume.release(-delta)
+        self._objects[key] = blob
+
+    def restore_object(self, key: str, blob: bytes, crc: int) -> None:
+        """Snapshot-restore seam: reinstate an object with its recorded
+        CRC, so corruption that predates a snapshot is still detectable
+        by a scrub after the restore."""
+        self.put(key, blob)
+        self._crcs[key] = crc
 
     # -- namespaces -------------------------------------------------------
     @staticmethod
@@ -135,3 +200,10 @@ class ObjectStore:
         if total == 0:
             return 0.0
         return pre / total
+
+    # -- internals ----------------------------------------------------------
+    def _lookup(self, key: str) -> bytes:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise MissingObjectError(key) from None

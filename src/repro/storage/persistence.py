@@ -4,12 +4,20 @@ Production photo stores survive restarts; this module gives the in-memory
 substrate the same property with explicit, versioned serialisation:
 
 * :func:`dump_object_store` / :func:`load_object_store` — every object
-  plus the volume's capacity accounting, deflate-framed;
+  plus the volume's capacity accounting and per-object CRC32s,
+  deflate-framed;
 * :func:`dump_photo_database` / :func:`load_photo_database` — all current
   label records and their full version history.
 
-Formats are self-describing (magic + version) so incompatible snapshots
-fail loudly instead of silently corrupting a store.
+Formats are self-describing (magic + version) and every frame ends in a
+CRC32 trailer over everything before it, so a truncated, bit-flipped, or
+otherwise damaged snapshot fails with :class:`SnapshotError` instead of
+loading silently-wrong state.  Version 2 introduced the trailer and
+per-object CRCs; version 1 snapshots (which carried no integrity data at
+all) are rejected loudly rather than trusted.
+
+Snapshots read through :meth:`ObjectStore.peek`, so taking one never
+perturbs workload IO accounting (``bytes_read``).
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 import io
 import json
 import struct
+import zlib
 from typing import Tuple
 
 from .compression import deflate, inflate
@@ -25,57 +34,96 @@ from .photodb import LabelRecord, PhotoDatabase
 
 _STORE_MAGIC = b"NDPS"
 _DB_MAGIC = b"NDPD"
-_VERSION = 1
+#: v2: CRC32 frame trailers + per-object CRCs in store snapshots.  v1
+#: frames carried no integrity data and are refused (see module docs).
+_VERSION = 2
 
 
 class SnapshotError(ValueError):
     """Raised on malformed or incompatible snapshot blobs."""
 
 
+def _seal(frame: bytes) -> bytes:
+    """Append the CRC32 trailer covering the whole frame."""
+    return frame + struct.pack(">I", zlib.crc32(frame))
+
+
+def _unseal(blob: bytes, what: str) -> bytes:
+    """Verify and strip the CRC32 trailer; raise loudly on any damage."""
+    if len(blob) < 4:
+        raise SnapshotError(f"{what} snapshot too short for a CRC trailer")
+    frame, (expected,) = blob[:-4], struct.unpack(">I", blob[-4:])
+    if zlib.crc32(frame) != expected:
+        raise SnapshotError(
+            f"{what} snapshot failed its CRC32 trailer check — the blob "
+            "is corrupt, truncated, or a pre-v2 snapshot"
+        )
+    return frame
+
+
+def _check_version(version: int, what: str) -> None:
+    if version == 1:
+        raise SnapshotError(
+            f"{what} snapshot is version 1, which predates integrity "
+            "trailers and cannot be trusted; re-create it with this release"
+        )
+    if version != _VERSION:
+        raise SnapshotError(f"unsupported {what} snapshot version {version}")
+
+
 # ---------------------------------------------------------------------------
 # Object store
 # ---------------------------------------------------------------------------
 def dump_object_store(store: ObjectStore) -> bytes:
-    """Serialise a store (keys, blobs, volume accounting) to one blob."""
+    """Serialise a store (keys, blobs, CRCs, volume accounting) to one blob."""
     buffer = io.BytesIO()
     keys = store.keys()
     for key in keys:
         key_bytes = key.encode()
-        blob = store.get(key)
+        blob = store.peek(key)
         buffer.write(struct.pack(">H", len(key_bytes)))
         buffer.write(key_bytes)
-        buffer.write(struct.pack(">I", len(blob)))
+        buffer.write(struct.pack(">II", store.stored_crc(key), len(blob)))
         buffer.write(blob)
     header = struct.pack(
         ">4sBQI", _STORE_MAGIC, _VERSION, store.volume.capacity_bytes,
         len(keys),
     )
-    return header + deflate(buffer.getvalue())
+    return _seal(header + deflate(buffer.getvalue()))
 
 
 def load_object_store(blob: bytes, name: str = "restored") -> ObjectStore:
     """Reconstruct an :class:`ObjectStore` from a snapshot blob."""
     header_size = struct.calcsize(">4sBQI")
-    if len(blob) < header_size:
+    if len(blob) < header_size + 4:
         raise SnapshotError("snapshot too short")
-    magic, version, capacity, count = struct.unpack(
-        ">4sBQI", blob[:header_size])
-    if magic != _STORE_MAGIC:
+    if blob[:4] != _STORE_MAGIC:
         raise SnapshotError("not an object-store snapshot")
-    if version != _VERSION:
-        raise SnapshotError(f"unsupported snapshot version {version}")
-    body = inflate(blob[header_size:])
+    frame = _unseal(blob, "object-store")
+    _magic, version, capacity, count = struct.unpack(
+        ">4sBQI", frame[:header_size])
+    _check_version(version, "object-store")
+    try:
+        body = inflate(frame[header_size:])
+    except ValueError as exc:
+        raise SnapshotError(f"corrupt object-store snapshot: {exc}") from exc
     store = ObjectStore(Volume(capacity_bytes=capacity), name=name)
     offset = 0
-    for _ in range(count):
-        (key_len,) = struct.unpack_from(">H", body, offset)
-        offset += 2
-        key = body[offset:offset + key_len].decode()
-        offset += key_len
-        (blob_len,) = struct.unpack_from(">I", body, offset)
-        offset += 4
-        store.put(key, body[offset:offset + blob_len])
-        offset += blob_len
+    try:
+        for _ in range(count):
+            (key_len,) = struct.unpack_from(">H", body, offset)
+            offset += 2
+            key = body[offset:offset + key_len].decode()
+            offset += key_len
+            crc, blob_len = struct.unpack_from(">II", body, offset)
+            offset += 8
+            if offset + blob_len > len(body):
+                raise SnapshotError("object-store snapshot body truncated")
+            store.restore_object(key, body[offset:offset + blob_len], crc)
+            offset += blob_len
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise SnapshotError(
+            f"corrupt object-store snapshot: {exc}") from exc
     if offset != len(body):
         raise SnapshotError("trailing bytes in object-store snapshot")
     # restoration IO should not count as workload IO
@@ -106,20 +154,19 @@ def dump_photo_database(db: PhotoDatabase) -> bytes:
             for photo_id in sorted(db.snapshot_labels())
         },
     }
-    return _DB_MAGIC + deflate(json.dumps(payload).encode())
+    return _seal(_DB_MAGIC + deflate(json.dumps(payload).encode()))
 
 
 def load_photo_database(blob: bytes) -> PhotoDatabase:
     """Reconstruct a :class:`PhotoDatabase`, replaying version history."""
     if not blob.startswith(_DB_MAGIC):
         raise SnapshotError("not a photo-database snapshot")
+    frame = _unseal(blob, "photo-database")
     try:
-        payload = json.loads(inflate(blob[len(_DB_MAGIC):]).decode())
+        payload = json.loads(inflate(frame[len(_DB_MAGIC):]).decode())
     except (ValueError, UnicodeDecodeError) as exc:
         raise SnapshotError(f"corrupt database snapshot: {exc}") from exc
-    if payload.get("version") != _VERSION:
-        raise SnapshotError(
-            f"unsupported snapshot version {payload.get('version')}")
+    _check_version(payload.get("version"), "photo-database")
     db = PhotoDatabase()
     for records in payload["history"].values():
         for rec in records:

@@ -136,6 +136,14 @@ class TestVolume:
         with pytest.raises(ValueError):
             Volume(10).reserve(-1)
 
+    def test_negative_release(self):
+        # regression: release(-n) used to *grow* used_bytes silently
+        vol = Volume(capacity_bytes=100)
+        vol.reserve(50)
+        with pytest.raises(ValueError, match="negative"):
+            vol.release(-10)
+        assert vol.used_bytes == 50
+
     def test_fill_fraction(self):
         vol = Volume(capacity_bytes=100)
         vol.reserve(25)
