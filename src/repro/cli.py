@@ -15,7 +15,9 @@ Commands:
   checkpoint (optionally from a mid-fine-tune run boundary);
 * ``resume``   — restore a ``.ndcp`` checkpoint into a fresh cluster and
   finish whatever fine-tuning was pending;
-* ``catalog``  — dump the calibrated hardware catalog.
+* ``catalog``  — dump the calibrated hardware catalog;
+* ``lint``     — run the ndlint invariant rules (ND001..ND005) over the
+  package (or given paths) and exit nonzero on findings.
 """
 
 from __future__ import annotations
@@ -266,6 +268,32 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if all(a.ok for a in validate_calibration()) else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .lint import LintEngine, package_root, render_json, render_text
+
+    engine = LintEngine()
+    paths = ([Path(p) for p in args.paths] if args.paths
+             else [package_root()])
+    if args.update_manifest:
+        # collect registrations with the manifest check disabled, rewrite
+        # METRICS.md, then lint for real against the fresh manifest
+        probe = LintEngine()
+        probe.config.manifest_path = None
+        probe.run(paths)
+        engine.registrations = probe.registrations
+        target = engine.write_manifest()
+        print(f"wrote {target}", file=sys.stderr)
+    findings = engine.run(paths)
+    report = (render_json(findings) if args.format == "json"
+              else render_text(findings))
+    # write the report before deciding the exit code so the CI gate
+    # always has its artifact, pass or fail
+    _emit(report, args.out)
+    return 1 if findings else 0
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     from .analysis.tables import format_table
     from .models.catalog import ALL_MODELS, model_graph
@@ -367,6 +395,18 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser(
         "validate", help="check the catalog against the paper's anchors")
     validate.set_defaults(func=_cmd_validate)
+
+    lint = sub.add_parser(
+        "lint", help="run the ndlint invariant rules; nonzero on findings")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--out", default=None,
+                      help="write the report to a file instead of stdout")
+    lint.add_argument("--update-manifest", action="store_true",
+                      help="regenerate obs/METRICS.md before linting")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -19,8 +19,10 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from ..lint.guards import guarded_by
 from ..models.graph import ModelGraph
 from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import wall_clock
 from ..sim.specs import (
     COMPRESSED_PREPROCESSED_BYTES,
     PREPROCESSED_BYTES,
@@ -50,6 +52,7 @@ class StageStats:
     busy_seconds: float = 0.0
 
 
+@guarded_by("_stats_lock", "stats", "cumulative_stats")
 class ThreadedPipeline:
     """A bounded-queue, one-thread-per-stage pipeline over real callables.
 
@@ -88,6 +91,7 @@ class ThreadedPipeline:
         self._queue_depth = queue_depth
         self.stage_hook = stage_hook
         self.name = name
+        self._stats_lock = threading.Lock()
         self.stats = [StageStats(name) for name, _ in self._stages]
         self.cumulative_stats = [StageStats(name) for name, _ in self._stages]
         self._metrics: Optional[MetricsRegistry] = None
@@ -106,10 +110,9 @@ class ThreadedPipeline:
 
     def run(self, items: Iterable) -> List:
         """Push every item through all stages; returns outputs in order."""
-        import time
-
         # per-run view: a reused pipeline must not report stale totals
-        self.stats = [StageStats(name) for name, _ in self._stages]
+        with self._stats_lock:
+            self.stats = [StageStats(name) for name, _ in self._stages]
         queues = [queue.Queue(maxsize=self._queue_depth)
                   for _ in range(len(self._stages) + 1)]
         results: List = []
@@ -117,7 +120,8 @@ class ThreadedPipeline:
         abort = threading.Event()
 
         def worker(index: int, name: str, fn: Callable):
-            stats = self.stats[index]
+            with self._stats_lock:
+                stats = self.stats[index]
             while True:
                 item = queues[index].get()
                 if item is _SENTINEL:
@@ -128,11 +132,11 @@ class ThreadedPipeline:
                     # the feeder never block on a full queue
                     continue
                 try:
-                    start = time.perf_counter()
+                    start = wall_clock()
                     if self.stage_hook is not None:
                         self.stage_hook(name, item)
                     out = fn(item)
-                    stats.busy_seconds += time.perf_counter() - start
+                    stats.busy_seconds += wall_clock() - start
                     stats.items += 1
                 except BaseException as exc:  # propagate to the caller
                     errors.append(exc)
@@ -179,7 +183,9 @@ class ThreadedPipeline:
 
     def _absorb_run_stats(self) -> None:
         """Fold the finished run into the cumulative and metric views."""
-        for run_stats, lifetime in zip(self.stats, self.cumulative_stats):
+        with self._stats_lock:
+            pairs = list(zip(self.stats, self.cumulative_stats))
+        for run_stats, lifetime in pairs:
             lifetime.items += run_stats.items
             lifetime.busy_seconds += run_stats.busy_seconds
             if self._metrics is not None and run_stats.items:
@@ -189,7 +195,8 @@ class ThreadedPipeline:
                                  stage=run_stats.name)
 
     def bottleneck(self) -> StageStats:
-        return max(self.stats, key=lambda s: s.busy_seconds)
+        with self._stats_lock:
+            return max(self.stats, key=lambda s: s.busy_seconds)
 
 
 # ---------------------------------------------------------------------------

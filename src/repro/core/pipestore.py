@@ -208,6 +208,7 @@ class PipeStore:
         this replica is itself rotten — repair then tries the next holder.
         """
         self._require_available()
+        # ndlint: allow[ND002] -- repair donor reads are maintenance traffic
         return self.objects.peek(key, verify=True)
 
     def accept_repair(self, key: str, blob: bytes) -> None:

@@ -23,7 +23,7 @@ from ..nn.losses import cross_entropy
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracing import Tracer
+from ..obs.tracing import Tracer, wall_clock
 from . import checknrun
 from .fabric import NetworkFabric
 from .ftdmp import EpochRecord, FinetuneReport
@@ -129,7 +129,10 @@ class Tuner:
         replica.load_state_dict(state)
         replica.freeze_features()
         num_bytes = checknrun.state_dict_bytes(state)
-        self.network.send(self.name, store.store_id, num_bytes, "model-full")
+        call_with_retry(
+            lambda: self.network.send(
+                self.name, store.store_id, num_bytes, "model-full"),
+            self.retry)
         store.install_model(replica, self.split, self.version)
         self._stores.append(store)
         self._last_distributed = state
@@ -203,11 +206,13 @@ class Tuner:
         return stats
 
     def _send_delta(self, store: PipeStore, blob: bytes) -> None:
+        # ndlint: allow[ND005] -- invoked only via call_with_retry thunks
         self.network.send(self.name, store.store_id, len(blob), "model-delta")
         store.apply_model_delta(blob, self.version)
 
     def _send_full(self, store: PipeStore, state: Dict[str, np.ndarray]) -> None:
         num_bytes = checknrun.state_dict_bytes(state)
+        # ndlint: allow[ND005] -- invoked only via call_with_retry thunks
         self.network.send(self.name, store.store_id, num_bytes, "model-full")
         store.apply_full_state(state, self.version)
 
@@ -263,32 +268,30 @@ class Tuner:
         if self._optimizer is None:
             self._optimizer = Adam(self.model.classifier.parameters(), lr=self.lr)
 
-        import time as _time
-
         store_by_id = {s.store_id: s for s in self._stores}
         for run_index in range(start_run, len(run_plan)):
             per_store_ids = run_plan[run_index]
             images_before = report.images_extracted
             bytes_before = report.feature_bytes
-            start = _time.perf_counter()
+            start = wall_clock()
             with self._span("ftdmp.store_stage", run=run_index):
                 features, labels = self._gather_features(
                     store_by_id, per_store_ids, report, relocate=relocate
                 )
-            store_seconds = _time.perf_counter() - start
+            store_seconds = wall_clock() - start
             if self._metrics is not None:
                 self._m_runs.inc()
                 self._m_store_stage.observe(store_seconds)
                 self._m_images.inc(report.images_extracted - images_before)
                 self._m_feature_bytes.inc(report.feature_bytes - bytes_before)
             if len(features) > 0:
-                start = _time.perf_counter()
+                start = wall_clock()
                 with self._span("ftdmp.tuner_stage", run=run_index,
                                 images=len(features)):
                     self._train_tail(features, labels, epochs, run_index,
                                      report)
                 if self._metrics is not None:
-                    self._m_tuner_stage.observe(_time.perf_counter() - start)
+                    self._m_tuner_stage.observe(wall_clock() - start)
             if on_run_complete is not None:
                 on_run_complete(run_index, run_plan, report)
         if distribute:

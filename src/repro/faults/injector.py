@@ -19,11 +19,14 @@ what lets the chaos suite assert exact accounting under failure.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import deque
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..lint.guards import guarded_by
 from .errors import FaultConfigError, MessageDroppedError, TunerCrashError
 from .events import (
     AddLatency,
@@ -51,10 +54,22 @@ class _Budget:
         return self.remaining > 0 and (self.kind is None or self.kind == kind)
 
 
+@guarded_by("_lock", "clock", "_due", "_drops", "_latencies", "stage_latency",
+            "fired", "dropped", "corrupted", "_tuner_crashed",
+            "injected_latency_s")
 class FaultInjector:
-    """Replays a fault schedule against an attached cluster."""
+    """Replays a fault schedule against an attached cluster.
+
+    The clock is advanced from the fabric (caller thread) *and* from
+    pipeline stage hooks (NPE worker threads), so all mutable schedule
+    state is guarded by one reentrant lock — ``advance`` -> ``_fire_due``
+    -> ``_fire`` -> ``_corrupt`` nest inside it.  Attachment wiring
+    (``_stores``/``_fabrics``/``_pipelines``) is setup-time only and
+    stays outside the guard.
+    """
 
     def __init__(self, schedule: Sequence[FaultEvent] = ()):
+        self._lock = threading.RLock()
         self._due = deque(sorted(schedule, key=lambda e: e.at))
         self.clock = 0
         self._stores: Dict[str, Any] = {}
@@ -107,21 +122,24 @@ class FaultInjector:
                 pipeline.stage_hook = None
         self._fabrics.clear()
         self._pipelines.clear()
-        self._due.clear()
-        self._drops.clear()
-        self._latencies.clear()
-        self._tuner_crashed = False
+        with self._lock:
+            self._due.clear()
+            self._drops.clear()
+            self._latencies.clear()
+            self._tuner_crashed = False
 
     # -- the logical clock -------------------------------------------------
     def advance(self, ticks: int = 1) -> None:
         """Move the clock forward, firing every event that comes due."""
-        for _ in range(ticks):
-            self.clock += 1
-            self._fire_due()
+        with self._lock:
+            for _ in range(ticks):
+                self.clock += 1
+                self._fire_due()
 
     def _fire_due(self) -> None:
-        while self._due and self._due[0].at <= self.clock:
-            self._fire(self._due.popleft())
+        with self._lock:
+            while self._due and self._due[0].at <= self.clock:
+                self._fire(self._due.popleft())
 
     def _store(self, store_id: str) -> Any:
         try:
@@ -133,26 +151,27 @@ class FaultInjector:
             ) from None
 
     def _fire(self, event: FaultEvent) -> None:
-        if isinstance(event, StoreCrash):
-            self._store(event.store_id).fail()
-        elif isinstance(event, StoreRecover):
-            self._store(event.store_id).repair()
-        elif isinstance(event, SlowAccelerator):
-            self._store(event.store_id).slowdown = event.factor
-        elif isinstance(event, DropMessages):
-            self._drops.append(_Budget(event.kind, event.count))
-        elif isinstance(event, AddLatency):
-            self._latencies.append(
-                _Budget(event.kind, event.count, event.seconds))
-        elif isinstance(event, SlowStage):
-            self.stage_latency[event.stage] = event.seconds
-        elif isinstance(event, (BitRot, TornWrite)):
-            self._corrupt(event)
-        elif isinstance(event, TunerCrash):
-            self._tuner_crashed = True
-        else:
-            raise FaultConfigError(f"unknown fault event {event!r}")
-        self.fired.append(event)
+        with self._lock:
+            if isinstance(event, StoreCrash):
+                self._store(event.store_id).fail()
+            elif isinstance(event, StoreRecover):
+                self._store(event.store_id).repair()
+            elif isinstance(event, SlowAccelerator):
+                self._store(event.store_id).slowdown = event.factor
+            elif isinstance(event, DropMessages):
+                self._drops.append(_Budget(event.kind, event.count))
+            elif isinstance(event, AddLatency):
+                self._latencies.append(
+                    _Budget(event.kind, event.count, event.seconds))
+            elif isinstance(event, SlowStage):
+                self.stage_latency[event.stage] = event.seconds
+            elif isinstance(event, (BitRot, TornWrite)):
+                self._corrupt(event)
+            elif isinstance(event, TunerCrash):
+                self._tuner_crashed = True
+            else:
+                raise FaultConfigError(f"unknown fault event {event!r}")
+            self.fired.append(event)
 
     def _corrupt(self, event) -> None:
         """Damage stored objects on one store without touching their CRCs."""
@@ -184,42 +203,48 @@ class FaultInjector:
             else:  # TornWrite
                 blob = blob[:int(len(blob) * event.keep_fraction)]
             objects.corrupt_object(key, bytes(blob))
-            self.corrupted.append((event.store_id, key))
+            with self._lock:
+                self.corrupted.append((event.store_id, key))
 
     # -- hooks the system calls --------------------------------------------
     def on_message(self, record: Any) -> float:
         """Fabric filter: returns extra latency seconds or raises a drop."""
         self.advance()
         self._check_tuner_alive()
-        for budget in self._drops:
-            if budget.matches(record.kind):
-                budget.remaining -= 1
-                self.dropped.append(record)
-                raise MessageDroppedError(
-                    f"injected drop: {record.src} -> {record.dst} "
-                    f"({record.kind}, {record.num_bytes} B)"
-                )
-        delay = 0.0
-        for budget in self._latencies:
-            if budget.matches(record.kind):
-                budget.remaining -= 1
-                delay += budget.seconds
-        self.injected_latency_s += delay
+        with self._lock:
+            for budget in self._drops:
+                if budget.matches(record.kind):
+                    budget.remaining -= 1
+                    self.dropped.append(record)
+                    raise MessageDroppedError(
+                        f"injected drop: {record.src} -> {record.dst} "
+                        f"({record.kind}, {record.num_bytes} B)"
+                    )
+            delay = 0.0
+            for budget in self._latencies:
+                if budget.matches(record.kind):
+                    budget.remaining -= 1
+                    delay += budget.seconds
+            self.injected_latency_s += delay
         return delay
 
     def on_stage_item(self, stage: str, item: Any) -> None:
         """ThreadedPipeline hook: slow a named stage per item."""
         self.advance()
         self._check_tuner_alive()
-        delay = self.stage_latency.get(stage, 0.0)
+        with self._lock:
+            delay = self.stage_latency.get(stage, 0.0)
         if delay > 0:
-            import time
-
+            # sleep outside the lock: a slowed stage must not stall the
+            # fabric's clock advances on other threads
             time.sleep(delay)
-            self.injected_latency_s += delay
+            with self._lock:
+                self.injected_latency_s += delay
 
     def _check_tuner_alive(self) -> None:
-        if self._tuner_crashed:
+        with self._lock:
+            crashed = self._tuner_crashed
+        if crashed:
             raise TunerCrashError(
                 "injected tuner crash: the process is gone until the "
                 "operator restores from a checkpoint"
@@ -228,19 +253,22 @@ class FaultInjector:
     # -- introspection -----------------------------------------------------
     @property
     def tuner_crashed(self) -> bool:
-        return self._tuner_crashed
+        with self._lock:
+            return self._tuner_crashed
 
     @property
     def pending(self) -> List[FaultEvent]:
-        return list(self._due)
+        with self._lock:
+            return list(self._due)
 
     def crashed_stores(self) -> List[str]:
         return sorted(sid for sid, store in self._stores.items()
                       if not store.is_available)
 
     def describe(self) -> str:
-        lines = [e.describe() for e in self.fired]
-        lines += [f"(pending) {e.describe()}" for e in self._due]
+        with self._lock:
+            lines = [e.describe() for e in self.fired]
+            lines += [f"(pending) {e.describe()}" for e in self._due]
         return "\n".join(lines) if lines else "(empty schedule)"
 
     # -- schedule generation -----------------------------------------------

@@ -1,0 +1,44 @@
+"""ndlint: invariant-enforcing static analysis + runtime sanitizer.
+
+Two halves, one convention:
+
+* ``repro lint`` (see :mod:`repro.cli`) runs the AST rule catalogue —
+  ND001 determinism, ND002 accounting, ND003 guarded-by, ND004 metric
+  hygiene, ND005 retry discipline — over the package and exits nonzero
+  on findings; and
+* the :data:`SANITIZER` checks at runtime what the AST cannot: lock
+  acquisition-order cycles and cross-thread writes to
+  :func:`guarded_by`-declared state.
+"""
+
+from .allowlist import parse_allows
+from .engine import LintConfig, LintEngine, default_config, package_root
+from .findings import Finding, render_json, render_text
+from .guards import guard_map, guarded_by
+from .sanitizer import (
+    SANITIZER,
+    ConcurrencySanitizer,
+    SanitizerError,
+    TrackedLock,
+    Violation,
+    sanitized,
+)
+
+__all__ = [
+    "ConcurrencySanitizer",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "SANITIZER",
+    "SanitizerError",
+    "TrackedLock",
+    "Violation",
+    "default_config",
+    "guard_map",
+    "guarded_by",
+    "package_root",
+    "parse_allows",
+    "render_json",
+    "render_text",
+    "sanitized",
+]

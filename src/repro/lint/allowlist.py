@@ -1,0 +1,62 @@
+"""Inline allow markers for ``repro lint``.
+
+A finding can be suppressed at its source line with a justified marker:
+
+* ``# ndlint: allow[ND002] -- replication-repair donor path is maintenance``
+* ``# ndlint: allow[ND001,ND005] -- reason covering both rules``
+* ``# ndlint: fire-and-forget -- best-effort hint, loss is acceptable``
+  (shorthand for ``allow[ND005]`` at intentional one-shot fabric sends)
+
+The justification after ``--`` is mandatory: a bare marker still
+suppresses nothing for free — it raises an ``ND000`` finding so the gate
+stays red until someone writes down *why* the invariant does not apply.
+A marker on a comment-only line covers the next source line, so long
+statements can carry their justification above themselves.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from .findings import Finding
+
+__all__ = ["parse_allows"]
+
+_MARKER = re.compile(
+    r"#\s*ndlint:\s*(?:allow\[(?P<rules>[A-Z0-9,\s]+)\]|"
+    r"(?P<faf>fire-and-forget))"
+    r"\s*(?:--\s*(?P<why>.*\S))?"
+)
+
+
+def parse_allows(path: str, source: str,
+                 ) -> Tuple[Dict[int, Set[str]], List[Finding]]:
+    """Scan ``source`` for markers; returns (line -> allowed rules, ND000s).
+
+    Lines are 1-based.  A marker trailing a statement covers that line; a
+    marker on its own line covers the following line as well.
+    """
+    allows: Dict[int, Set[str]] = {}
+    findings: List[Finding] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _MARKER.search(text)
+        if match is None:
+            continue
+        if match.group("faf"):
+            rules = {"ND005"}
+        else:
+            rules = {r.strip() for r in match.group("rules").split(",")
+                     if r.strip()}
+        if not match.group("why"):
+            findings.append(Finding(
+                path=path, line=lineno, col=match.start() + 1, rule="ND000",
+                message="allow marker needs a justification: "
+                        "# ndlint: ... -- <why this is safe>",
+            ))
+            continue
+        allows.setdefault(lineno, set()).update(rules)
+        if text[:match.start()].strip() == "":
+            # comment-only line: the marker covers the next statement line
+            allows.setdefault(lineno + 1, set()).update(rules)
+    return allows, findings

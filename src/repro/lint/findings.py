@@ -1,0 +1,63 @@
+"""Finding records and report rendering for ``repro lint``.
+
+A :class:`Finding` pins one invariant violation to a rule ID and a
+``path:line:col`` location.  The CLI renders findings either as
+human-readable text (one line per finding, sorted by location) or as a
+JSON report for the CI gate artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["Finding", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding."""
+    lines: List[str] = [
+        f"{f.location()}: {f.rule} {f.message}" for f in sorted(findings)
+    ]
+    lines.append(
+        f"repro lint: {len(findings)} finding"
+        f"{'' if len(findings) == 1 else 's'}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], indent: int = 2) -> str:
+    """The machine-readable report the CI gate uploads as an artifact."""
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in sorted(findings)],
+            "count": len(findings),
+            "clean": not findings,
+        },
+        indent=indent,
+        sort_keys=True,
+    )

@@ -1,0 +1,117 @@
+"""The ``@guarded_by`` annotation: one convention, two enforcers.
+
+.. code-block:: python
+
+    @guarded_by("_lock", "spans", "dropped_spans")
+    class Tracer:
+        def __init__(self):
+            self._lock = threading.Lock()
+            ...
+
+declares that ``self.spans`` and ``self.dropped_spans`` may only be
+touched while ``self._lock`` is held.  The declaration is consumed by:
+
+* the **static** ND003 rule (:mod:`repro.lint.rules`), which proves every
+  ``self.<attr>`` access in the class sits inside a matching
+  ``with self.<lock>:`` block; and
+* the **runtime** sanitizer (:mod:`repro.lint.sanitizer`): when enabled,
+  the decorated class transparently wraps its lock in a
+  :class:`~repro.lint.sanitizer.TrackedLock` at assignment time (feeding
+  the lock-order graph) and flags any write to a guarded attribute from
+  a thread other than the constructing thread that does not hold the
+  lock.
+
+``__init__`` is exempt in both enforcers — construction happens before
+the instance is shared.  The decorator stacks: multiple ``guarded_by``
+decorations merge their attribute maps (one lock per attribute; the
+innermost decorator wins on conflict).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict
+
+from .sanitizer import SANITIZER, Violation
+
+__all__ = ["guarded_by", "guard_map"]
+
+_HOOKED = "_nd_guard_hooked"
+_INIT_DONE = "_nd_init_done"
+_OWNER = "_nd_owner_thread"
+
+
+def guard_map(obj: Any) -> Dict[str, str]:
+    """The merged attr -> lock declaration of an object or class."""
+    cls = obj if isinstance(obj, type) else type(obj)
+    return dict(getattr(cls, "__guarded_by__", {}))
+
+
+def guarded_by(lock_name: str, *attrs: str) -> Callable[[type], type]:
+    """Declare ``attrs`` of the decorated class as guarded by ``lock_name``."""
+    if not attrs:
+        raise ValueError("guarded_by needs at least one attribute name")
+    if not lock_name.isidentifier() or \
+            not all(a.isidentifier() for a in attrs):
+        raise ValueError("lock and attribute names must be identifiers")
+
+    def decorate(cls: type) -> type:
+        mapping = dict(getattr(cls, "__guarded_by__", {}))
+        for attr in attrs:
+            mapping.setdefault(attr, lock_name)
+        cls.__guarded_by__ = mapping
+        _install_hooks(cls)
+        return cls
+
+    return decorate
+
+
+def _is_lock_like(value: Any) -> bool:
+    return hasattr(value, "acquire") and hasattr(value, "release")
+
+
+def _install_hooks(cls: type) -> None:
+    """Wrap ``__setattr__`` / ``__init__`` once per decorated class."""
+    if cls.__dict__.get(_HOOKED):
+        return
+    setattr(cls, _HOOKED, True)
+    original_setattr = cls.__setattr__
+    original_init = cls.__init__
+
+    def hooked_setattr(self, name: str, value: Any) -> None:
+        if SANITIZER.enabled:
+            mapping = getattr(type(self), "__guarded_by__", {})
+            if name in mapping.values() and _is_lock_like(value):
+                value = SANITIZER.track_lock(
+                    value, f"{type(self).__name__}.{name}")
+            elif name in mapping and self.__dict__.get(_INIT_DONE):
+                _check_guarded_write(self, name, mapping[name])
+        original_setattr(self, name, value)
+
+    def hooked_init(self, *args: Any, **kwargs: Any) -> None:
+        original_init(self, *args, **kwargs)
+        self.__dict__[_OWNER] = threading.get_ident()
+        self.__dict__[_INIT_DONE] = True
+
+    cls.__setattr__ = hooked_setattr
+    cls.__init__ = hooked_init
+
+
+def _check_guarded_write(self: Any, attr: str, lock_name: str) -> None:
+    lock = self.__dict__.get(lock_name)
+    held = getattr(lock, "held_by_current_thread", None)
+    if held is None:
+        # the lock predates sanitizer enablement (or is missing):
+        # ownership cannot be proven either way, so stay silent
+        return
+    if held():
+        return
+    if threading.get_ident() == self.__dict__.get(_OWNER):
+        # single-threaded use by the constructing thread is not a race
+        return
+    SANITIZER.record(Violation(
+        kind="unguarded-write",
+        detail=f"{type(self).__name__}.{attr} written by thread "
+               f"{threading.get_ident()} without holding "
+               f"{type(self).__name__}.{lock_name}",
+    ))

@@ -1,0 +1,254 @@
+"""Runtime concurrency sanitizer: lock-order graph + guarded-state checks.
+
+The static ND003 rule proves that *this repo's* code takes the declared
+lock around guarded state; this module checks the things an AST cannot:
+
+* **lock-order cycles** — every :class:`TrackedLock` acquisition while
+  other tracked locks are held adds edges to a global acquisition-order
+  graph keyed by lock *name* (``Class._lock``); the first edge that
+  closes a cycle records a ``lock-order-cycle`` violation with the full
+  path, i.e. a potential deadlock even if this run did not hang;
+* **unguarded cross-thread writes** — classes annotated with
+  :func:`repro.lint.guards.guarded_by` report a ``unguarded-write``
+  violation when a thread other than the instance's constructing thread
+  writes a guarded attribute without holding the declared lock.
+
+The sanitizer is off by default and costs one global flag check when
+off.  Tests and chaos runs switch it on (``NDPIPE_SANITIZE=1`` via the
+suite's conftest, or :func:`sanitized` as a context manager); guarded
+classes then transparently wrap their locks in :class:`TrackedLock` at
+assignment time, so the whole cluster is instrumented with no call-site
+changes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+__all__ = ["ConcurrencySanitizer", "SANITIZER", "SanitizerError",
+           "TrackedLock", "Violation", "sanitized"]
+
+
+class SanitizerError(RuntimeError):
+    """Raised in ``raise`` mode, or by :meth:`assert_clean`."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concurrency-invariant breach observed at runtime."""
+
+    kind: str  # "lock-order-cycle" | "unguarded-write"
+    detail: str
+
+
+class _LockGraph:
+    """Directed acquisition-order graph over lock names."""
+
+    def __init__(self):
+        self._edges: Dict[str, Set[str]] = {}
+        self._mutex = threading.Lock()  # internal; never tracked
+
+    def add_edge(self, held: str, acquired: str) -> Optional[List[str]]:
+        """Record held -> acquired; returns the cycle it closes, if any."""
+        if held == acquired:
+            return None
+        with self._mutex:
+            successors = self._edges.setdefault(held, set())
+            if acquired in successors:
+                return None
+            path = self._path(acquired, held)
+            successors.add(acquired)
+            if path is not None:
+                return [held] + path
+        return None
+
+    def _path(self, src: str, dst: str) -> Optional[List[str]]:
+        """A src -> ... -> dst path through existing edges, if one exists."""
+        stack = [(src, [src])]
+        seen = {src}
+        while stack:
+            node, path = stack.pop()
+            if node == dst:
+                return path
+            for succ in self._edges.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    def edges(self) -> Dict[str, Set[str]]:
+        with self._mutex:
+            return {k: set(v) for k, v in self._edges.items()}
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+
+
+class TrackedLock:
+    """Wraps a ``threading.Lock``/``RLock`` to feed the order graph.
+
+    Supports the context-manager protocol plus ``acquire``/``release``/
+    ``locked``, so it drops in wherever the plain lock lived.  Reentrant
+    acquisitions (RLock semantics) add no edges.
+    """
+
+    _held = threading.local()  # per-thread stack of TrackedLock names
+
+    def __init__(self, inner, name: str,
+                 sanitizer: "ConcurrencySanitizer"):
+        self._inner = inner
+        self.name = name
+        self._sanitizer = sanitizer
+        self._owner: Optional[int] = None
+        self._count = 0
+
+    # -- lock protocol ------------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ident = threading.get_ident()
+        if self._owner == ident:
+            # reentrant re-acquire (RLock): no ordering information
+            if not self._inner.acquire(blocking, timeout):
+                return False
+            self._count += 1
+            return True
+        if not self._inner.acquire(blocking, timeout):
+            return False
+        self._owner = ident
+        self._count = 1
+        stack = self._stack()
+        for held_name in stack:
+            cycle = self._sanitizer.graph.add_edge(held_name, self.name)
+            if cycle is not None:
+                # add_edge returns the cycle already closed:
+                # [held, acquired, ..., held]
+                self._sanitizer.record(Violation(
+                    kind="lock-order-cycle",
+                    detail="lock acquisition order cycle (potential "
+                           "deadlock): " + " -> ".join(cycle),
+                ))
+        stack.append(self.name)
+        return True
+
+    def release(self) -> None:
+        ident = threading.get_ident()
+        if self._owner == ident:
+            self._count -= 1
+            if self._count == 0:
+                self._owner = None
+                stack = self._stack()
+                if self.name in stack:
+                    stack.remove(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked() if hasattr(self._inner, "locked") \
+            else self._owner is not None
+
+    # -- queries ------------------------------------------------------------
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    @classmethod
+    def _stack(cls) -> List[str]:
+        stack = getattr(cls._held, "stack", None)
+        if stack is None:
+            stack = cls._held.stack = []
+        return stack
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r})"
+
+
+class ConcurrencySanitizer:
+    """Global switchboard: enable/disable, violations, the lock graph."""
+
+    def __init__(self):
+        self.enabled = False
+        self.mode = "record"  # or "raise"
+        self.graph = _LockGraph()
+        self._violations: List[Violation] = []
+        self._mutex = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+    def enable(self, mode: str = "record") -> None:
+        if mode not in ("record", "raise"):
+            raise ValueError(f"unknown sanitizer mode {mode!r}")
+        self.mode = mode
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._violations.clear()
+        self.graph.clear()
+
+    # -- recording ----------------------------------------------------------
+    def record(self, violation: Violation) -> None:
+        with self._mutex:
+            self._violations.append(violation)
+        if self.mode == "raise":
+            raise SanitizerError(f"{violation.kind}: {violation.detail}")
+
+    @property
+    def violations(self) -> List[Violation]:
+        with self._mutex:
+            return list(self._violations)
+
+    def drain(self) -> List[Violation]:
+        """Pop and return everything recorded so far."""
+        with self._mutex:
+            out = list(self._violations)
+            self._violations.clear()
+        return out
+
+    def assert_clean(self) -> None:
+        violations = self.violations
+        if violations:
+            details = "; ".join(f"{v.kind}: {v.detail}" for v in violations)
+            raise SanitizerError(
+                f"{len(violations)} concurrency violation(s): {details}")
+
+    # -- instrumentation ----------------------------------------------------
+    def track_lock(self, lock, name: str) -> TrackedLock:
+        """Wrap a lock so its acquisitions feed the order graph."""
+        if isinstance(lock, TrackedLock):
+            return lock
+        return TrackedLock(lock, name, self)
+
+
+#: the process-wide sanitizer the guards consult
+SANITIZER = ConcurrencySanitizer()
+
+
+@contextmanager
+def sanitized(mode: str = "record") -> Iterator[ConcurrencySanitizer]:
+    """Enable the global sanitizer for a scope; restore + clear on exit.
+
+    Tests use this so intentional violations (cycle fixtures) never leak
+    into the suite-wide ``NDPIPE_SANITIZE`` accounting.
+    """
+    prior_enabled, prior_mode = SANITIZER.enabled, SANITIZER.mode
+    prior_violations = SANITIZER.drain()
+    SANITIZER.graph.clear()
+    SANITIZER.enable(mode)
+    try:
+        yield SANITIZER
+    finally:
+        SANITIZER.reset()
+        SANITIZER.mode = prior_mode
+        SANITIZER.enabled = prior_enabled
+        for violation in prior_violations:
+            SANITIZER._violations.append(violation)

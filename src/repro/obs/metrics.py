@@ -23,6 +23,8 @@ import math
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..lint.guards import guarded_by
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_BUCKETS"]
 
@@ -84,6 +86,7 @@ class _Instrument:
         return tuple(str(labels[k]) for k in self.label_names)
 
 
+@guarded_by("_lock", "_values")
 class Counter(_Instrument):
     """A monotonically increasing sum, optionally per label set."""
 
@@ -102,7 +105,9 @@ class Counter(_Instrument):
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
-        return self._values.get(self._key(labels), 0.0)
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
 
     def total(self) -> float:
         """Sum across every label set."""
@@ -129,6 +134,7 @@ class Counter(_Instrument):
             }
 
 
+@guarded_by("_lock", "_values")
 class Gauge(_Instrument):
     """A value that can go up and down (journal size, fleet health)."""
 
@@ -152,7 +158,9 @@ class Gauge(_Instrument):
         self.inc(-amount, **labels)
 
     def value(self, **labels: str) -> float:
-        return self._values.get(self._key(labels), 0.0)
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
 
     samples = Counter.samples
     as_dict = Counter.as_dict
@@ -167,6 +175,7 @@ class _HistogramState:
         self.sum = 0.0
 
 
+@guarded_by("_lock", "_states")
 class Histogram(_Instrument):
     """Cumulative-bucket histogram (Prometheus semantics)."""
 
@@ -198,12 +207,16 @@ class Histogram(_Instrument):
             state.sum += value
 
     def count(self, **labels: str) -> int:
-        state = self._states.get(self._key(labels))
-        return 0 if state is None else state.count
+        key = self._key(labels)
+        with self._lock:
+            state = self._states.get(key)
+            return 0 if state is None else state.count
 
     def sum(self, **labels: str) -> float:
-        state = self._states.get(self._key(labels))
-        return 0.0 if state is None else state.sum
+        key = self._key(labels)
+        with self._lock:
+            state = self._states.get(key)
+            return 0.0 if state is None else state.sum
 
     def samples(self) -> List[Tuple[str, float]]:
         out: List[Tuple[str, float]] = []
@@ -240,6 +253,7 @@ class Histogram(_Instrument):
             }
 
 
+@guarded_by("_lock", "_families")
 class MetricsRegistry:
     """One namespace of instruments shared by a whole cluster.
 
@@ -300,13 +314,15 @@ class MetricsRegistry:
 
     # -- reads --------------------------------------------------------------
     def get(self, name: str) -> _Instrument:
-        try:
-            return self._families[name]
-        except KeyError:
-            raise KeyError(f"metric {name!r} not registered") from None
+        with self._lock:
+            try:
+                return self._families[name]
+            except KeyError:
+                raise KeyError(f"metric {name!r} not registered") from None
 
     def __contains__(self, name: str) -> bool:
-        return name in self._families
+        with self._lock:
+            return name in self._families
 
     def names(self) -> List[str]:
         with self._lock:
@@ -316,8 +332,9 @@ class MetricsRegistry:
     def export_prometheus(self) -> str:
         """The Prometheus text exposition format."""
         lines: List[str] = []
-        for name in self.names():
-            family = self._families[name]
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, family in families:
             if family.help:
                 lines.append(f"# HELP {name} {family.help}")
             lines.append(f"# TYPE {name} {family.kind}")
@@ -329,13 +346,15 @@ class MetricsRegistry:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def to_dict(self) -> Dict:
+        with self._lock:
+            families = sorted(self._families.items())
         return {
             name: {
-                "type": self._families[name].kind,
-                "help": self._families[name].help,
-                **self._families[name].as_dict(),
+                "type": family.kind,
+                "help": family.help,
+                **family.as_dict(),
             }
-            for name in self.names()
+            for name, family in families
         }
 
 

@@ -20,7 +20,22 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Tracer"]
+from ..lint.guards import guarded_by
+
+__all__ = ["Span", "Tracer", "wall_clock"]
+
+
+def wall_clock() -> float:
+    """The one sanctioned wall-clock read in the simulation stack.
+
+    ND001 bans direct ``time.time``/``perf_counter`` calls outside this
+    module: simulation logic must be deterministic (use the injector's
+    logical tick), while *observability* — span timing, stage busy-time
+    metrics — legitimately measures real elapsed time through this seam.
+    Benchmarks keep their wall-seconds schemas; tests can monkeypatch a
+    single function instead of chasing ``time`` imports.
+    """
+    return time.perf_counter()
 
 
 @dataclass
@@ -42,6 +57,7 @@ class Span:
         return self.start_s + self.duration_s
 
 
+@guarded_by("_lock", "spans", "dropped_spans")
 class Tracer:
     """Collects nested spans; thread-safe, per-thread nesting depth."""
 
@@ -108,7 +124,8 @@ class Tracer:
             self.dropped_spans = 0
 
     def __len__(self) -> int:
-        return len(self.spans)
+        with self._lock:
+            return len(self.spans)
 
     # -- export -------------------------------------------------------------
     def export_chrome_trace(self, indent: Optional[int] = None,

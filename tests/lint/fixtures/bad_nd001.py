@@ -1,0 +1,17 @@
+"""ND001 fixture: direct wall-clock and entropy reads."""
+
+import os
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def token():
+    return os.urandom(8)

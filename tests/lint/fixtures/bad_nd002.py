@@ -1,0 +1,9 @@
+"""ND002 fixture: raw object reads that bypass workload accounting."""
+
+
+def read_raw(store, key):
+    return store.objects.peek(key)
+
+
+def walk(store):
+    return list(store.objects.iter_items())

@@ -1,0 +1,23 @@
+"""ND003 fixture: guarded attrs touched outside their lock."""
+
+import threading
+
+from repro.lint import guarded_by
+
+
+@guarded_by("_lock", "items")
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+        self.hits = 0  # guarded by: _lock
+
+    def add_locked(self, item):
+        with self._lock:
+            self.items.append(item)
+
+    def add_unlocked(self, item):
+        self.items.append(item)
+
+    def bump(self):
+        self.hits += 1

@@ -1,0 +1,8 @@
+"""ND004 fixture: bad metric family names and duplicate registration."""
+
+
+def register_all(metrics, suffix):
+    metrics.counter("BadCamelName", "not snake case")
+    metrics.counter("dup_family_total", "first site")
+    metrics.counter("dup_family_total", "second site")
+    metrics.gauge("prefix_" + suffix, "computed name")

@@ -1,0 +1,5 @@
+"""ND005 fixture: a fabric transfer with no retry protection."""
+
+
+def announce(network, src, dst):
+    network.send(src, dst, 128, "model-full")

@@ -1,0 +1,53 @@
+"""The ``repro lint`` command: exit codes, report formats, the manifest."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import LintEngine, package_root
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_shipped_tree_is_lint_clean(capsys):
+    assert main(["lint"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_seeded_fixtures_fail_with_rule_ids_and_locations(capsys):
+    assert main(["lint", str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    for rule in ("ND001", "ND002", "ND003", "ND004", "ND005"):
+        assert rule in out
+    # every finding line pins a file:line:col location
+    assert f"{FIXTURES / 'bad_nd001.py'}:9:" in out
+
+
+def test_json_report_is_written_even_on_failure(tmp_path, capsys):
+    report_path = tmp_path / "lint-report.json"
+    code = main(["lint", str(FIXTURES), "--format", "json",
+                 "--out", str(report_path)])
+    capsys.readouterr()
+    assert code == 1
+    report = json.loads(report_path.read_text())
+    assert report["clean"] is False
+    assert report["count"] == len(report["findings"]) > 0
+    rules = {f["rule"] for f in report["findings"]}
+    assert {"ND001", "ND002", "ND003", "ND004", "ND005"} <= rules
+    for finding in report["findings"]:
+        assert finding["line"] >= 1 and finding["path"]
+
+
+def test_clean_tree_json_report(capsys):
+    assert main(["lint", str(package_root()), "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report == {"clean": True, "count": 0, "findings": []}
+
+
+def test_manifest_is_current():
+    """obs/METRICS.md matches what --update-manifest would regenerate."""
+    engine = LintEngine()
+    engine.run([package_root()])
+    manifest = engine.config.manifest_path
+    assert manifest.is_file()
+    assert manifest.read_text() == engine.render_manifest()

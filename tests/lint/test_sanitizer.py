@@ -1,0 +1,123 @@
+"""Runtime sanitizer: lock-order cycles and unguarded cross-thread writes."""
+
+import threading
+
+from repro.lint import SANITIZER, SanitizerError, guarded_by, sanitized
+
+import pytest
+
+
+def run_in_thread(fn):
+    errors = []
+
+    def wrapped():
+        try:
+            fn()
+        except BaseException as exc:  # surfaced in the caller
+            errors.append(exc)
+
+    thread = threading.Thread(target=wrapped)
+    thread.start()
+    thread.join()
+    if errors:
+        raise errors[0]
+
+
+@guarded_by("_lock", "value")
+class GuardedBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+
+def test_lock_order_cycle_detected_across_threads():
+    with sanitized() as san:
+        lock_a = san.track_lock(threading.Lock(), "Store._lock")
+        lock_b = san.track_lock(threading.Lock(), "Tuner._lock")
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        run_in_thread(forward)
+        run_in_thread(backward)
+        violations = san.violations
+        assert [v.kind for v in violations] == ["lock-order-cycle"]
+        assert "Store._lock" in violations[0].detail
+        assert "Tuner._lock" in violations[0].detail
+        with pytest.raises(SanitizerError):
+            san.assert_clean()
+
+
+def test_consistent_lock_order_is_clean():
+    with sanitized() as san:
+        lock_a = san.track_lock(threading.Lock(), "Store._lock")
+        lock_b = san.track_lock(threading.Lock(), "Tuner._lock")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert san.violations == []
+
+
+def test_unguarded_cross_thread_write_detected():
+    with sanitized() as san:
+        box = GuardedBox()
+
+        def write_without_lock():
+            box.value = 1
+
+        run_in_thread(write_without_lock)
+        violations = san.violations
+        assert [v.kind for v in violations] == ["unguarded-write"]
+        assert "GuardedBox.value" in violations[0].detail
+
+
+def test_locked_or_owner_thread_writes_are_clean():
+    with sanitized() as san:
+        box = GuardedBox()
+        box.value = 1  # the constructing thread may write freely
+
+        def write_with_lock():
+            with box._lock:
+                box.value = 2
+
+        run_in_thread(write_with_lock)
+        assert san.violations == []
+        assert box.value == 2
+
+
+def test_guarded_lock_is_wrapped_and_reentrant_rlock_works():
+    with sanitized() as san:
+        box = GuardedBox()
+        assert type(box._lock).__name__ == "TrackedLock"
+        rlock = san.track_lock(threading.RLock(), "Injector._lock")
+        with rlock:
+            with rlock:  # reentrant acquire adds no edges
+                pass
+        assert san.violations == []
+
+
+def test_raise_mode_raises_at_the_violation_site():
+    with sanitized(mode="raise"):
+        box = GuardedBox()
+
+        def write_without_lock():
+            box.value = 1
+
+        with pytest.raises(SanitizerError, match="unguarded-write"):
+            run_in_thread(write_without_lock)
+
+
+def test_sanitized_scope_restores_global_state():
+    before = (SANITIZER.enabled, SANITIZER.mode, SANITIZER.violations)
+    with sanitized(mode="record") as san:
+        assert san is SANITIZER and san.enabled
+    assert (SANITIZER.enabled, SANITIZER.mode,
+            SANITIZER.violations) == before
