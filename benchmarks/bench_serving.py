@@ -1,0 +1,89 @@
+"""Online serving: adaptive micro-batching vs the batch=1 baseline.
+
+Not a paper figure — the serving-layer counterpart of the paper's
+online-inference story (§3.1): photo uploads must be labelled within a
+tail-latency budget, and the only lever that scales throughput without
+more accelerators is batching.  One Poisson upload trace is served twice
+under the same p99 budget:
+
+* **adaptive** — the full :mod:`repro.serving` front end (NPE-seeded
+  SLO batch controller, content-addressed tensor cache, replica
+  dispatch);
+* **baseline** — identical machinery pinned to synchronous batch=1,
+  i.e. the pre-serving ``InferenceServer.classify`` path.
+
+The headline claim recorded in ``results/BENCH_serving.json``: adaptive
+micro-batching sustains >= 3x the baseline throughput at an equal p99
+latency budget.
+"""
+
+from repro.analysis.tables import format_table
+from repro.serving.bench import BENCH_DEFAULTS, run_serving_comparison
+
+SEED = 0
+
+
+def serving_comparison():
+    return run_serving_comparison(seed=SEED)
+
+
+def test_serving_adaptive_vs_baseline(benchmark, report, bench_json):
+    result = benchmark(serving_comparison)
+    adaptive = result["adaptive"]
+    baseline = result["baseline"]
+    budget = result["latency_budget_s"]
+
+    text = format_table(
+        ["frontend", "offered", "completed", "shed", "rps", "p50 (ms)",
+         "p99 (ms)", "mean batch"],
+        [[name, r["offered"], r["completed"], sum(r["shed"].values()),
+          f"{r['throughput_rps']:.0f}",
+          f"{r['p50_latency_s'] * 1e3:.1f}",
+          f"{r['p99_latency_s'] * 1e3:.1f}",
+          f"{r['mean_batch']:.1f}"]
+         for name, r in (("adaptive", adaptive), ("baseline", baseline))],
+        title=(f"serving @ {result['offered_rps']:.0f} rps offered, "
+               f"p99 budget {budget * 1e3:.0f} ms "
+               f"-> {result['speedup']:.2f}x throughput"),
+    )
+    report("serving_adaptive_vs_baseline", text)
+
+    rows = []
+    for name, r in (("adaptive", adaptive), ("baseline", baseline)):
+        rows += [
+            ("serving_throughput_rps", r["throughput_rps"], "requests/s",
+             {"frontend": name}),
+            ("serving_p50_latency_s", r["p50_latency_s"], "s",
+             {"frontend": name}),
+            ("serving_p99_latency_s", r["p99_latency_s"], "s",
+             {"frontend": name}),
+            ("serving_completed", r["completed"], "requests",
+             {"frontend": name}),
+            ("serving_shed", sum(r["shed"].values()), "requests",
+             {"frontend": name}),
+            ("serving_mean_batch", r["mean_batch"], "images",
+             {"frontend": name}),
+        ]
+    rows += [
+        ("serving_speedup", result["speedup"], "x"),
+        ("serving_cache_hits", adaptive["cache_hits"], "lookups",
+         {"frontend": "adaptive"}),
+        ("serving_cache_misses", adaptive["cache_misses"], "lookups",
+         {"frontend": "adaptive"}),
+    ]
+    bench_json("BENCH_serving", rows, config={
+        **BENCH_DEFAULTS,
+        "seed": SEED,
+        "latency_budget_s": budget,
+        "model": result["config"]["model"],
+        "accelerator": result["config"]["accelerator"],
+        "replicas": result["config"]["replicas"],
+    })
+
+    # the acceptance claim: >= 3x throughput at an equal p99 budget
+    assert adaptive["p99_latency_s"] <= budget + 1e-9
+    assert baseline["p99_latency_s"] <= budget + 1e-9
+    assert result["speedup"] >= 3.0
+    # load-shedding accounting is exact on both front ends
+    for r in (adaptive, baseline):
+        assert r["offered"] == r["completed"] + sum(r["shed"].values())

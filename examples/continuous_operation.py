@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.analysis.tables import format_bytes, format_table
 from repro.core.cluster import NDPipeCluster
+from repro.core.config import ClusterConfig
 from repro.core.driftdetect import ScheduledPolicy
 from repro.data.drift import DriftingPhotoWorld, WorldConfig
 from repro.data.loader import normalize_images
@@ -40,8 +41,8 @@ def main() -> None:
         model.load_state_dict(state)
         return model
 
-    cluster = NDPipeCluster(factory, num_stores=3, nominal_raw_bytes=8192,
-                            lr=5e-3)
+    cluster = NDPipeCluster(factory, ClusterConfig(
+        num_stores=3, nominal_raw_bytes=8192, lr=5e-3))
     print("running 14 days of operation (fine-tune every 2 days) ...")
     log = run_continuous_operation(
         cluster, world, ScheduledPolicy(period_days=2),

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.analysis.tables import format_bytes, format_table
 from repro.core.cluster import NDPipeCluster
+from repro.core.config import ClusterConfig
 from repro.data.drift import DriftingPhotoWorld, WorldConfig
 from repro.data.loader import normalize_images
 from repro.inference.offline import campaign_comparison
@@ -36,7 +37,8 @@ def runnable_demo() -> None:
         model.load_state_dict(state)
         return model
 
-    cluster = NDPipeCluster(factory, num_stores=3, nominal_raw_bytes=8192)
+    cluster = NDPipeCluster(factory, ClusterConfig(
+        num_stores=3, nominal_raw_bytes=8192))
     x, y = world.sample(120, 0, rng=np.random.default_rng(2))
     cluster.ingest(x, train_labels=y)
     snapshot = cluster.database.snapshot_labels()

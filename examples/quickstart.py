@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.analysis.tables import format_bytes, format_table
 from repro.core.cluster import NDPipeCluster
+from repro.core.config import ClusterConfig
 from repro.data.drift import DriftingPhotoWorld, WorldConfig
 from repro.data.loader import normalize_images
 from repro.models.registry import tiny_model
@@ -39,8 +40,8 @@ def main() -> None:
         return model
 
     # 2. the cluster: Tuner + PipeStores + inference server + label DB
-    cluster = NDPipeCluster(factory, num_stores=3, nominal_raw_bytes=8192,
-                            lr=5e-3)
+    cluster = NDPipeCluster(factory, ClusterConfig(
+        num_stores=3, nominal_raw_bytes=8192, lr=5e-3))
 
     # 3. ingest: online inference labels uploads, photos land near-data
     x_up, y_up = world.sample(150, 0, rng=np.random.default_rng(2))

@@ -1,6 +1,17 @@
 """NDPipe reproduction — near-data processing for photo storage (ASPLOS '24).
 
-Top-level convenience exports.  The public API surface is:
+One documented namespace for the symbols everything downstream builds
+on.  The system in two imports:
+
+.. code-block:: python
+
+    from repro import ClusterConfig, NDPipeCluster
+    from repro.models.registry import tiny_model
+
+    cluster = NDPipeCluster(lambda: tiny_model("ResNet50"),
+                            ClusterConfig(num_stores=8, replication=2))
+
+Subsystem tour:
 
 * :mod:`repro.nn` — numpy DNN substrate (autograd, layers, optimisers).
 * :mod:`repro.models` — the paper's five architectures: tiny runnable
@@ -11,13 +22,70 @@ Top-level convenience exports.  The public API surface is:
   power and cost models.
 * :mod:`repro.core` — the contribution: FT-DMP, pipelined training, APO,
   NPE, Check-N-Run, PipeStore/Tuner cluster.
+* :mod:`repro.serving` — the high-throughput online upload path:
+  admission control, adaptive micro-batching, tensor cache, replica
+  dispatch.
+* :mod:`repro.faults` — deterministic fault injection and retry.
+* :mod:`repro.obs` — metrics, tracing, and the bench-JSON schema.
 * :mod:`repro.train` / :mod:`repro.inference` — training and inference
   engines including the SRV-I/P/C baselines.
 * :mod:`repro.analysis` — one driver per paper table/figure.
 """
 
-__version__ = "1.0.0"
+import warnings as _warnings
+
+__version__ = "1.1.0"
 
 from . import nn  # noqa: F401
+from .core.cluster import InferenceServer, NDPipeCluster
+from .core.config import ClusterConfig
+from .core.fabric import NetworkFabric
+from .faults.injector import FaultInjector
+from .faults.retry import RetryPolicy, call_with_retry
+from .obs.metrics import MetricsRegistry
+from .obs.tracing import Tracer
+from .serving import ServeRequest, ServingConfig, ServingFrontend
 
-__all__ = ["nn", "__version__"]
+__all__ = [
+    "ClusterConfig",
+    "FaultInjector",
+    "InferenceServer",
+    "MetricsRegistry",
+    "NDPipeCluster",
+    "NetworkFabric",
+    "RetryPolicy",
+    "ServeRequest",
+    "ServingConfig",
+    "ServingFrontend",
+    "Tracer",
+    "call_with_retry",
+    "nn",
+    "__version__",
+]
+
+#: renamed/superseded symbols still importable from the top level;
+#: each access warns once and resolves to the current home
+_DEPRECATED_ALIASES = {
+    # the single-upload path predates the serving layer
+    "OnlineInferencePath": ("repro.inference.online", "OnlineInferencePath",
+                            "repro.serving.ServingFrontend"),
+}
+
+
+def __getattr__(name):
+    """PEP 562 hook: serve deprecated aliases with a warning."""
+    try:
+        module_name, attr, replacement = _DEPRECATED_ALIASES[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning, stacklevel=2)
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_DEPRECATED_ALIASES))

@@ -16,15 +16,37 @@ Commands:
 * ``resume``   — restore a ``.ndcp`` checkpoint into a fresh cluster and
   finish whatever fine-tuning was pending;
 * ``catalog``  — dump the calibrated hardware catalog;
+* ``serve-bench`` — run the online serving benchmark (adaptive
+  micro-batching vs. the synchronous batch=1 baseline);
 * ``lint``     — run the ndlint invariant rules (ND001..ND005) over the
   package (or given paths) and exit nonzero on findings.
+
+Every subcommand takes the same three plumbing flags: ``--seed`` (the
+deterministic run seed), ``--out`` (write the report to a file instead
+of stdout), and ``--format`` (output encoding, where the command has
+more than one).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+
+def _add_common_flags(parser: argparse.ArgumentParser,
+                      formats: tuple = ("text", "json"),
+                      default_format: str = "text",
+                      out_default: Optional[str] = None,
+                      out_help: str = "write the output to a file instead "
+                                      "of stdout") -> None:
+    """The plumbing flags every subcommand shares."""
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic run seed (default 0)")
+    parser.add_argument("--out", default=out_default, help=out_help)
+    parser.add_argument("--format", choices=formats, default=default_format,
+                        help=f"output format (default {default_format})")
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -45,7 +67,19 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                                   num_runs=args.runs),
     )
     best = plan.most_energy_efficient()
-    print(format_table(
+    if args.format == "json":
+        _emit(json.dumps({
+            "model": graph.name,
+            "accelerator": store.accelerator.name,
+            "gbps": args.gbps,
+            "partition_point": plan.split_label,
+            "pipestores_apo": plan.num_pipestores,
+            "training_time_s": plan.best.training_time_s,
+            "pipestores_energy": best.num_pipestores,
+            "ips_per_kj": best.ips_per_kj,
+        }, indent=2), args.out)
+        return 0
+    _emit(format_table(
         ["setting", "value"],
         [
             ["model", graph.name],
@@ -58,7 +92,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             ["energy efficiency", f"{best.ips_per_kj:,.0f} IPS/kJ"],
         ],
         title=f"APO plan for {graph.name}",
-    ))
+    ), args.out)
     return 0
 
 
@@ -66,29 +100,40 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from .analysis import perf
     from .analysis.tables import format_table
 
-    print(format_table(
-        ["cut", "feature GB", "sync GB", "train time (s)"],
-        [[r["cut"], r["feature_traffic_gb"], r["sync_traffic_gb"],
-          r["training_time_s"]] for r in perf.fig09_partition_sweep()],
-        title="Fig. 9: partition sweep",
-    ))
-    print()
+    if args.format == "json":
+        _emit(json.dumps({
+            "fig09": perf.fig09_partition_sweep(),
+            "fig11": perf.fig11_apo_sweep(),
+            "fig13_resnet50": perf.fig13_inference_scaling(
+                ["ResNet50"])["ResNet50"],
+        }, indent=2, default=str), args.out)
+        return 0
     apo = perf.fig11_apo_sweep()
-    print(format_table(
-        ["stores", "train time (s)", "T_diff (s)", "IPS/kJ"],
-        [[r["stores"], r["training_time_s"], r["t_diff_s"], r["ips_per_kj"]]
-         for r in apo["rows"]],
-        title=f"Fig. 11: APO sweep (pick: {apo['apo_pick']} stores)",
-    ))
-    print()
     f13 = perf.fig13_inference_scaling(["ResNet50"])["ResNet50"]
-    print(format_table(
-        ["system", "KIPS"],
-        [[v, f13["srv_ips"][v] / 1e3] for v in ("SRV-I", "SRV-P", "SRV-C")]
-        + [[f"NDPipe x{n}", f13["ndpipe_ips"][n] / 1e3]
-           for n in (1, 4, 8, 16, 20)],
-        title=f"Fig. 13 (ResNet50), crossovers {f13['crossovers']}",
-    ))
+    _emit("\n".join([
+        format_table(
+            ["cut", "feature GB", "sync GB", "train time (s)"],
+            [[r["cut"], r["feature_traffic_gb"], r["sync_traffic_gb"],
+              r["training_time_s"]] for r in perf.fig09_partition_sweep()],
+            title="Fig. 9: partition sweep",
+        ),
+        "",
+        format_table(
+            ["stores", "train time (s)", "T_diff (s)", "IPS/kJ"],
+            [[r["stores"], r["training_time_s"], r["t_diff_s"],
+              r["ips_per_kj"]] for r in apo["rows"]],
+            title=f"Fig. 11: APO sweep (pick: {apo['apo_pick']} stores)",
+        ),
+        "",
+        format_table(
+            ["system", "KIPS"],
+            [[v, f13["srv_ips"][v] / 1e3]
+             for v in ("SRV-I", "SRV-P", "SRV-C")]
+            + [[f"NDPipe x{n}", f13["ndpipe_ips"][n] / 1e3]
+               for n in (1, 4, 8, 16, 20)],
+            title=f"Fig. 13 (ResNet50), crossovers {f13['crossovers']}",
+        ),
+    ]), args.out)
     return 0
 
 
@@ -97,52 +142,60 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     from .analysis.tables import format_bytes, format_table
     from .core.cluster import NDPipeCluster
+    from .core.config import ClusterConfig
     from .data.drift import DriftingPhotoWorld, WorldConfig
     from .models.registry import tiny_model
 
     world = DriftingPhotoWorld(WorldConfig(
-        initial_classes=6, max_classes=8, image_size=16, noise=0.3, seed=0,
+        initial_classes=6, max_classes=8, image_size=16, noise=0.3,
+        seed=args.seed,
     ))
     cluster = NDPipeCluster(
         lambda: tiny_model("ResNet50", num_classes=8, width=8, seed=7),
-        num_stores=args.stores, nominal_raw_bytes=8192,
+        ClusterConfig(num_stores=args.stores, nominal_raw_bytes=8192,
+                      seed=args.seed),
     )
-    x, y = world.sample(args.photos, 0, rng=np.random.default_rng(1))
+    x, y = world.sample(args.photos, 0,
+                        rng=np.random.default_rng(args.seed + 1))
     cluster.ingest(x, train_labels=y)
     report = cluster.finetune(epochs=2)
     relabel = cluster.offline_relabel()
-    print(format_table(
-        ["metric", "value"],
-        [
-            ["photos ingested", len(cluster.database)],
-            ["images fine-tuned", report.images_extracted],
-            ["labels refreshed", relabel.photos_processed],
-            ["model delta",
-             f"{cluster.tuner.distributions[-1].reduction_factor:.1f}x "
-             "smaller than the full model"],
-        ] + [[f"traffic: {kind}", format_bytes(num)]
-             for kind, num in sorted(cluster.traffic_summary().items())],
-        title="NDPipe demo lifecycle",
-    ))
+    rows = [
+        ["photos ingested", len(cluster.database)],
+        ["images fine-tuned", report.images_extracted],
+        ["labels refreshed", relabel.photos_processed],
+        ["model delta",
+         f"{cluster.tuner.distributions[-1].reduction_factor:.1f}x "
+         "smaller than the full model"],
+    ] + [[f"traffic: {kind}", format_bytes(num)]
+         for kind, num in sorted(cluster.traffic_summary().items())]
+    if args.format == "json":
+        _emit(json.dumps({str(k): str(v) for k, v in rows}, indent=2),
+              args.out)
+        return 0
+    _emit(format_table(["metric", "value"], rows,
+                       title="NDPipe demo lifecycle"), args.out)
     return 0
 
 
-def _run_lifecycle(stores: int, photos: int):
+def _run_lifecycle(stores: int, photos: int, seed: int = 0):
     """One ingest -> finetune -> relabel pass on a tiny cluster."""
     import numpy as np
 
     from .core.cluster import NDPipeCluster
+    from .core.config import ClusterConfig
     from .data.drift import DriftingPhotoWorld, WorldConfig
     from .models.registry import tiny_model
 
     world = DriftingPhotoWorld(WorldConfig(
-        initial_classes=6, max_classes=8, image_size=16, noise=0.3, seed=0,
+        initial_classes=6, max_classes=8, image_size=16, noise=0.3,
+        seed=seed,
     ))
     cluster = NDPipeCluster(
         lambda: tiny_model("ResNet50", num_classes=8, width=8, seed=7),
-        num_stores=stores, nominal_raw_bytes=8192,
+        ClusterConfig(num_stores=stores, nominal_raw_bytes=8192, seed=seed),
     )
-    x, y = world.sample(photos, 0, rng=np.random.default_rng(1))
+    x, y = world.sample(photos, 0, rng=np.random.default_rng(seed + 1))
     cluster.ingest(x, train_labels=y)
     cluster.finetune(epochs=1)
     cluster.offline_relabel()
@@ -159,7 +212,7 @@ def _emit(text: str, out: Optional[str]) -> None:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    cluster = _run_lifecycle(args.stores, args.photos)
+    cluster = _run_lifecycle(args.stores, args.photos, seed=args.seed)
     if args.format == "json":
         _emit(cluster.metrics.export_json(indent=2), args.out)
     else:
@@ -168,19 +221,20 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    cluster = _run_lifecycle(args.stores, args.photos)
+    cluster = _run_lifecycle(args.stores, args.photos, seed=args.seed)
     _emit(cluster.tracer.export_chrome_trace(indent=2), args.out)
     return 0
 
 
-def _make_demo_cluster(stores: int, replication: int = 1):
+def _make_demo_cluster(stores: int, replication: int = 1, seed: int = 0):
     from .core.cluster import NDPipeCluster
+    from .core.config import ClusterConfig
     from .models.registry import tiny_model
 
     return NDPipeCluster(
         lambda: tiny_model("ResNet50", num_classes=8, width=8, seed=7),
-        num_stores=stores, nominal_raw_bytes=8192,
-        replication=replication,
+        ClusterConfig(num_stores=stores, nominal_raw_bytes=8192,
+                      replication=replication, seed=seed),
     )
 
 
@@ -192,10 +246,13 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     from .durability import inspect_checkpoint
 
     world = DriftingPhotoWorld(WorldConfig(
-        initial_classes=6, max_classes=8, image_size=16, noise=0.3, seed=0,
+        initial_classes=6, max_classes=8, image_size=16, noise=0.3,
+        seed=args.seed,
     ))
-    cluster = _make_demo_cluster(args.stores, replication=args.replication)
-    x, y = world.sample(args.photos, 0, rng=np.random.default_rng(1))
+    cluster = _make_demo_cluster(args.stores, replication=args.replication,
+                                 seed=args.seed)
+    x, y = world.sample(args.photos, 0,
+                        rng=np.random.default_rng(args.seed + 1))
     cluster.ingest(x, train_labels=y)
     run_blobs = {}
     cluster.finetune(
@@ -215,21 +272,21 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         handle.write(blob)
     info = inspect_checkpoint(blob)
     pending = info["pending_finetune"]
-    print(format_table(
-        ["field", "value"],
-        [
-            ["file", args.out],
-            ["bytes", len(blob)],
-            ["tuner version", info["tuner_version"]],
-            ["stores", info["num_stores"]],
-            ["photos", info["photos"]],
-            ["replication", info["replication"]],
-            ["pending fine-tune",
-             "none" if pending is None else
-             f"run {pending['next_run']}/{pending['num_runs']}"],
-        ],
-        title="NDPipe checkpoint",
-    ))
+    rows = [
+        ["file", args.out],
+        ["bytes", len(blob)],
+        ["tuner version", info["tuner_version"]],
+        ["stores", info["num_stores"]],
+        ["photos", info["photos"]],
+        ["replication", info["replication"]],
+        ["pending fine-tune",
+         "none" if pending is None else
+         f"run {pending['next_run']}/{pending['num_runs']}"],
+    ]
+    if args.format == "json":
+        print(json.dumps({str(k): str(v) for k, v in rows}, indent=2))
+        return 0
+    print(format_table(["field", "value"], rows, title="NDPipe checkpoint"))
     return 0
 
 
@@ -241,7 +298,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         blob = handle.read()
     info = inspect_checkpoint(blob)
     cluster = _make_demo_cluster(info["num_stores"],
-                                 replication=info["replication"])
+                                 replication=info["replication"],
+                                 seed=args.seed)
     progress = cluster.restore(blob)
     rows = [
         ["restored photos", len(cluster.database)],
@@ -257,14 +315,19 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     else:
         rows.append(["pending fine-tune", "none"])
     rows.append(["tuner version (now)", cluster.tuner.version])
-    print(format_table(["field", "value"], rows, title="NDPipe resume"))
+    if args.format == "json":
+        _emit(json.dumps({str(k): str(v) for k, v in rows}, indent=2),
+              args.out)
+        return 0
+    _emit(format_table(["field", "value"], rows, title="NDPipe resume"),
+          args.out)
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .analysis.validate import calibration_report, validate_calibration
 
-    print(calibration_report())
+    _emit(calibration_report(), args.out)
     return 0 if all(a.ok for a in validate_calibration()) else 1
 
 
@@ -308,18 +371,67 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
             TESLA_V100.inference_ips(graph, 128),
             NEURONCORE_V1.inference_ips(graph, 128),
         ])
-    print(format_table(
-        ["model", "GFLOPs", "params (M)", "T4 IPS@128", "V100 IPS@128",
-         "NeuronCore IPS@128"],
-        rows, title="model catalog (calibrated)",
-    ))
-    print()
-    print(format_table(
-        ["instance", "accelerator", "$/h"],
-        [[s.name, s.accelerator.name if s.accelerator else "-",
-          s.price_per_hour] for s in SERVERS.values()],
-        title="server catalog",
-    ))
+    if args.format == "json":
+        _emit(json.dumps({
+            "models": [dict(zip(
+                ("model", "gflops", "params_m", "t4_ips_128",
+                 "v100_ips_128", "neuroncore_ips_128"), row)) for row in rows],
+            "servers": [{
+                "instance": s.name,
+                "accelerator": s.accelerator.name if s.accelerator else None,
+                "price_per_hour": s.price_per_hour,
+            } for s in SERVERS.values()],
+        }, indent=2), args.out)
+        return 0
+    _emit("\n".join([
+        format_table(
+            ["model", "GFLOPs", "params (M)", "T4 IPS@128", "V100 IPS@128",
+             "NeuronCore IPS@128"],
+            rows, title="model catalog (calibrated)",
+        ),
+        "",
+        format_table(
+            ["instance", "accelerator", "$/h"],
+            [[s.name, s.accelerator.name if s.accelerator else "-",
+              s.price_per_hour] for s in SERVERS.values()],
+            title="server catalog",
+        ),
+    ]), args.out)
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .serving.bench import run_serving_comparison
+    from .serving.config import ServingConfig
+
+    config = ServingConfig(replicas=args.replicas, slo_s=args.slo,
+                           seed=args.seed)
+    result = run_serving_comparison(
+        seed=args.seed, num_requests=args.requests, rate_rps=args.rate,
+        config=config,
+    )
+    if args.format == "json":
+        _emit(json.dumps(result, indent=2), args.out)
+        return 0
+    rows = []
+    for name in ("adaptive", "baseline"):
+        r = result[name]
+        rows.append([
+            name, r["offered"], r["completed"], sum(r["shed"].values()),
+            f"{r['throughput_rps']:.0f}",
+            f"{r['p50_latency_s'] * 1e3:.1f}",
+            f"{r['p99_latency_s'] * 1e3:.1f}",
+            f"{r['mean_batch']:.1f}",
+        ])
+    _emit(format_table(
+        ["frontend", "offered", "completed", "shed", "rps",
+         "p50 (ms)", "p99 (ms)", "mean batch"],
+        rows,
+        title=(f"serve-bench @ {args.rate:.0f} rps, "
+               f"budget {result['latency_budget_s'] * 1e3:.0f} ms "
+               f"-> {result['speedup']:.2f}x throughput"),
+    ), args.out)
     return 0
 
 
@@ -337,26 +449,27 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--max-stores", type=int, default=20)
     plan.add_argument("--images", type=int, default=1_200_000)
     plan.add_argument("--runs", type=int, default=3)
+    _add_common_flags(plan)
     plan.set_defaults(func=_cmd_plan)
 
     figures = sub.add_parser("figures",
                              help="regenerate simulator-backed figures")
+    _add_common_flags(figures)
     figures.set_defaults(func=_cmd_figures)
 
     demo = sub.add_parser("demo", help="run the tiny-cluster lifecycle")
     demo.add_argument("--stores", type=int, default=3)
     demo.add_argument("--photos", type=int, default=90)
+    _add_common_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     metrics = sub.add_parser(
         "metrics",
         help="run the lifecycle and export cluster metrics")
-    metrics.add_argument("--format", choices=("prometheus", "json"),
-                         default="prometheus")
     metrics.add_argument("--stores", type=int, default=3)
     metrics.add_argument("--photos", type=int, default=48)
-    metrics.add_argument("--out", default=None,
-                         help="write to a file instead of stdout")
+    _add_common_flags(metrics, formats=("prometheus", "json"),
+                      default_format="prometheus")
     metrics.set_defaults(func=_cmd_metrics)
 
     trace = sub.add_parser(
@@ -364,8 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the lifecycle and export a chrome://tracing JSON")
     trace.add_argument("--stores", type=int, default=3)
     trace.add_argument("--photos", type=int, default=48)
-    trace.add_argument("--out", default=None,
-                       help="write to a file instead of stdout")
+    _add_common_flags(trace, formats=("json",), default_format="json")
     trace.set_defaults(func=_cmd_trace)
 
     checkpoint = sub.add_parser(
@@ -379,33 +491,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--at-run", type=int, default=None,
         help="write the mid-fine-tune checkpoint taken after this run "
              "(default: the final post-lifecycle state)")
-    checkpoint.add_argument("--out", default="ndpipe.ndcp",
-                            help="checkpoint file to write")
+    _add_common_flags(checkpoint, out_default="ndpipe.ndcp",
+                      out_help="checkpoint file to write")
     checkpoint.set_defaults(func=_cmd_checkpoint)
 
     resume = sub.add_parser(
         "resume",
         help="restore a checkpoint and finish any pending fine-tune")
     resume.add_argument("ckpt", help="checkpoint file written by 'checkpoint'")
+    _add_common_flags(resume)
     resume.set_defaults(func=_cmd_resume)
 
     catalog = sub.add_parser("catalog", help="dump the hardware catalog")
+    _add_common_flags(catalog)
     catalog.set_defaults(func=_cmd_catalog)
 
     validate = sub.add_parser(
         "validate", help="check the catalog against the paper's anchors")
+    _add_common_flags(validate, formats=("text",))
     validate.set_defaults(func=_cmd_validate)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark adaptive micro-batching vs the batch=1 baseline")
+    serve.add_argument("--requests", type=int, default=800,
+                       help="requests in the Poisson trace (default 800)")
+    serve.add_argument("--rate", type=float, default=1500.0,
+                       help="offered load in requests/s (default 1500)")
+    serve.add_argument("--replicas", type=int, default=1)
+    serve.add_argument("--slo", type=float, default=0.1,
+                       help="latency SLO in seconds (default 0.1)")
+    _add_common_flags(serve)
+    serve.set_defaults(func=_cmd_serve_bench)
 
     lint = sub.add_parser(
         "lint", help="run the ndlint invariant rules; nonzero on findings")
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the "
                            "installed repro package)")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
-    lint.add_argument("--out", default=None,
-                      help="write the report to a file instead of stdout")
     lint.add_argument("--update-manifest", action="store_true",
                       help="regenerate obs/METRICS.md before linting")
+    _add_common_flags(lint)
     lint.set_defaults(func=_cmd_lint)
     return parser
 

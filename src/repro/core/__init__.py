@@ -15,6 +15,7 @@ from .checknrun import (
     state_dict_bytes,
 )
 from .cluster import InferenceServer, NDPipeCluster, RelabelStats
+from .config import ClusterConfig
 from .driftdetect import (
     AccuracyWindowDetector,
     DetectionPolicy,
@@ -72,7 +73,7 @@ __all__ = [
     "DeltaStats", "DeltaError",
     "PipeStore", "StoredPhoto", "StoreUnavailableError", "Tuner",
     "DistributionStats",
-    "NDPipeCluster", "InferenceServer", "RelabelStats",
+    "NDPipeCluster", "InferenceServer", "RelabelStats", "ClusterConfig",
     "NetworkFabric", "TransferRecord",
     "inter_run_loss_gap", "iterations_to_converge", "delta_balancedness",
     "check_pipelined_losses", "RunConvergence",

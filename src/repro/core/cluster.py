@@ -14,6 +14,7 @@ a byte-accounted fabric.  Supports the three flows the paper describes:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -44,6 +45,7 @@ from ..storage.persistence import (
     load_photo_database,
 )
 from ..storage.photodb import LabelRecord, PhotoDatabase
+from .config import ClusterConfig
 from .fabric import NetworkFabric
 from .ftdmp import FinetuneReport
 from .pipestore import PipeStore, StoredPhoto, StoreUnavailableError
@@ -85,12 +87,28 @@ class InferenceServer:
 
     def classify(self, pixels: np.ndarray) -> Tuple[int, float]:
         """Label one photo (3, H, W); returns (label, confidence)."""
-        logits = self.model(Tensor(preprocess(pixels)[None])).data[0]
-        shifted = logits - logits.max()
+        return self.classify_preprocessed(preprocess(pixels)[None])[0]
+
+    def classify_preprocessed(self, batch: np.ndarray,
+                              ) -> List[Tuple[int, float]]:
+        """Label a batch of already-preprocessed inputs (N, 3, H, W).
+
+        One forward pass for the whole micro-batch — the serving layer's
+        adaptive batcher feeds coalesced uploads through here instead of
+        N single-image :meth:`classify` calls.
+        """
+        logits = self.model(Tensor(batch)).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
         probs = np.exp(shifted)
-        probs /= probs.sum()
-        label = int(probs.argmax())
-        return label, float(probs[label])
+        probs /= probs.sum(axis=1, keepdims=True)
+        labels = probs.argmax(axis=1)
+        return [(int(label), float(probs[row, label]))
+                for row, label in enumerate(labels)]
+
+    def classify_batch(self, images: np.ndarray) -> List[Tuple[int, float]]:
+        """Preprocess and label a raw batch (N, 3, H, W) in one pass."""
+        return self.classify_preprocessed(
+            np.stack([preprocess(pixels) for pixels in images]))
 
     def preprocess(self, pixels: np.ndarray) -> np.ndarray:
         """The offloaded preprocessing step (§5.4 +Offload)."""
@@ -101,26 +119,50 @@ class InferenceServer:
 
 
 class NDPipeCluster:
-    """N PipeStores + Tuner + inference server + label database."""
+    """N PipeStores + Tuner + inference server + label database.
+
+    The primary constructor takes a model factory plus one
+    :class:`~repro.core.config.ClusterConfig`:
+
+    .. code-block:: python
+
+        cluster = NDPipeCluster(factory, ClusterConfig(num_stores=8))
+
+    The pre-config signature — eleven loose keyword parameters
+    (``num_stores=...``, ``lr=...``, ...) — still works through a shim
+    that maps the kwargs onto a config and emits exactly one
+    ``DeprecationWarning``; behaviour is bit-identical either way.
+    Collaborator objects (``retry_policy``, ``metrics``, ``tracer``)
+    are live dependencies rather than values and stay keyword-only.
+    """
 
     def __init__(self, model_factory: Callable[[], SplitModel],
-                 num_stores: int = 4, split: Optional[int] = None,
-                 nominal_raw_bytes: int = 8192, lr: float = 3e-3,
-                 batch_size: int = 64, seed: int = 0,
+                 config: Optional[ClusterConfig] = None, *,
                  retry_policy: Optional[RetryPolicy] = None,
-                 journal_uploads: bool = True,
-                 journal_max_entries: Optional[int] = None,
-                 replication: int = 1,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None):
-        if num_stores < 1:
-            raise ValueError("need at least one PipeStore")
-        if journal_max_entries is not None and journal_max_entries < 1:
-            raise ValueError("journal_max_entries must be >= 1")
-        if not 1 <= replication <= num_stores:
-            raise ValueError(
-                f"replication {replication} must be in [1, {num_stores}]")
-        self.replication = replication
+                 tracer: Optional[Tracer] = None,
+                 **legacy_kwargs):
+        if legacy_kwargs:
+            unknown = sorted(set(legacy_kwargs) - ClusterConfig.field_names())
+            if unknown:
+                raise TypeError(
+                    f"NDPipeCluster got unexpected keyword arguments "
+                    f"{unknown}; valid config fields: "
+                    f"{sorted(ClusterConfig.field_names())}")
+            if config is not None:
+                raise TypeError(
+                    "pass either a ClusterConfig or legacy keyword "
+                    "arguments, not both")
+            warnings.warn(
+                "constructing NDPipeCluster from loose keyword arguments "
+                "is deprecated; pass NDPipeCluster(model_factory, "
+                f"ClusterConfig({', '.join(sorted(legacy_kwargs))}=...)) "
+                "instead",
+                DeprecationWarning, stacklevel=2)
+            config = ClusterConfig(**legacy_kwargs)
+        self.config = (config if config is not None
+                       else ClusterConfig()).validated()
+        self.replication = self.config.replication
         self.model_factory = model_factory
         self.replicas = ReplicaMap()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -128,14 +170,16 @@ class NDPipeCluster:
         self.retry = retry_policy if retry_policy is not None else RetryPolicy()
         self.retry.bind_metrics(self.metrics)
         self.network = NetworkFabric(metrics=self.metrics)
-        self.tuner = Tuner(model_factory(), self.network, split=split,
-                           lr=lr, batch_size=batch_size, seed=seed,
+        self.tuner = Tuner(model_factory(), self.network,
+                           split=self.config.split, lr=self.config.lr,
+                           batch_size=self.config.batch_size,
+                           seed=self.config.seed,
                            retry_policy=self.retry, metrics=self.metrics,
                            tracer=self.tracer)
         self.stores: List[PipeStore] = []
-        for i in range(num_stores):
+        for i in range(self.config.num_stores):
             store = PipeStore(f"pipestore-{i}",
-                              nominal_raw_bytes=nominal_raw_bytes)
+                              nominal_raw_bytes=self.config.nominal_raw_bytes)
             store.bind_metrics(self.metrics)
             self.tuner.register(store, model_factory())
             self.stores.append(store)
@@ -151,8 +195,8 @@ class NDPipeCluster:
         # entries fall out first) so raw pixel buffers cannot accumulate
         # for the lifetime of the cluster.
         self._journal: Optional[Dict[str, Tuple[np.ndarray, Optional[int]]]]
-        self._journal = {} if journal_uploads else None
-        self._journal_max_entries = journal_max_entries
+        self._journal = {} if self.config.journal_uploads else None
+        self._journal_max_entries = self.config.journal_max_entries
         self._m_journal = self.metrics.gauge(
             "cluster_journal_entries", "upload-journal entries resident")
         self._m_journal_pruned = self.metrics.counter(
@@ -200,33 +244,92 @@ class NDPipeCluster:
         ids: List[str] = []
         with self.tracer.span("cluster.ingest", photos=len(images)):
             for row, pixels in enumerate(images):
-                photo_id = f"photo-{self._ingest_counter:08d}"
-                self._ingest_counter += 1
                 label, confidence = self.inference_server.classify(pixels)
                 preprocessed = self.inference_server.preprocess(pixels)
                 train_label = (None if train_labels is None
                                else int(train_labels[row]))
-                photo = StoredPhoto(
-                    photo_id=photo_id,
-                    pixels=pixels,
-                    preprocessed=preprocessed,
-                    train_label=train_label,
-                )
-                store = self._place_photo(photo)
-                self.database.upsert(LabelRecord(
-                    photo_id=photo_id, label=label,
-                    model_version=self.tuner.version,
-                    location=store.store_id, confidence=confidence,
-                ))
-                holders = [store.store_id]
-                holders += self._place_replicas(photo, exclude=holders)
-                self.replicas.place(photo_id, holders)
-                if len(holders) < self.replication:
-                    self._m_underreplicated.inc()
-                self._journal_put(photo_id, pixels, train_label)
-                self._m_ingested.inc()
-                ids.append(photo_id)
+                ids.append(self._land_upload(
+                    pixels, preprocessed, label, confidence, train_label))
         return ids
+
+    def _land_upload(self, pixels: np.ndarray, preprocessed: np.ndarray,
+                     label: int, confidence: float,
+                     train_label: Optional[int]) -> str:
+        """Make one classified upload durable: placement, database record,
+        replica copies, and the recovery journal.  Shared by the
+        synchronous :meth:`ingest` path and the batched serving layer
+        (:meth:`serve_uploads`), which reuses the preprocessed tensor it
+        already produced instead of recomputing it."""
+        photo_id = f"photo-{self._ingest_counter:08d}"
+        self._ingest_counter += 1
+        photo = StoredPhoto(
+            photo_id=photo_id,
+            pixels=pixels,
+            preprocessed=preprocessed,
+            train_label=train_label,
+        )
+        store = self._place_photo(photo)
+        self.database.upsert(LabelRecord(
+            photo_id=photo_id, label=label,
+            model_version=self.tuner.version,
+            location=store.store_id, confidence=confidence,
+        ))
+        holders = [store.store_id]
+        holders += self._place_replicas(photo, exclude=holders)
+        self.replicas.place(photo_id, holders)
+        if len(holders) < self.replication:
+            self._m_underreplicated.inc()
+        self._journal_put(photo_id, pixels, train_label)
+        self._m_ingested.inc()
+        return photo_id
+
+    # -- high-throughput serving flow ---------------------------------------
+    def make_serving_frontend(self, config=None):
+        """Build a :class:`~repro.serving.ServingFrontend` for this cluster.
+
+        The frontend gets ``config.replicas`` fresh inference-server
+        replicas synced to whatever model the front end currently
+        serves, and shares the cluster's fabric (so fault injection and
+        byte accounting cover serving traffic), retry policy, metrics,
+        and tracer.
+        """
+        from ..serving import ServingConfig, ServingFrontend
+
+        config = (config if config is not None else ServingConfig()).validated()
+        state = self.inference_server.model.state_dict()
+        replicas = []
+        for i in range(config.replicas):
+            replica = InferenceServer(self.model_factory(),
+                                      name=f"inference-replica-{i}")
+            replica.sync_model(state)
+            replicas.append(replica)
+        return ServingFrontend(
+            replicas, config, network=self.network,
+            retry_policy=self.retry, metrics=self.metrics,
+            tracer=self.tracer)
+
+    def serve_uploads(self, requests, config=None):
+        """Run uploads through the serving layer, then land the survivors.
+
+        Admission control may shed requests (bounded queue, per-request
+        deadlines, failed dispatch); everything that completes is made
+        durable through the same placement/journal path as
+        :meth:`ingest`, reusing the preprocessed tensor the serving
+        cache already produced.  Returns ``(report, photo_ids)`` where
+        ``photo_ids[i]`` corresponds to ``report.completed_requests[i]``.
+        """
+        frontend = self.make_serving_frontend(config)
+        report = frontend.serve(requests, collect_tensors=True)
+        ids: List[str] = []
+        with self.tracer.span("cluster.serve_uploads",
+                              offered=report.offered,
+                              completed=report.completed):
+            for outcome in report.completed_requests:
+                ids.append(self._land_upload(
+                    outcome.request.pixels, outcome.preprocessed,
+                    outcome.label, outcome.confidence,
+                    outcome.request.train_label))
+        return report, ids
 
     def _place_photo(self, photo: StoredPhoto, kind: str = "ingest",
                      ) -> PipeStore:

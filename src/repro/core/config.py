@@ -1,0 +1,99 @@
+"""Typed, validated construction configs for the runnable cluster.
+
+:class:`NDPipeCluster` used to take eleven positional/keyword parameters
+and validated only some of them — ``batch_size=0`` sailed through
+``__init__`` and crashed deep inside the Tuner's batching loop.  All the
+plain-value knobs now live in one frozen :class:`ClusterConfig`:
+
+.. code-block:: python
+
+    from repro import ClusterConfig, NDPipeCluster
+
+    cluster = NDPipeCluster(factory, ClusterConfig(num_stores=8,
+                                                   replication=2))
+
+``ClusterConfig.validated()`` is the single validation choke point —
+every constructor path (direct config, legacy kwargs, ``from_dict``)
+funnels through it, so a bad knob fails loudly at construction with a
+message naming the field.  ``to_dict``/``from_dict`` round-trip the
+config for manifests and CLI plumbing.
+
+Collaborator objects (the model factory, a shared
+:class:`~repro.faults.retry.RetryPolicy`, metrics registry, tracer) are
+deliberately *not* config: they are live objects, not values, and stay
+keyword-only arguments on ``NDPipeCluster``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional
+
+__all__ = ["ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Every plain-value knob of an :class:`~repro.core.cluster.NDPipeCluster`."""
+
+    #: PipeStore fleet size
+    num_stores: int = 4
+    #: model partition point (None = APO-style default inside the Tuner)
+    split: Optional[int] = None
+    #: accounted raw-photo bytes per upload (the fabric's byte model)
+    nominal_raw_bytes: int = 8192
+    #: Tuner fine-tune learning rate
+    lr: float = 3e-3
+    #: Tuner fine-tune batch size
+    batch_size: int = 64
+    #: seed for the Tuner's training RNG stream
+    seed: int = 0
+    #: journal uploads so crashed stores' photos can be re-placed
+    journal_uploads: bool = True
+    #: journal residency cap (None = unbounded)
+    journal_max_entries: Optional[int] = None
+    #: copies of every photo, including the primary (1 = no replication)
+    replication: int = 1
+
+    def validated(self) -> "ClusterConfig":
+        """Return self after checking every field; raises ``ValueError``."""
+        if self.num_stores < 1:
+            raise ValueError("need at least one PipeStore")
+        if self.split is not None and self.split < 1:
+            raise ValueError(f"split must be >= 1 or None, got {self.split}")
+        if self.nominal_raw_bytes < 1:
+            raise ValueError(
+                f"nominal_raw_bytes must be >= 1, got {self.nominal_raw_bytes}")
+        if not math.isfinite(self.lr) or self.lr <= 0:
+            raise ValueError(f"lr must be a positive finite float, got {self.lr}")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size} "
+                "(the Tuner cannot form empty mini-batches)")
+        if self.journal_max_entries is not None and self.journal_max_entries < 1:
+            raise ValueError("journal_max_entries must be >= 1")
+        if not 1 <= self.replication <= self.num_stores:
+            raise ValueError(
+                f"replication {self.replication} must be in "
+                f"[1, {self.num_stores}]")
+        return self
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClusterConfig":
+        """Build and validate a config from a plain dict (strict keys)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ClusterConfig fields {unknown}; known fields: "
+                f"{sorted(known)}")
+        return cls(**data).validated()
+
+    @classmethod
+    def field_names(cls) -> frozenset:
+        return frozenset(f.name for f in fields(cls))

@@ -6,10 +6,17 @@ from .offline import (
     ndpipe_campaign,
     srv_campaign,
 )
-from .online import OnlineInferencePath, OnlineLatencyModel, online_latency
+from .online import (
+    OnlineBatchLatencyModel,
+    OnlineInferencePath,
+    OnlineLatencyModel,
+    batched_online_latency,
+    online_latency,
+)
 
 __all__ = [
     "CampaignEstimate", "ndpipe_campaign", "srv_campaign",
     "campaign_comparison",
     "OnlineInferencePath", "OnlineLatencyModel", "online_latency",
+    "OnlineBatchLatencyModel", "batched_online_latency",
 ]

@@ -3,6 +3,14 @@
 Wraps the runnable :class:`repro.core.cluster.InferenceServer` with a
 latency model so ingestion workloads can reason about end-to-end upload
 latency (preprocess + single-image inference + database update).
+
+:func:`batched_online_latency` extends the model to the serving layer's
+adaptive micro-batching: the NPE batch-size-enlargement logic picks the
+batch, and the per-request latency becomes accumulation (waiting for the
+batch to fill at the offered rate) plus the batched forward pass.
+:class:`OnlineInferencePath` predates :class:`repro.serving.ServingFrontend`
+and survives for single-upload callers; new request-level code should go
+through the serving layer.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import numpy as np
 
 from ..core.cluster import InferenceServer
 from ..models.graph import ModelGraph
+from ..serving.batcher import slo_batch_size
 from ..sim.specs import AcceleratorSpec, TESLA_V100
 from ..storage.photodb import LabelRecord, PhotoDatabase
 
@@ -38,6 +47,51 @@ def online_latency(graph: ModelGraph,
     return OnlineLatencyModel(
         preprocess_s=1.0 / preprocess_ips,
         inference_s=1.0 / accelerator.inference_ips(graph, batch_size=1),
+    )
+
+
+@dataclass(frozen=True)
+class OnlineBatchLatencyModel:
+    """Per-request latency under adaptive micro-batching."""
+
+    batch_size: int
+    #: time for the batch to fill at the offered arrival rate
+    accumulation_s: float
+    inference_s: float
+    db_update_s: float = 0.0005
+
+    @property
+    def total_s(self) -> float:
+        return self.accumulation_s + self.inference_s + self.db_update_s
+
+    @property
+    def throughput_rps(self) -> float:
+        """Saturated request rate of one replica at this batch size."""
+        service_s = self.inference_s + self.db_update_s
+        if service_s <= 0:
+            return float("inf")
+        return self.batch_size / service_s
+
+
+def batched_online_latency(graph: ModelGraph,
+                           accelerator: AcceleratorSpec = TESLA_V100,
+                           slo_s: float = 0.1,
+                           rate_rps: float = 1000.0,
+                           ) -> OnlineBatchLatencyModel:
+    """Upload-path latency when the serving layer batches uploads.
+
+    The batch size comes from the same NPE batch-size-enlargement sweep
+    the :class:`repro.serving.SloController` is seeded with, so this
+    model and the runnable front end agree on the operating point.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    batch = slo_batch_size(graph, accelerator, slo_s)
+    return OnlineBatchLatencyModel(
+        batch_size=batch,
+        accumulation_s=batch / rate_rps,
+        inference_s=batch / accelerator.inference_ips(graph,
+                                                      batch_size=batch),
     )
 
 

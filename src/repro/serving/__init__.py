@@ -1,0 +1,39 @@
+"""High-throughput online serving layer (admission, batching, caching).
+
+The request-level front end in front of replica
+:class:`~repro.core.cluster.InferenceServer`\\ s: a bounded admission
+queue with load shedding and per-request deadlines, an adaptive
+micro-batcher steered by a latency-SLO controller seeded from the NPE
+batch-size-enlargement model, a content-addressed cache of
+deflate-compressed preprocessed tensors, and a multi-replica dispatcher
+riding the cluster's fault-injectable fabric and retry policy.
+"""
+
+from .admission import AdmissionQueue, ServeRequest
+from .batcher import SloController, slo_batch_size
+from .cache import TensorCache, content_key
+from .config import ACCELERATORS, ServingConfig
+from .dispatcher import FRONTEND_NODE, ReplicaDispatcher
+from .frontend import (
+    SHED_REASONS,
+    ServeOutcome,
+    ServingFrontend,
+    ServingReport,
+)
+
+__all__ = [
+    "ACCELERATORS",
+    "AdmissionQueue",
+    "FRONTEND_NODE",
+    "ReplicaDispatcher",
+    "SHED_REASONS",
+    "ServeOutcome",
+    "ServeRequest",
+    "ServingConfig",
+    "ServingFrontend",
+    "ServingReport",
+    "SloController",
+    "TensorCache",
+    "content_key",
+    "slo_batch_size",
+]

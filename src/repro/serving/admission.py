@@ -1,0 +1,112 @@
+"""Admission control: a bounded upload queue with per-request deadlines.
+
+The front end of §3.1 flow 1 cannot serve unbounded backlog — a queue
+deeper than what the replicas can drain inside the deadline only turns
+timely requests into late ones.  So admission is where load is shed:
+
+* **queue_full** — an arrival finds the bounded queue at capacity and is
+  rejected immediately (the client sees fast failure, not slow success);
+* **deadline** — at batch-formation time, a queued request that can no
+  longer finish inside its deadline (wait already exceeds
+  ``deadline - min_service``) is dropped instead of wasting accelerator
+  time on an answer nobody is waiting for.
+
+Every shed is counted by reason; the serving report's accounting
+invariant ``offered == completed + shed`` is exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..lint.guards import guarded_by
+
+__all__ = ["ServeRequest", "AdmissionQueue"]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One photo upload offered to the serving layer."""
+
+    request_id: str
+    #: open-loop arrival time on the deterministic clock
+    arrival_s: float
+    #: raw pixels (C, H, W) in [0, 1]
+    pixels: np.ndarray
+    #: optional user tag (becomes the training label on ingest)
+    train_label: Optional[int] = None
+    #: per-request deadline override (None = the config deadline)
+    deadline_s: Optional[float] = None
+
+
+@guarded_by("_lock", "_pending", "_shed_full")
+class AdmissionQueue:
+    """Bounded FIFO between the open-loop arrivals and the batcher."""
+
+    def __init__(self, capacity: int, deadline_s: float):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        self.capacity = capacity
+        self.deadline_s = deadline_s
+        self._lock = threading.Lock()
+        self._pending: Deque[ServeRequest] = deque()
+        self._shed_full = 0
+
+    def offer(self, request: ServeRequest) -> bool:
+        """Admit one arrival; False means it was shed (queue full)."""
+        with self._lock:
+            if len(self._pending) >= self.capacity:
+                self._shed_full += 1
+                return False
+            self._pending.append(request)
+            return True
+
+    def take(self, max_items: int, now_s: float, min_service_s: float,
+             ) -> Tuple[List[ServeRequest], List[ServeRequest]]:
+        """Form the next micro-batch at time ``now_s``.
+
+        Returns ``(ready, expired)``: up to ``max_items`` requests that
+        can still finish inside their deadline, plus every request popped
+        on the way that no longer can (they are shed, not served late).
+        """
+        if max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        ready: List[ServeRequest] = []
+        expired: List[ServeRequest] = []
+        with self._lock:
+            while self._pending and len(ready) < max_items:
+                request = self._pending.popleft()
+                deadline = (self.deadline_s if request.deadline_s is None
+                            else request.deadline_s)
+                if now_s - request.arrival_s > deadline - min_service_s:
+                    expired.append(request)
+                else:
+                    ready.append(request)
+        return ready, expired
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def shed_full_count(self) -> int:
+        """Arrivals rejected because the queue was at capacity."""
+        with self._lock:
+            return self._shed_full
+
+    def drain(self) -> List[ServeRequest]:
+        """Remove and return everything still queued (end of run)."""
+        with self._lock:
+            out = list(self._pending)
+            self._pending.clear()
+            return out
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"depth": len(self._pending), "shed_full": self._shed_full}

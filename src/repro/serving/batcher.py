@@ -1,0 +1,113 @@
+"""Adaptive micro-batching under a latency SLO.
+
+Two pieces, both reusing the paper's batching math:
+
+* :func:`slo_batch_size` — the NPE batch-size-enlargement logic of §5.4,
+  applied to serving: walk batch sizes through the calibrated
+  :func:`~repro.core.npe.npe_task_times` cost model and pick the largest
+  batch whose accelerator service time still fits inside a fraction of
+  the SLO (and whose working set fits device memory, the Fig. 19
+  constraint).  This seeds the controller near its operating point
+  instead of cold-starting at batch 1.
+* :class:`SloController` — an AIMD loop around observed request latency:
+  a batch whose slowest request exceeded the SLO halves the target
+  (multiplicative decrease); latency under ``slo * headroom`` earns an
+  additive increase.  The asymmetry makes SLO violations transient and
+  self-correcting while still climbing back to the throughput-optimal
+  batch when load allows.
+"""
+
+from __future__ import annotations
+
+from ..core.npe import NpeConfig, npe_task_times
+from ..models.graph import ModelGraph
+from ..sim.specs import (
+    COMPRESSED_PREPROCESSED_BYTES,
+    AcceleratorSpec,
+)
+
+__all__ = ["slo_batch_size", "SloController"]
+
+
+def slo_batch_size(graph: ModelGraph, accelerator: AcceleratorSpec,
+                   slo_s: float, fraction: float = 0.5,
+                   min_batch: int = 1, max_batch: int = 256) -> int:
+    """Largest batch whose accelerator time fits ``fraction * slo_s``.
+
+    Batch sizes are swept in powers of two from ``min_batch``; each is
+    costed through the NPE serving profile (compressed preprocessed
+    reads, §5.4 +Comp) and accepted while the whole-batch FE&Cl time
+    stays inside the budget and the batch fits accelerator memory.
+    """
+    if slo_s <= 0:
+        raise ValueError(f"slo_s must be > 0, got {slo_s}")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if min_batch < 1 or max_batch < min_batch:
+        raise ValueError(
+            f"need 1 <= min_batch <= max_batch, got [{min_batch}, "
+            f"{max_batch}]")
+    budget_s = slo_s * fraction
+    best = min_batch
+    batch = min_batch
+    while batch <= max_batch:
+        profile = NpeConfig(
+            level="serve",
+            read_bytes_inference=COMPRESSED_PREPROCESSED_BYTES,
+            read_bytes_finetune=COMPRESSED_PREPROCESSED_BYTES,
+            preprocess_on_store=False, decompress=True, batch_size=batch,
+        )
+        times = npe_task_times(graph, profile, "inference", accelerator)
+        batch_service_s = batch * times["FE&Cl"] / 1e3
+        if batch_service_s <= budget_s and accelerator.fits_batch(graph,
+                                                                  batch):
+            best = batch
+        batch *= 2
+    return best
+
+
+class SloController:
+    """AIMD batch-size controller steering p99 latency toward the SLO."""
+
+    def __init__(self, slo_s: float, min_batch: int, max_batch: int,
+                 initial_batch: int, headroom: float = 0.8,
+                 additive_step: int = 4):
+        if slo_s <= 0:
+            raise ValueError(f"slo_s must be > 0, got {slo_s}")
+        if not min_batch <= initial_batch <= max_batch:
+            raise ValueError(
+                f"initial_batch {initial_batch} outside [{min_batch}, "
+                f"{max_batch}]")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+        if additive_step < 1:
+            raise ValueError(
+                f"additive_step must be >= 1, got {additive_step}")
+        self.slo_s = slo_s
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.headroom = headroom
+        self.additive_step = additive_step
+        self.batch_size = initial_batch
+        self.decreases = 0
+        self.increases = 0
+
+    def observe(self, worst_latency_s: float) -> int:
+        """Feed back one dispatched batch's slowest request latency.
+
+        Returns the new batch-size target.
+        """
+        if worst_latency_s < 0:
+            raise ValueError(
+                f"latency must be >= 0, got {worst_latency_s}")
+        if worst_latency_s > self.slo_s:
+            shrunk = max(self.min_batch, self.batch_size // 2)
+            if shrunk < self.batch_size:
+                self.decreases += 1
+            self.batch_size = shrunk
+        elif worst_latency_s < self.slo_s * self.headroom:
+            grown = min(self.max_batch, self.batch_size + self.additive_step)
+            if grown > self.batch_size:
+                self.increases += 1
+            self.batch_size = grown
+        return self.batch_size

@@ -1,0 +1,81 @@
+"""Shared serving benchmark: adaptive micro-batching vs batch=1 baseline.
+
+One traffic trace, two front ends under the same p99 latency budget:
+
+* **adaptive** — the full serving layer (NPE-seeded batch controller,
+  tensor cache, replica dispatch);
+* **baseline** — the same machinery pinned to synchronous batch=1, i.e.
+  the pre-serving ``InferenceServer.classify`` path with admission
+  control bolted on so shedding (and therefore the latency budget) is
+  identical.
+
+Both ``repro serve-bench`` and ``benchmarks/bench_serving.py`` run this,
+so the CLI smoke number and the recorded BENCH_serving.json trajectory
+can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from ..core.cluster import InferenceServer
+from ..models.registry import tiny_model
+from ..workloads.continuous import open_loop_requests
+from .config import ServingConfig
+from .frontend import ServingFrontend
+
+__all__ = ["run_serving_comparison", "BENCH_DEFAULTS"]
+
+#: the trace the recorded BENCH_serving.json numbers come from
+BENCH_DEFAULTS = {
+    "num_requests": 3000,
+    "rate_rps": 1500.0,
+    "pool_size": 64,
+    "skew": 1.1,
+}
+
+
+def _build_frontend(config: ServingConfig, seed: int) -> ServingFrontend:
+    replicas = [
+        InferenceServer(tiny_model(config.model, seed=seed + i),
+                        name=f"serve-replica-{i}")
+        for i in range(config.replicas)
+    ]
+    return ServingFrontend(replicas, config)
+
+
+def run_serving_comparison(seed: int = 0,
+                           num_requests: int = BENCH_DEFAULTS["num_requests"],
+                           rate_rps: float = BENCH_DEFAULTS["rate_rps"],
+                           pool_size: int = BENCH_DEFAULTS["pool_size"],
+                           skew: float = BENCH_DEFAULTS["skew"],
+                           config: Optional[ServingConfig] = None) -> Dict:
+    """Serve one Poisson trace adaptively and synchronously; compare.
+
+    Returns a plain dict (JSON-ready): both reports, the offered load,
+    and the throughput speedup at the shared latency budget.
+    """
+    adaptive_config = (config if config is not None
+                       else ServingConfig()).validated()
+    baseline_config = replace(adaptive_config, min_batch=1, max_batch=1,
+                              initial_batch=1)
+    requests = open_loop_requests(num_requests=num_requests,
+                                  rate_rps=rate_rps, seed=seed,
+                                  pool_size=pool_size, skew=skew)
+    adaptive = _build_frontend(adaptive_config, seed).serve(requests)
+    baseline = _build_frontend(baseline_config, seed).serve(requests)
+    speedup = (adaptive.throughput_rps / baseline.throughput_rps
+               if baseline.throughput_rps > 0 else float("inf"))
+    return {
+        "seed": seed,
+        "offered_rps": rate_rps,
+        "num_requests": num_requests,
+        "pool_size": pool_size,
+        "skew": skew,
+        "latency_budget_s": adaptive_config.effective_deadline_s,
+        "config": adaptive_config.to_dict(),
+        "adaptive": adaptive.to_dict(),
+        "baseline": baseline.to_dict(),
+        "speedup": speedup,
+    }

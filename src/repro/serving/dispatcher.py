@@ -1,0 +1,128 @@
+"""Replica dispatch: spread micro-batches over inference servers.
+
+The dispatcher owns the replica fleet's timeline on the deterministic
+clock: each replica has a ``free_at`` time, batches go to the
+earliest-free replica, and the batch's modelled service time (CPU
+preprocess for cache misses, inflate for hits, wire transfer, the
+calibrated accelerator batch time, and per-request database upserts)
+advances that replica's clock.  Transfers ride the cluster's
+byte-accounted fabric inside the shared
+:class:`~repro.faults.retry.RetryPolicy`, so injected drops surface as
+shed batches and injected latency is charged to the requests it
+delayed — chaos tests cover the serving path like every other flow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fabric import NetworkFabric
+from ..faults.errors import TransientFaultError
+from ..faults.retry import RetryPolicy, call_with_retry
+from ..models.catalog import model_graph
+from ..sim.specs import CpuSpec
+from .config import ServingConfig
+
+__all__ = ["ReplicaDispatcher", "FRONTEND_NODE"]
+
+#: fabric node name of the serving front end
+FRONTEND_NODE = "serving-frontend"
+
+
+class ReplicaDispatcher:
+    """Earliest-free scheduling of batches over replica servers."""
+
+    def __init__(self, replicas: Sequence, config: ServingConfig,
+                 network: NetworkFabric, retry_policy: RetryPolicy):
+        if not replicas:
+            raise ValueError("need at least one replica InferenceServer")
+        self.replicas = list(replicas)
+        self.config = config
+        self.network = network
+        self.retry = retry_policy
+        self.graph = model_graph(config.model)
+        self.accelerator = config.accelerator_spec()
+        self._free_at = [0.0] * len(self.replicas)
+        self.batches_dispatched = 0
+        self.batches_failed = 0
+        self.busy_s = 0.0
+
+    # -- timeline -----------------------------------------------------------
+    def earliest_free_s(self) -> float:
+        return min(self._free_at)
+
+    def _pick_replica(self) -> int:
+        return min(range(len(self._free_at)), key=self._free_at.__getitem__)
+
+    # -- the calibrated service model ---------------------------------------
+    def min_service_s(self) -> float:
+        """Deadline-feasibility floor: a batch of one that misses the cache.
+
+        Admission uses this to drop requests that cannot finish in time
+        even if served alone next; including the miss-preprocess cost
+        keeps completed batch=1 requests inside the deadline too.
+        """
+        return self.service_s(num_requests=1, num_misses=1, hit_bytes=0)
+
+    def service_s(self, num_requests: int, num_misses: int,
+                  hit_bytes: int) -> float:
+        """Modelled seconds to serve one micro-batch.
+
+        Misses pay host preprocessing, hits pay deflate inflation of
+        their cached blob, everyone shares the accelerator forward pass
+        (the Fig. 19 launch-overhead curve) and a database upsert.
+        """
+        cpu: CpuSpec = self.config.cpu_spec()
+        preprocess_s = (num_misses
+                        / cpu.preprocess_ips(self.config.preprocess_cores))
+        decompress_rate = (cpu.decompress_mbps_per_core * 1e6
+                           * min(self.config.decompress_cores, cpu.cores))
+        decompress_s = hit_bytes / decompress_rate
+        inference_s = (num_requests
+                       / self.accelerator.inference_ips(self.graph,
+                                                        num_requests))
+        db_s = num_requests * self.config.db_update_s
+        return preprocess_s + decompress_s + inference_s + db_s
+
+    # -- dispatch -----------------------------------------------------------
+    def dispatch(self, batch: np.ndarray, payload_bytes: int,
+                 t_start: float, num_misses: int, hit_bytes: int,
+                 ) -> Tuple[List[Tuple[int, float]], float, str]:
+        """Serve one micro-batch on the earliest-free replica.
+
+        Returns ``(results, t_done, replica_name)``.  The wire transfer
+        to the replica runs under the retry policy; a transfer that every
+        retry drops raises :class:`~repro.faults.TransientFaultError`
+        after charging the replica for the wasted retry/backoff time
+        (the batch is then shed by the caller).
+        """
+        index = self._pick_replica()
+        replica = self.replicas[index]
+        backoff_before = self.retry.backoff_s
+        injected_before = self.network.injected_latency_s
+        try:
+            call_with_retry(
+                lambda: self.network.send(FRONTEND_NODE, replica.name,
+                                          payload_bytes, "serve"),
+                self.retry)
+        except TransientFaultError:
+            self.batches_failed += 1
+            # the replica was tied up for the retries and backoff even
+            # though no inference happened
+            lost_s = (self.retry.backoff_s - backoff_before) + (
+                self.network.injected_latency_s - injected_before)
+            self._free_at[index] = t_start + max(lost_s, 1e-6)
+            raise
+        injected_s = self.network.injected_latency_s - injected_before
+        wire_s = payload_bytes / self.network.spec.bytes_per_s
+        service_s = (self.service_s(len(batch), num_misses, hit_bytes)
+                     + wire_s + injected_s
+                     + (self.retry.backoff_s - backoff_before))
+        results = replica.classify_preprocessed(batch)
+        t_done = t_start + service_s
+        self._free_at[index] = t_done
+        self.batches_dispatched += 1
+        self.busy_s += service_s
+        return results, t_done, replica.name

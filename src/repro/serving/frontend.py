@@ -1,0 +1,300 @@
+"""ServingFrontend — the high-throughput online upload path.
+
+A deterministic discrete-event loop (no wall clock, no threads) that
+plays an open-loop arrival trace through admission control, the
+preprocessed-tensor cache, the adaptive micro-batcher, and the replica
+dispatcher:
+
+1. the earliest-free replica sets the batch-formation time ``t_start``;
+2. every arrival at or before ``t_start`` is offered to the bounded
+   admission queue (overflow is shed as ``queue_full``);
+3. the queue yields up to the controller's batch-size target, dropping
+   requests that can no longer meet their deadline (``deadline`` sheds);
+4. cache hits inflate their stored tensors, misses are preprocessed and
+   cached; the batch moves to the replica over the byte-accounted fabric
+   under the retry policy (a dropped batch is shed as
+   ``dispatch_failed``) and one forward pass classifies the whole batch;
+5. the batch's slowest request latency feeds the AIMD controller.
+
+Identical inputs produce identical reports: arrival times come from the
+traffic trace, service times from the calibrated hardware specs plus
+whatever latency the fault injector adds, and classification from the
+seeded tiny models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fabric import NetworkFabric
+from ..faults.errors import TransientFaultError
+from ..faults.retry import RetryPolicy
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
+from ..storage.imageformat import preprocess
+from .admission import AdmissionQueue, ServeRequest
+from .batcher import SloController, slo_batch_size
+from .cache import TensorCache
+from .config import ServingConfig
+from .dispatcher import ReplicaDispatcher
+
+__all__ = ["ServeOutcome", "ServingReport", "ServingFrontend",
+           "SHED_REASONS"]
+
+#: every way a request can be shed, for exact accounting
+SHED_REASONS = ("queue_full", "deadline", "dispatch_failed")
+
+
+@dataclass
+class ServeOutcome:
+    """One completed request: its answer and how long it took."""
+
+    request: ServeRequest
+    label: int
+    confidence: float
+    latency_s: float
+    batch_index: int
+    batch_size: int
+    cache_hit: bool
+    replica: str
+    #: the preprocessed tensor, kept only when the caller lands uploads
+    preprocessed: Optional[np.ndarray] = None
+
+
+@dataclass
+class ServingReport:
+    """Everything one :meth:`ServingFrontend.serve` run produced."""
+
+    offered: int = 0
+    completed: int = 0
+    shed: Dict[str, int] = field(
+        default_factory=lambda: {reason: 0 for reason in SHED_REASONS})
+    makespan_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    final_batch_target: int = 0
+    completed_requests: List[ServeOutcome] = field(default_factory=list)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of simulated run time."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.completed / self.makespan_s
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    def latency_percentile(self, q: float) -> float:
+        """Exact order-statistic percentile of completed-request latency."""
+        if not self.latencies_s:
+            return 0.0
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        ordered = sorted(self.latencies_s)
+        rank = max(1, int(np.ceil(q / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99.0)
+
+    def to_dict(self) -> Dict:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": dict(self.shed),
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "mean_batch": self.mean_batch,
+            "final_batch_target": self.final_batch_target,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+        }
+
+
+class ServingFrontend:
+    """Admission + cache + batcher + dispatcher in front of replicas."""
+
+    def __init__(self, replicas: Sequence, config: ServingConfig, *,
+                 network: Optional[NetworkFabric] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
+        self.config = config.validated()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.retry = (retry_policy if retry_policy is not None
+                      else RetryPolicy())
+        self.network = (network if network is not None
+                        else NetworkFabric(metrics=self.metrics))
+        self.dispatcher = ReplicaDispatcher(replicas, self.config,
+                                            self.network, self.retry)
+        self.cache = TensorCache(self.config.cache_capacity_bytes,
+                                 self.config.compression_level)
+        initial = self.config.initial_batch
+        if initial is None:
+            initial = max(self.config.min_batch, min(
+                self.config.max_batch,
+                slo_batch_size(self.dispatcher.graph,
+                               self.dispatcher.accelerator,
+                               self.config.slo_s,
+                               min_batch=self.config.min_batch,
+                               max_batch=self.config.max_batch)))
+        self.controller = SloController(
+            slo_s=self.config.slo_s, min_batch=self.config.min_batch,
+            max_batch=self.config.max_batch, initial_batch=initial,
+            headroom=self.config.slo_headroom,
+            additive_step=self.config.additive_step)
+        self._m_offered = self.metrics.counter(
+            "serving_requests_offered_total",
+            "requests offered to the serving front end")
+        self._m_completed = self.metrics.counter(
+            "serving_requests_completed_total",
+            "requests classified and answered in time")
+        self._m_shed = self.metrics.counter(
+            "serving_requests_shed_total",
+            "requests shed by admission control", label_names=("reason",))
+        self._m_depth = self.metrics.gauge(
+            "serving_queue_depth", "admission-queue depth after each batch")
+        self._m_batch = self.metrics.histogram(
+            "serving_batch_size", "dispatched micro-batch sizes",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+        self._m_latency = self.metrics.histogram(
+            "serving_latency_seconds", "request latency, arrival to answer")
+        self._m_hits = self.metrics.counter(
+            "serving_cache_hits_total", "preprocessed-tensor cache hits")
+        self._m_misses = self.metrics.counter(
+            "serving_cache_misses_total",
+            "cache misses paying host preprocessing")
+        self._m_evictions = self.metrics.counter(
+            "serving_cache_evictions_total",
+            "cache entries evicted by the LRU byte budget")
+        self._m_batches = self.metrics.counter(
+            "serving_batches_dispatched_total",
+            "micro-batches dispatched per replica",
+            label_names=("replica",))
+        self._evictions_seen = 0
+
+    # -- the deterministic event loop ---------------------------------------
+    def serve(self, requests: Sequence[ServeRequest],
+              collect_tensors: bool = False) -> ServingReport:
+        """Play an arrival trace to completion; returns the report."""
+        arrivals = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        report = ServingReport(offered=len(arrivals))
+        self._m_offered.inc(len(arrivals))
+        queue = AdmissionQueue(self.config.queue_capacity,
+                               self.config.effective_deadline_s)
+        min_service_s = self.dispatcher.min_service_s()
+        next_arrival = 0
+        now_s = 0.0
+        batch_index = 0
+        with self.tracer.span("serving.serve", offered=len(arrivals)):
+            while next_arrival < len(arrivals) or queue.depth() > 0:
+                if queue.depth() == 0:
+                    now_s = max(now_s, arrivals[next_arrival].arrival_s)
+                t_start = max(now_s, self.dispatcher.earliest_free_s())
+                while (next_arrival < len(arrivals)
+                       and arrivals[next_arrival].arrival_s <= t_start):
+                    if not queue.offer(arrivals[next_arrival]):
+                        self._shed(report, "queue_full")
+                    next_arrival += 1
+                ready, expired = queue.take(self.controller.batch_size,
+                                            t_start, min_service_s)
+                for _ in expired:
+                    self._shed(report, "deadline")
+                now_s = t_start
+                if not ready:
+                    continue
+                batch_index += 1
+                self._run_batch(ready, t_start, batch_index, report,
+                                collect_tensors)
+                self._m_depth.set(queue.depth())
+        report.makespan_s = now_s
+        stats = self.cache.stats()
+        report.cache_hits = stats["hits"]
+        report.cache_misses = stats["misses"]
+        report.cache_evictions = stats["evictions"]
+        report.final_batch_target = self.controller.batch_size
+        return report
+
+    def _run_batch(self, ready: List[ServeRequest], t_start: float,
+                   batch_index: int, report: ServingReport,
+                   collect_tensors: bool) -> None:
+        tensors: List[np.ndarray] = []
+        hits: List[bool] = []
+        num_misses = 0
+        hit_bytes = 0
+        payload_bytes = 0
+        for request in ready:
+            key, tensor, blob_bytes = self.cache.lookup(request.pixels)
+            if tensor is None:
+                tensor = preprocess(request.pixels)
+                blob_bytes = self.cache.insert(key, tensor)
+                num_misses += 1
+                hits.append(False)
+            else:
+                hit_bytes += blob_bytes
+                hits.append(True)
+            payload_bytes += blob_bytes
+            tensors.append(tensor)
+        batch = np.stack(tensors)
+        try:
+            results, t_done, replica = self.dispatcher.dispatch(
+                batch, payload_bytes, t_start, num_misses, hit_bytes)
+        except TransientFaultError:
+            for _ in ready:
+                self._shed(report, "dispatch_failed")
+            return
+        report.batch_sizes.append(len(ready))
+        self._m_batch.observe(len(ready))
+        self._m_batches.inc(replica=replica)
+        worst_latency_s = 0.0
+        for row, request in enumerate(ready):
+            label, confidence = results[row]
+            latency_s = t_done - request.arrival_s
+            worst_latency_s = max(worst_latency_s, latency_s)
+            report.latencies_s.append(latency_s)
+            report.completed += 1
+            self._m_completed.inc()
+            self._m_latency.observe(latency_s)
+            report.completed_requests.append(ServeOutcome(
+                request=request, label=label, confidence=confidence,
+                latency_s=latency_s, batch_index=batch_index,
+                batch_size=len(ready), cache_hit=hits[row],
+                replica=replica,
+                preprocessed=tensors[row] if collect_tensors else None))
+        hit_count = sum(hits)
+        if hit_count:
+            self._m_hits.inc(hit_count)
+        if num_misses:
+            self._m_misses.inc(num_misses)
+        evictions = self.cache.stats()["evictions"]
+        if evictions > self._evictions_seen:
+            self._m_evictions.inc(evictions - self._evictions_seen)
+            self._evictions_seen = evictions
+        self.controller.observe(worst_latency_s)
+
+    def _shed(self, report: ServingReport, reason: str) -> None:
+        report.shed[reason] += 1
+        self._m_shed.inc(reason=reason)

@@ -18,6 +18,7 @@ import numpy as np
 from ..core.cluster import NDPipeCluster
 from ..core.driftdetect import MaintenancePolicy
 from ..data.drift import DriftingPhotoWorld
+from ..serving.admission import ServeRequest
 
 
 @dataclass
@@ -55,6 +56,54 @@ class OperationLog:
     @property
     def final_stale_labels(self) -> int:
         return self.days[-1].stale_labels
+
+
+def open_loop_requests(num_requests: int, rate_rps: float, seed: int = 0,
+                       pool_size: int = 64, skew: float = 1.1,
+                       image_size: int = 16, channels: int = 3,
+                       pool_seed: int = 1234) -> List[ServeRequest]:
+    """Open-loop Poisson upload traffic for the serving layer.
+
+    Arrivals are a Poisson process at ``rate_rps`` (seeded exponential
+    inter-arrival times on the deterministic clock — the generator never
+    waits for the server, which is what makes the load *offered* rather
+    than closed-loop).  Photo content is drawn from a finite pool of
+    ``pool_size`` distinct images with a Zipf-like popularity skew
+    (probability of rank ``r`` proportional to ``1 / r**skew``), the way
+    a photo service sees repeated uploads of popular content — and what
+    gives the preprocessed-tensor cache hits to work with.
+
+    The pool is generated from ``pool_seed``, *separately* from the
+    arrival-process ``seed``: two traces with different seeds offer the
+    same photo population in a different order, so cache behaviour is
+    comparable across seeds.  Each request's ``train_label`` is a
+    deterministic function of its pool image.
+    """
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if pool_size < 1:
+        raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    pool_rng = np.random.default_rng(pool_seed)
+    pool = pool_rng.random((pool_size, channels, image_size, image_size))
+    weights = 1.0 / np.arange(1, pool_size + 1) ** skew
+    probabilities = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    arrival_s = 0.0
+    requests: List[ServeRequest] = []
+    for i in range(num_requests):
+        arrival_s += float(rng.exponential(1.0 / rate_rps))
+        rank = int(rng.choice(pool_size, p=probabilities))
+        requests.append(ServeRequest(
+            request_id=f"req-{i:06d}",
+            arrival_s=arrival_s,
+            pixels=pool[rank],
+            train_label=rank % 10,
+        ))
+    return requests
 
 
 def run_continuous_operation(cluster: NDPipeCluster,

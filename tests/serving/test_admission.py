@@ -1,0 +1,82 @@
+"""Bounded admission queue: shedding, deadlines, FIFO order."""
+
+import numpy as np
+import pytest
+
+from repro.serving.admission import AdmissionQueue, ServeRequest
+
+
+def _request(i, arrival_s, deadline_s=None):
+    return ServeRequest(request_id=f"req-{i:03d}", arrival_s=arrival_s,
+                        pixels=np.full((3, 4, 4), i / 100.0),
+                        deadline_s=deadline_s)
+
+
+def test_offer_sheds_at_capacity():
+    queue = AdmissionQueue(capacity=2, deadline_s=1.0)
+    assert queue.offer(_request(0, 0.0))
+    assert queue.offer(_request(1, 0.0))
+    assert not queue.offer(_request(2, 0.0))
+    assert queue.depth() == 2
+    assert queue.shed_full_count() == 1
+    assert queue.stats() == {"depth": 2, "shed_full": 1}
+
+
+def test_take_is_fifo_and_bounded():
+    queue = AdmissionQueue(capacity=8, deadline_s=10.0)
+    for i in range(5):
+        queue.offer(_request(i, 0.0))
+    ready, expired = queue.take(3, now_s=0.0, min_service_s=0.0)
+    assert [r.request_id for r in ready] == ["req-000", "req-001", "req-002"]
+    assert expired == []
+    assert queue.depth() == 2
+
+
+def test_take_expires_requests_past_their_deadline():
+    queue = AdmissionQueue(capacity=8, deadline_s=1.0)
+    queue.offer(_request(0, arrival_s=0.0))   # waited 2s: expired
+    queue.offer(_request(1, arrival_s=1.9))   # waited 0.1s: fine
+    ready, expired = queue.take(4, now_s=2.0, min_service_s=0.05)
+    assert [r.request_id for r in expired] == ["req-000"]
+    assert [r.request_id for r in ready] == ["req-001"]
+
+
+def test_per_request_deadline_overrides_config():
+    queue = AdmissionQueue(capacity=8, deadline_s=10.0)
+    queue.offer(_request(0, arrival_s=0.0, deadline_s=0.5))
+    ready, expired = queue.take(1, now_s=1.0, min_service_s=0.0)
+    assert ready == [] and len(expired) == 1
+
+
+def test_min_service_floor_tightens_expiry():
+    # a request 0.9s old with a 1.0s deadline still fits alone, but not
+    # if the cheapest possible service takes 0.2s
+    queue = AdmissionQueue(capacity=8, deadline_s=1.0)
+    queue.offer(_request(0, arrival_s=0.0))
+    ready, expired = queue.take(1, now_s=0.9, min_service_s=0.2)
+    assert ready == [] and len(expired) == 1
+
+
+def test_drain_returns_leftovers_in_order():
+    queue = AdmissionQueue(capacity=8, deadline_s=1.0)
+    for i in range(3):
+        queue.offer(_request(i, 0.0))
+    leftovers = queue.drain()
+    assert [r.request_id for r in leftovers] == [
+        "req-000", "req-001", "req-002"]
+    assert queue.depth() == 0
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"capacity": 0, "deadline_s": 1.0},
+    {"capacity": 4, "deadline_s": 0.0},
+])
+def test_constructor_validation(kwargs):
+    with pytest.raises(ValueError):
+        AdmissionQueue(**kwargs)
+
+
+def test_take_rejects_nonpositive_max_items():
+    queue = AdmissionQueue(capacity=4, deadline_s=1.0)
+    with pytest.raises(ValueError):
+        queue.take(0, now_s=0.0, min_service_s=0.0)

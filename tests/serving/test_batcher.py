@@ -1,0 +1,87 @@
+"""NPE-seeded batch sizing and the AIMD SLO controller."""
+
+import pytest
+
+from repro.models.catalog import model_graph
+from repro.serving.batcher import SloController, slo_batch_size
+from repro.sim.specs import TESLA_V100
+
+
+def test_slo_batch_size_monotone_in_slo():
+    graph = model_graph("ResNet50")
+    sizes = [slo_batch_size(graph, TESLA_V100, slo)
+             for slo in (0.01, 0.05, 0.1, 0.5)]
+    assert sizes == sorted(sizes)
+    assert all(1 <= b <= 256 for b in sizes)
+
+
+def test_slo_batch_size_respects_bounds():
+    graph = model_graph("ResNet50")
+    assert slo_batch_size(graph, TESLA_V100, 10.0, max_batch=8) <= 8
+    assert slo_batch_size(graph, TESLA_V100, 1e-6) == 1
+    assert slo_batch_size(graph, TESLA_V100, 1e-6, min_batch=4) == 4
+
+
+def test_slo_batch_size_validation():
+    graph = model_graph("ResNet50")
+    with pytest.raises(ValueError):
+        slo_batch_size(graph, TESLA_V100, 0.0)
+    with pytest.raises(ValueError):
+        slo_batch_size(graph, TESLA_V100, 0.1, fraction=0.0)
+    with pytest.raises(ValueError):
+        slo_batch_size(graph, TESLA_V100, 0.1, min_batch=8, max_batch=4)
+
+
+def test_controller_aimd_asymmetry():
+    ctl = SloController(slo_s=0.1, min_batch=1, max_batch=256,
+                        initial_batch=64, additive_step=4)
+    assert ctl.observe(0.2) == 32       # violation: halve
+    assert ctl.observe(0.2) == 16
+    assert ctl.observe(0.01) == 20      # comfortable: +step
+    assert ctl.decreases == 2 and ctl.increases == 1
+    # inside the [headroom*slo, slo] band: hold
+    assert ctl.observe(0.09) == 20
+
+
+def test_controller_clamps_to_bounds():
+    ctl = SloController(slo_s=0.1, min_batch=2, max_batch=8,
+                        initial_batch=8, additive_step=4)
+    for _ in range(6):
+        ctl.observe(1.0)
+    assert ctl.batch_size == 2          # never below min_batch
+    for _ in range(6):
+        ctl.observe(0.0)
+    assert ctl.batch_size == 8          # never above max_batch
+
+
+def test_controller_converges_to_slo_feasible_batch():
+    """Against a linear latency model, AIMD settles in a narrow band."""
+    per_item_s = 0.1 / 42               # 42 items fill the SLO exactly
+    ctl = SloController(slo_s=0.1, min_batch=1, max_batch=256,
+                        initial_batch=256, additive_step=4)
+    trajectory = []
+    for _ in range(200):
+        trajectory.append(ctl.observe(ctl.batch_size * per_item_s))
+    tail = trajectory[-50:]
+    # multiplicative decreases pull the oversized start under the
+    # 42-item ceiling fast; additive increases then climb back into the
+    # [headroom * slo, slo] comfort band and hold there
+    assert max(tail) <= 42
+    assert min(tail) >= 21
+    assert ctl.decreases > 0 and ctl.increases > 0
+
+
+def test_controller_validation():
+    with pytest.raises(ValueError):
+        SloController(slo_s=0.0, min_batch=1, max_batch=8, initial_batch=4)
+    with pytest.raises(ValueError):
+        SloController(slo_s=0.1, min_batch=4, max_batch=8, initial_batch=2)
+    with pytest.raises(ValueError):
+        SloController(slo_s=0.1, min_batch=1, max_batch=8, initial_batch=4,
+                      headroom=1.5)
+    with pytest.raises(ValueError):
+        SloController(slo_s=0.1, min_batch=1, max_batch=8, initial_batch=4,
+                      additive_step=0)
+    ctl = SloController(slo_s=0.1, min_batch=1, max_batch=8, initial_batch=4)
+    with pytest.raises(ValueError):
+        ctl.observe(-1.0)

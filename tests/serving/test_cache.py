@@ -1,0 +1,100 @@
+"""Content-addressed tensor cache: hits, LRU eviction, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.serving.cache import TensorCache, content_key
+
+
+def _pixels(seed, shape=(3, 8, 8)):
+    return np.random.default_rng(seed).random(shape).astype(np.float64)
+
+
+def test_content_key_depends_on_bytes_dtype_shape():
+    a = _pixels(0)
+    assert content_key(a) == content_key(a.copy())
+    assert content_key(a) != content_key(_pixels(1))
+    assert content_key(a) != content_key(a.astype(np.float32))
+    assert content_key(a) != content_key(a.reshape(3, 4, 16))
+    # content addressing ignores memory layout
+    assert content_key(a) == content_key(
+        np.asfortranarray(a).copy(order="F"))
+
+
+def test_hit_round_trip_is_bit_exact():
+    cache = TensorCache(capacity_bytes=1 << 20)
+    pixels = _pixels(0)
+    tensor = np.random.default_rng(1).random((3, 8, 8)).astype(np.float32)
+    key, missed, blob_bytes = cache.lookup(pixels)
+    assert missed is None and blob_bytes == 0
+    inserted_bytes = cache.insert(key, tensor)
+    assert inserted_bytes > 0 and key in cache
+    key2, hit, hit_bytes = cache.lookup(pixels)
+    assert key2 == key and hit_bytes == inserted_bytes
+    np.testing.assert_array_equal(hit, tensor)
+    assert hit.dtype == tensor.dtype
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["resident_bytes"] == inserted_bytes
+
+
+def test_lru_evicts_oldest_first():
+    tensors = {i: np.random.default_rng(i).random((3, 8, 8))
+               .astype(np.float32) for i in range(3)}
+    keys = {}
+    probe = TensorCache(capacity_bytes=1 << 20)
+    for i, t in tensors.items():
+        keys[i] = content_key(_pixels(i))
+        probe.insert(keys[i], t)
+    blob_size = probe.resident_bytes // 3
+
+    cache = TensorCache(capacity_bytes=2 * blob_size + blob_size // 2)
+    cache.insert(keys[0], tensors[0])
+    cache.insert(keys[1], tensors[1])
+    cache.insert(keys[2], tensors[2])  # evicts 0, the oldest
+    assert keys[0] not in cache
+    assert keys[1] in cache and keys[2] in cache
+    assert cache.stats()["evictions"] == 1
+
+
+def test_hit_renews_lru_position():
+    tensors = {i: np.random.default_rng(i).random((3, 8, 8))
+               .astype(np.float32) for i in range(3)}
+    probe = TensorCache(capacity_bytes=1 << 20)
+    for i, t in tensors.items():
+        probe.insert(content_key(_pixels(i)), t)
+    blob_size = probe.resident_bytes // 3
+
+    cache = TensorCache(capacity_bytes=2 * blob_size + blob_size // 2)
+    cache.insert(content_key(_pixels(0)), tensors[0])
+    cache.insert(content_key(_pixels(1)), tensors[1])
+    cache.lookup(_pixels(0))  # renew 0; now 1 is the LRU victim
+    cache.insert(content_key(_pixels(2)), tensors[2])
+    assert content_key(_pixels(0)) in cache
+    assert content_key(_pixels(1)) not in cache
+
+
+def test_oversized_blob_is_not_inserted():
+    cache = TensorCache(capacity_bytes=8)
+    tensor = np.random.default_rng(0).random((3, 8, 8)).astype(np.float32)
+    blob_bytes = cache.insert("key", tensor)
+    assert blob_bytes > 8
+    assert "key" not in cache and len(cache) == 0
+    assert cache.resident_bytes == 0
+
+
+def test_reinsert_same_key_does_not_double_count():
+    cache = TensorCache(capacity_bytes=1 << 20)
+    tensor = np.random.default_rng(0).random((3, 8, 8)).astype(np.float32)
+    size = cache.insert("key", tensor)
+    assert cache.insert("key", tensor) == size
+    assert cache.resident_bytes == size and len(cache) == 1
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"capacity_bytes": -1},
+    {"capacity_bytes": 10, "compression_level": 10},
+])
+def test_constructor_validation(kwargs):
+    with pytest.raises(ValueError):
+        TensorCache(**kwargs)

@@ -1,0 +1,172 @@
+"""End-to-end serving front end: accounting, determinism, faults."""
+
+import pytest
+
+from repro.core.cluster import InferenceServer, NDPipeCluster
+from repro.core.config import ClusterConfig
+from repro.faults import AddLatency, DropMessages, FaultInjector
+from repro.models.registry import tiny_model
+from repro.serving import ServingConfig, ServingFrontend
+from repro.serving.bench import run_serving_comparison
+from repro.workloads.continuous import open_loop_requests
+
+SLO_S = 0.1
+
+
+def _frontend(config=None, seed=0):
+    config = config if config is not None else ServingConfig()
+    replicas = [
+        InferenceServer(tiny_model(config.model, seed=seed + i),
+                        name=f"replica-{i}")
+        for i in range(config.replicas)
+    ]
+    return ServingFrontend(replicas, config)
+
+
+def _trace(num_requests=200, rate_rps=1500.0, seed=0, **kwargs):
+    return open_loop_requests(num_requests=num_requests, rate_rps=rate_rps,
+                              seed=seed, **kwargs)
+
+
+def test_accounting_invariant_and_report_consistency():
+    frontend = _frontend()
+    report = frontend.serve(_trace())
+    assert report.offered == 200
+    assert report.offered == report.completed + report.shed_total
+    assert len(report.latencies_s) == report.completed
+    assert sum(report.batch_sizes) == report.completed
+    assert report.makespan_s > 0
+    assert report.cache_hits + report.cache_misses == report.completed
+    # metrics mirror the report exactly (the ND004 families)
+    metrics = frontend.metrics
+    assert metrics.get("serving_requests_offered_total").value() == 200
+    assert (metrics.get("serving_requests_completed_total").value()
+            == report.completed)
+    assert (metrics.get("serving_cache_hits_total").value()
+            == report.cache_hits)
+    assert (metrics.get("serving_cache_misses_total").value()
+            == report.cache_misses)
+
+
+def test_identical_runs_are_bit_identical():
+    first = _frontend().serve(_trace())
+    second = _frontend().serve(_trace())
+    assert first.to_dict() == second.to_dict()
+    assert first.latencies_s == second.latencies_s
+    assert [o.label for o in first.completed_requests] == \
+           [o.label for o in second.completed_requests]
+
+
+def test_adaptive_meets_slo_and_beats_baseline_3x():
+    result = run_serving_comparison(seed=0, num_requests=600)
+    budget = result["latency_budget_s"]
+    assert result["adaptive"]["p99_latency_s"] <= budget + 1e-9
+    assert result["baseline"]["p99_latency_s"] <= budget + 1e-9
+    assert result["speedup"] >= 3.0
+    # the controller actually batches: mean batch well above synchronous
+    assert result["adaptive"]["mean_batch"] > 4.0
+    assert result["baseline"]["mean_batch"] == 1.0
+
+
+def test_cache_hits_deterministic_across_arrival_seeds():
+    """Misses are a property of the photo pool, not the arrival order."""
+    from repro.serving.cache import content_key
+
+    pool = dict(pool_size=32, pool_seed=77)
+    all_keys = set()
+    for seed in (0, 1, 2):
+        trace = _trace(num_requests=400, seed=seed, **pool)
+        distinct = {content_key(r.pixels) for r in trace}
+        all_keys |= distinct
+        report = _frontend().serve(trace)
+        # every distinct photo misses exactly once, whatever the order
+        assert report.cache_misses == len(distinct)
+        assert report.cache_hits == report.completed - len(distinct)
+        assert report.cache_evictions == 0
+    # every arrival seed draws from the same shared pool
+    assert len(all_keys) <= pool["pool_size"]
+
+
+def test_queue_full_sheds_under_tiny_queue():
+    config = ServingConfig(queue_capacity=4, max_batch=4, initial_batch=4)
+    report = _frontend(config).serve(_trace(num_requests=300,
+                                            rate_rps=20000.0))
+    assert report.shed["queue_full"] > 0
+    assert report.offered == report.completed + report.shed_total
+
+
+def test_deadline_sheds_when_baseline_saturates():
+    config = ServingConfig(min_batch=1, max_batch=1, initial_batch=1)
+    report = _frontend(config).serve(_trace(num_requests=300))
+    assert report.shed["deadline"] > 0
+    assert report.offered == report.completed + report.shed_total
+    # nothing completed late: sheds, not SLO violations
+    assert report.p99_latency_s <= SLO_S + 1e-9
+
+
+def test_dropped_dispatch_sheds_whole_batch_exactly():
+    frontend = _frontend()
+    # the retry policy makes 4 attempts; drop them all for one batch
+    FaultInjector([DropMessages(at=1, count=4, kind="serve")]) \
+        .attach_fabric(frontend.network)
+    report = frontend.serve(_trace())
+    assert report.shed["dispatch_failed"] > 0
+    assert frontend.dispatcher.batches_failed == 1
+    # the failed batch is shed in full, everything else completes
+    assert report.offered == report.completed + report.shed_total
+    assert frontend.retry.giveups == 1
+
+
+def test_injected_latency_is_charged_to_requests():
+    calm = _frontend().serve(_trace())
+    frontend = _frontend()
+    FaultInjector([AddLatency(at=1, seconds=0.04, count=1, kind="serve")]) \
+        .attach_fabric(frontend.network)
+    slowed = frontend.serve(_trace())
+    assert slowed.offered == slowed.completed + slowed.shed_total
+    # the delayed batch's requests observe the extra 40 ms
+    assert max(slowed.latencies_s) >= max(calm.latencies_s) + 0.039
+    assert frontend.network.injected_latency_s == pytest.approx(0.04)
+
+
+def test_shed_accounting_exact_under_mixed_faults():
+    frontend = _frontend()
+    FaultInjector([
+        DropMessages(at=1, count=4, kind="serve"),
+        AddLatency(at=8, seconds=0.02, count=2, kind="serve"),
+    ]).attach_fabric(frontend.network)
+    report = frontend.serve(_trace(num_requests=400))
+    assert report.offered == 400
+    assert report.offered == report.completed + report.shed_total
+    assert (frontend.metrics.get("serving_requests_shed_total")
+            .value(reason="dispatch_failed")
+            == report.shed["dispatch_failed"])
+
+
+def test_cluster_serve_uploads_lands_completed_requests():
+    cluster = NDPipeCluster(
+        lambda: tiny_model("ResNet50", num_classes=10, width=8, seed=7),
+        ClusterConfig(num_stores=3),
+    )
+    requests = _trace(num_requests=60, rate_rps=800.0)
+    report, photo_ids = cluster.serve_uploads(
+        requests, ServingConfig(replicas=2))
+    assert len(photo_ids) == report.completed
+    assert len(cluster.database) == report.completed
+    assert len(set(photo_ids)) == len(photo_ids)
+    # every landed label matches what the serving replicas answered
+    for outcome, photo_id in zip(report.completed_requests, photo_ids):
+        record = cluster.database.lookup(photo_id)
+        assert record.label == outcome.label
+    # serving traffic rode the cluster's accounted fabric
+    assert cluster.traffic_summary().get("serve", 0) > 0
+
+
+def test_multi_replica_spreads_batches():
+    config = ServingConfig(replicas=3)
+    frontend = _frontend(config)
+    report = frontend.serve(_trace(num_requests=400, rate_rps=4000.0))
+    batches = frontend.metrics.get("serving_batches_dispatched_total")
+    per_replica = [batches.value(replica=f"replica-{i}") for i in range(3)]
+    assert all(v > 0 for v in per_replica)
+    assert sum(per_replica) == len(report.batch_sizes)
