@@ -18,7 +18,9 @@ latency budget.
 """
 
 from repro.analysis.tables import format_table
-from repro.serving.bench import BENCH_DEFAULTS, run_serving_comparison
+from repro.bench.harness import serving_payload
+from repro.obs.benchjson import BenchResult
+from repro.serving.bench import run_serving_comparison
 
 SEED = 0
 
@@ -48,37 +50,14 @@ def test_serving_adaptive_vs_baseline(benchmark, report, bench_json):
     )
     report("serving_adaptive_vs_baseline", text)
 
-    rows = []
-    for name, r in (("adaptive", adaptive), ("baseline", baseline)):
-        rows += [
-            ("serving_throughput_rps", r["throughput_rps"], "requests/s",
-             {"frontend": name}),
-            ("serving_p50_latency_s", r["p50_latency_s"], "s",
-             {"frontend": name}),
-            ("serving_p99_latency_s", r["p99_latency_s"], "s",
-             {"frontend": name}),
-            ("serving_completed", r["completed"], "requests",
-             {"frontend": name}),
-            ("serving_shed", sum(r["shed"].values()), "requests",
-             {"frontend": name}),
-            ("serving_mean_batch", r["mean_batch"], "images",
-             {"frontend": name}),
-        ]
-    rows += [
-        ("serving_speedup", result["speedup"], "x"),
-        ("serving_cache_hits", adaptive["cache_hits"], "lookups",
-         {"frontend": "adaptive"}),
-        ("serving_cache_misses", adaptive["cache_misses"], "lookups",
-         {"frontend": "adaptive"}),
-    ]
-    bench_json("BENCH_serving", rows, config={
-        **BENCH_DEFAULTS,
-        "seed": SEED,
-        "latency_budget_s": budget,
-        "model": result["config"]["model"],
-        "accelerator": result["config"]["accelerator"],
-        "replicas": result["config"]["replicas"],
-    })
+    # the perf harness (repro.bench.harness) builds the exact same
+    # payload, so the CLI gate and this bench write identical files
+    payload = serving_payload(result)
+    bench_json("BENCH_serving", [
+        BenchResult(e["metric"], e["value"], e["unit"],
+                    dict(e.get("labels", {})), e.get("direction"))
+        for e in payload["results"]
+    ], config=payload["config"])
 
     # the acceptance claim: >= 3x throughput at an equal p99 budget
     assert adaptive["p99_latency_s"] <= budget + 1e-9

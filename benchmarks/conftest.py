@@ -25,6 +25,29 @@ RESULTS_DIR = Path(__file__).parent / "results"
 _SCALES = {"smoke": SMOKE, "fast": FAST, "paper": PAPER}
 
 
+def pytest_configure(config):
+    """Force smoke scale when the bench_smoke marker is selected.
+
+    Every benchmark in this directory carries ``bench_smoke`` (see
+    ``pytest_collection_modifyitems``), so ``pytest -m bench_smoke
+    benchmarks`` runs each one exactly once at the tiniest scale — the
+    CI smoke sweep.  Selecting the marker also disables
+    pytest-benchmark's repeated calibration rounds, which would defeat
+    the point of a smoke pass.
+    """
+    expr = config.getoption("markexpr", default="") or ""
+    if "bench_smoke" in expr:
+        os.environ["REPRO_BENCH_SCALE"] = "smoke"
+        if hasattr(config.option, "benchmark_disable"):
+            config.option.benchmark_disable = True
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark collected here is part of the smoke sweep."""
+    for item in items:
+        item.add_marker(pytest.mark.bench_smoke)
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> Scale:
     name = os.environ.get("REPRO_BENCH_SCALE", "fast").lower()

@@ -1,0 +1,25 @@
+"""Thin entry point for the perf-trajectory harness.
+
+``python benchmarks/harness.py [args]`` is exactly
+``PYTHONPATH=src python -m repro.cli perf [args]`` — the harness
+itself lives in :mod:`repro.bench` so the CLI, CI gate, and this
+script can never disagree.  Typical invocations::
+
+    python benchmarks/harness.py                  # run all scenarios
+    python benchmarks/harness.py --check          # gate vs baselines
+    python benchmarks/harness.py --bless          # re-record baselines
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402  (path bootstrap must run first)
+
+if __name__ == "__main__":
+    argv = ["perf", *sys.argv[1:]]
+    if not any(a.startswith("--baseline-dir") for a in argv):
+        argv += ["--baseline-dir",
+                 str(Path(__file__).resolve().parent / "results")]
+    sys.exit(main(argv))

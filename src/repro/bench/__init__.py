@@ -1,0 +1,33 @@
+"""Perf-trajectory harness and regression gate (``repro perf``).
+
+:mod:`~repro.bench.harness` runs the seeded ingest / finetune /
+relabel / serving scenarios and records ``BENCH_*.json`` files in the
+schema-v2 benchjson format; :mod:`~repro.bench.gate` compares a fresh
+run against the committed baselines in ``benchmarks/results/`` and
+fails on regressions beyond tolerance.
+"""
+
+from .gate import (
+    DEFAULT_TOLERANCE,
+    GateError,
+    GateFinding,
+    compare_payloads,
+    gate_directories,
+    render_findings,
+)
+from .harness import (
+    SCALES,
+    SCENARIOS,
+    HarnessScale,
+    bless_harness,
+    run_harness,
+    serving_payload,
+    write_results,
+)
+
+__all__ = [
+    "HarnessScale", "SCALES", "SCENARIOS",
+    "run_harness", "bless_harness", "serving_payload", "write_results",
+    "GateError", "GateFinding", "DEFAULT_TOLERANCE",
+    "compare_payloads", "gate_directories", "render_findings",
+]

@@ -18,6 +18,10 @@ Commands:
 * ``catalog``  — dump the calibrated hardware catalog;
 * ``serve-bench`` — run the online serving benchmark (adaptive
   micro-batching vs. the synchronous batch=1 baseline);
+* ``perf``     — run the perf-trajectory harness (seeded ingest /
+  finetune / relabel / serving scenarios), write ``BENCH_*.json``
+  results, and optionally gate them against the committed baselines
+  (``--check``) or re-record the baselines (``--bless``);
 * ``lint``     — run the ndlint invariant rules (ND001..ND005) over the
   package (or given paths) and exit nonzero on findings.
 
@@ -331,6 +335,91 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if all(a.ok for a in validate_calibration()) else 1
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .analysis.tables import format_table
+    from .bench import (
+        SCALES,
+        SCENARIOS,
+        GateError,
+        bless_harness,
+        gate_directories,
+        render_findings,
+        run_harness,
+        write_results,
+    )
+
+    if args.bless and args.check:
+        print("--bless and --check are mutually exclusive", file=sys.stderr)
+        return 2
+    scenarios = args.scenario or list(SCENARIOS)
+    scale = SCALES[args.scale]
+    baseline_dir = Path(args.baseline_dir)
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+    elif args.bless:
+        # blessing re-records the committed trajectory in place
+        out_dir = baseline_dir
+    else:
+        # a plain run (and --check) must not clobber the baselines it
+        # would be compared against
+        out_dir = Path(tempfile.mkdtemp(prefix="ndpipe-perf-"))
+    if args.bless:
+        # median of several runs centres the baseline in its noise band
+        payloads = bless_harness(scale, seed=args.seed, scenarios=scenarios)
+    else:
+        payloads = run_harness(scale, seed=args.seed, scenarios=scenarios)
+    write_results(payloads, out_dir)
+
+    if args.format == "json":
+        _emit(json.dumps({
+            "scale": scale.name,
+            "out_dir": str(out_dir),
+            "benches": payloads,
+        }, indent=2), args.out)
+    else:
+        rows = [
+            [bench, e["metric"],
+             ",".join(f"{k}={v}" for k, v in e.get("labels", {}).items())
+             or "-",
+             f"{e['value']:g}", e["unit"], e.get("direction") or "info"]
+            for bench, payload in sorted(payloads.items())
+            for e in payload["results"]
+        ]
+        _emit(format_table(
+            ["bench", "metric", "labels", "value", "unit", "direction"],
+            rows,
+            title=f"repro perf @ scale={scale.name} -> {out_dir}",
+        ), args.out)
+
+    if not args.check:
+        return 0
+    # a regression must reproduce in every attempt to fail the gate:
+    # bursty interference (scheduler preemption, host steal) can push
+    # one run's timing past tolerance without any code change
+    for attempt in range(max(1, args.attempts)):
+        if attempt:
+            payloads = run_harness(scale, seed=args.seed,
+                                   scenarios=scenarios)
+            write_results(payloads, out_dir)
+        try:
+            findings = gate_directories(baseline_dir, out_dir,
+                                        sorted(payloads),
+                                        tolerance=args.tolerance)
+        except GateError as exc:
+            print(f"perf gate error: {exc}", file=sys.stderr)
+            return 2
+        if all(f.ok for f in findings) or attempt == args.attempts - 1:
+            break
+        print(f"perf gate attempt {attempt + 1}/{args.attempts} failed, "
+              "retrying:")
+        print(render_findings(findings))
+    print(render_findings(findings))
+    return 1 if any(not f.ok for f in findings) else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -523,6 +612,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="latency SLO in seconds (default 0.1)")
     _add_common_flags(serve)
     serve.set_defaults(func=_cmd_serve_bench)
+
+    perf = sub.add_parser(
+        "perf",
+        help="run the perf-trajectory harness; --check gates against the "
+             "committed baselines, --bless re-records them")
+    perf.add_argument("--scenario", action="append",
+                      choices=("ingest", "finetune", "relabel", "serving"),
+                      help="scenario to run (repeatable; default: all four)")
+    perf.add_argument("--scale", choices=("smoke", "fast", "paper"),
+                      default="smoke",
+                      help="harness size (default smoke — the scale the "
+                           "committed baselines are recorded at)")
+    perf.add_argument("--check", action="store_true",
+                      help="gate the fresh results against the baselines; "
+                           "exit 1 on regression, 2 on invalid comparison")
+    perf.add_argument("--attempts", type=int, default=3,
+                      help="with --check, a regression must reproduce in "
+                           "this many fresh runs to fail the gate "
+                           "(default 3; bursty machine noise is not a "
+                           "regression)")
+    perf.add_argument("--bless", action="store_true",
+                      help="write the fresh results over the committed "
+                           "baselines (the intentional-change workflow)")
+    perf.add_argument("--tolerance", type=float, default=0.15,
+                      help="allowed relative drift for directional metrics "
+                           "(default 0.15; 'exact' metrics get none)")
+    perf.add_argument("--out-dir", default=None,
+                      help="directory for the fresh BENCH_*.json files "
+                           "(default: the baseline dir when blessing, a "
+                           "temp dir otherwise)")
+    perf.add_argument("--baseline-dir", default="benchmarks/results",
+                      help="committed baseline directory "
+                           "(default benchmarks/results)")
+    _add_common_flags(perf)
+    perf.set_defaults(func=_cmd_perf)
 
     lint = sub.add_parser(
         "lint", help="run the ndlint invariant rules; nonzero on findings")

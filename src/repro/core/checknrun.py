@@ -29,6 +29,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..fastpath import flags
+
 # CNR2: entry headers carry the tensor dtype and exact payloads are
 # native-dtype XOR bit diffs (CNR1 shipped float64 arithmetic diffs,
 # which were neither bit-exact nor compact for float32 states)
@@ -119,12 +121,15 @@ def apply_delta(old: Dict[str, np.ndarray], blob: bytes) -> Dict[str, np.ndarray
     if zlib.crc32(compressed) & 0xFFFFFFFF != checksum:
         raise DeltaError("delta checksum mismatch (corrupt blob)")
     body = zlib.decompress(compressed)
+    # payloads are read through a memoryview so each tensor's bytes are
+    # consumed in place instead of slice-copied out of the body first
+    body_view = memoryview(body) if flags().zero_copy else body
     new = {k: v.copy() for k, v in old.items()}
     offset = 0
     for _ in range(changed):
         key, shape, dtype, meta, payload_len, offset = _read_entry_header(
             body, offset)
-        payload = body[offset:offset + payload_len]
+        payload = body_view[offset:offset + payload_len]
         offset += payload_len
         if key not in new:
             raise DeltaError(f"delta names unknown tensor {key!r}")

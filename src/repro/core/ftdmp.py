@@ -25,7 +25,7 @@ from ..models.graph import FEATURE_DTYPE_BYTES
 from ..models.split import SplitModel
 from ..nn.losses import cross_entropy
 from ..nn.optim import Adam, Optimizer, SGD
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, inference_mode
 
 
 @dataclass
@@ -150,9 +150,11 @@ class FTDMPTrainer:
         was_training = self.model.training
         self.model.eval()
         outputs = []
-        for start in range(0, len(x), self.batch_size):
-            batch = Tensor(x[start:start + self.batch_size])
-            outputs.append(self.model.forward_until(batch, self.split).data)
+        with inference_mode():
+            for start in range(0, len(x), self.batch_size):
+                batch = Tensor(x[start:start + self.batch_size])
+                outputs.append(
+                    self.model.forward_until(batch, self.split).data)
         self.model.train(was_training)
         return np.concatenate(outputs, axis=0)
 

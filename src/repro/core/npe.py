@@ -52,7 +52,7 @@ class StageStats:
     busy_seconds: float = 0.0
 
 
-@guarded_by("_stats_lock", "stats", "cumulative_stats")
+@guarded_by("_stats_lock", "stats", "cumulative_stats", "aborted_stats")
 class ThreadedPipeline:
     """A bounded-queue, one-thread-per-stage pipeline over real callables.
 
@@ -77,6 +77,12 @@ class ThreadedPipeline:
     lifetime view, and with ``metrics`` set the same totals land in the
     shared registry (``npe_stage_items_total`` /
     ``npe_stage_busy_seconds_total``, labelled by pipeline and stage).
+
+    Only *completed* runs fold into ``cumulative_stats`` and the metric
+    counters: an aborted run discards its results, so its partial work
+    would double-count every item the caller retries.  That partial work
+    is tracked separately in ``aborted_stats`` (it used to leak into the
+    cumulative view).
     """
 
     def __init__(self, stages: Sequence, queue_depth: int = 8,
@@ -94,6 +100,7 @@ class ThreadedPipeline:
         self._stats_lock = threading.Lock()
         self.stats = [StageStats(name) for name, _ in self._stages]
         self.cumulative_stats = [StageStats(name) for name, _ in self._stages]
+        self.aborted_stats = [StageStats(name) for name, _ in self._stages]
         self._metrics: Optional[MetricsRegistry] = None
         if metrics is not None:
             self.bind_metrics(metrics)
@@ -174,11 +181,15 @@ class ThreadedPipeline:
         feed_thread.join()
         for thread in threads:
             thread.join()
-        self._absorb_run_stats()
-        if errors:
-            raise errors[0]
-        if feeder_error:
+        if errors or feeder_error:
+            # the run's results are discarded, so its partial work must
+            # not fold into the completed-work views: a retry would then
+            # count every successfully retried item twice
+            self._absorb_aborted_stats()
+            if errors:
+                raise errors[0]
             raise feeder_error[0]
+        self._absorb_run_stats()
         return results
 
     def _absorb_run_stats(self) -> None:
@@ -193,6 +204,14 @@ class ThreadedPipeline:
                                   stage=run_stats.name)
                 self._m_busy.inc(run_stats.busy_seconds, pipeline=self.name,
                                  stage=run_stats.name)
+
+    def _absorb_aborted_stats(self) -> None:
+        """Bank an aborted run's partial work in the discarded-work view."""
+        with self._stats_lock:
+            pairs = list(zip(self.stats, self.aborted_stats))
+        for run_stats, discarded in pairs:
+            discarded.items += run_stats.items
+            discarded.busy_seconds += run_stats.busy_seconds
 
     def bottleneck(self) -> StageStats:
         with self._stats_lock:

@@ -14,12 +14,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..durability.integrity import ScrubReport
+from ..fastpath import flags
 from ..models.split import SplitModel
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, inference_mode
 from ..obs.metrics import MetricsRegistry
 from ..storage.compression import deflate, inflate
 from ..storage.imageformat import (
     decode_preprocessed,
+    decode_preprocessed_into,
     encode_photo,
     encode_preprocessed,
 )
@@ -259,9 +261,10 @@ class PipeStore:
         self._require_model()
         inputs = self._load_batch(photo_ids)
         outputs = []
-        for start in range(0, len(inputs), self.batch_size):
-            batch = Tensor(inputs[start:start + self.batch_size])
-            outputs.append(self.model.forward_until(batch, self.split).data)
+        with inference_mode():
+            for start in range(0, len(inputs), self.batch_size):
+                batch = Tensor(inputs[start:start + self.batch_size])
+                outputs.append(self.model.forward_until(batch, self.split).data)
         self._account_compute(len(inputs))
         self._count("_m_extracted", len(inputs))
         return np.concatenate(outputs, axis=0)
@@ -274,7 +277,9 @@ class PipeStore:
         results: Dict[str, Tuple[int, float]] = {}
         for start in range(0, len(inputs), self.batch_size):
             chunk_ids = photo_ids[start:start + self.batch_size]
-            logits = self.model(Tensor(inputs[start:start + self.batch_size])).data
+            with inference_mode():
+                logits = self.model(
+                    Tensor(inputs[start:start + self.batch_size])).data
             shifted = logits - logits.max(axis=-1, keepdims=True)
             probs = np.exp(shifted)
             probs /= probs.sum(axis=-1, keepdims=True)
@@ -299,4 +304,14 @@ class PipeStore:
     def _load_batch(self, photo_ids: Sequence[str]) -> np.ndarray:
         if not photo_ids:
             raise ValueError("no photo ids given")
-        return np.stack([self.load_preprocessed(pid) for pid in photo_ids])
+        if not flags().batch_decode:
+            return np.stack([self.load_preprocessed(pid) for pid in photo_ids])
+        # decode straight into one preallocated (N, C, H, W) array: one
+        # payload copy per photo instead of decode + copy + np.stack
+        first = self.load_preprocessed(photo_ids[0])
+        out = np.empty((len(photo_ids),) + first.shape, dtype=first.dtype)
+        out[0] = first
+        for row, pid in enumerate(photo_ids[1:], start=1):
+            blob = self.objects.get(self.objects.preproc_key(pid))
+            decode_preprocessed_into(inflate(blob), out[row])
+        return out

@@ -35,10 +35,22 @@ from .losses import accuracy, cross_entropy, mse, topk_accuracy
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer
 from .schedulers import CosineLR, Scheduler, StepLR, WarmupLR, clip_gradients
-from .tensor import Tensor, concat, gelu, log_softmax, softmax, stack, where
+from .tensor import (
+    Tensor,
+    concat,
+    gelu,
+    grad_enabled,
+    inference_mode,
+    log_softmax,
+    no_grad,
+    softmax,
+    stack,
+    where,
+)
 
 __all__ = [
     "Tensor", "concat", "stack", "softmax", "log_softmax", "where", "gelu",
+    "no_grad", "grad_enabled", "inference_mode",
     "Module", "Parameter",
     "Linear", "Conv2d", "BatchNorm2d", "LayerNorm", "ReLU", "GELU",
     "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten", "Dropout",

@@ -12,6 +12,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..fastpath import flags
 from .tensor import Tensor
 
 
@@ -78,36 +79,114 @@ def conv2d(x: Tensor, weight: Tensor, stride: int = 1, padding: int = 0, groups:
     if groups == c and f == c and c_per_group == 1:
         return _depthwise_conv2d(x, weight, stride, padding, oh, ow)
 
+    if flags().vectorized_autograd:
+        return _conv2d_matmul(x, weight, stride, padding, groups, oh, ow)
+    return _conv2d_grouped(x, weight, stride, padding, groups, oh, ow)
+
+
+def _conv2d_grouped(x: Tensor, weight: Tensor, stride: int, padding: int,
+                    groups: int, oh: int, ow: int) -> Tensor:
+    """Scalar reference: per-group loop, one im2col and GEMM per group.
+
+    Performs the exact arithmetic of :func:`_conv2d_matmul` group by
+    group (same contraction element order), so the vectorized path is
+    provably bit-identical to this baseline
+    (``tests/nn/test_functional_equivalence.py``).
+    """
+    n, c, h, w = x.shape
+    f, c_per_group, kh, kw = weight.shape
+    f_per_group = f // groups
+    k = c_per_group * kh * kw
+    p = oh * ow
+
     cols_list = []
-    outs = np.empty((n, f, oh * ow), dtype=x.data.dtype)
-    w2 = weight.data.reshape(groups, f_per_group, c_per_group * kh * kw)
+    outs = np.empty((n, f, p), dtype=x.data.dtype)
+    w2 = weight.data.reshape(groups, f_per_group, k)
     for g in range(groups):
         xg = x.data[:, g * c_per_group:(g + 1) * c_per_group]
         cols, _, _ = im2col(xg, kh, kw, stride, padding)
         cols_list.append(cols)
-        outs[:, g * f_per_group:(g + 1) * f_per_group] = np.einsum(
-            "fk,nkp->nfp", w2[g], cols, optimize=True
-        )
+        outs[:, g * f_per_group:(g + 1) * f_per_group] = np.matmul(w2[g], cols)
     out_data = outs.reshape(n, f, oh, ow)
 
     def backward(grad):
-        grad = grad.reshape(n, f, oh * ow)
+        grad = grad.reshape(n, f, p)
         if weight.requires_grad:
-            dw = np.empty_like(weight.data).reshape(groups, f_per_group, c_per_group * kh * kw)
+            dw = np.empty_like(weight.data).reshape(groups, f_per_group, k)
             for g in range(groups):
                 gg = grad[:, g * f_per_group:(g + 1) * f_per_group]
-                dw[g] = np.einsum("nfp,nkp->fk", gg, cols_list[g], optimize=True)
+                gf = gg.transpose(1, 0, 2).reshape(f_per_group, n * p)
+                ck = cols_list[g].transpose(1, 0, 2).reshape(k, n * p)
+                dw[g] = np.matmul(gf, ck.T)
             weight._accumulate(dw.reshape(weight.shape))
         if x.requires_grad:
             dx = np.empty_like(x.data)
             xg_shape = (n, c_per_group, h, w)
             for g in range(groups):
                 gg = grad[:, g * f_per_group:(g + 1) * f_per_group]
-                dcols = np.einsum("fk,nfp->nkp", w2[g], gg, optimize=True)
+                dcols = np.matmul(w2[g].T, gg)
                 dx[:, g * c_per_group:(g + 1) * c_per_group] = col2im(
                     dcols, xg_shape, kh, kw, stride, padding
                 )
             x._accumulate(dx)
+
+    return x._make(out_data, (x, weight), backward)
+
+
+def _conv2d_matmul(x: Tensor, weight: Tensor, stride: int, padding: int,
+                   groups: int, oh: int, ow: int) -> Tensor:
+    """Vectorized conv: one im2col, one batched GEMM per contraction.
+
+    Each per-(sample, group) GEMM sees the same operands in the same
+    element order as the per-group loop of :func:`_conv2d_grouped`, so
+    outputs and gradients are bit-identical to the scalar reference —
+    the win is one unfold and one BLAS dispatch instead of ``groups`` of
+    each.
+    """
+    n, c, h, w = x.shape
+    f, c_per_group, kh, kw = weight.shape
+    f_per_group = f // groups
+    k = c_per_group * kh * kw
+    p = oh * ow
+
+    # im2col keeps channels outermost, so group g's columns are the
+    # contiguous slice [g*k:(g+1)*k] — one unfold serves every group.
+    # The GEMM promotes float32 columns to float64; results are cast back
+    # to the input dtype exactly like the reference's assignment into its
+    # input-dtype output buffer.
+    cols, _, _ = im2col(x.data, kh, kw, stride, padding)
+    if groups == 1:
+        w2 = weight.data.reshape(f, k)
+        out = np.matmul(w2, cols)
+    else:
+        cols_g = cols.reshape(n, groups, k, p)
+        w2 = weight.data.reshape(groups, f_per_group, k)
+        out = np.matmul(w2, cols_g)
+    out_data = out.astype(x.data.dtype, copy=False).reshape(n, f, oh, ow)
+
+    def backward(grad):
+        grad = grad.reshape(n, f, p)
+        if groups == 1:
+            if weight.requires_grad:
+                gf = grad.transpose(1, 0, 2).reshape(f, n * p)
+                ck = cols.transpose(1, 0, 2).reshape(k, n * p)
+                weight._accumulate(np.matmul(gf, ck.T).reshape(weight.shape))
+            if x.requires_grad:
+                dcols = np.matmul(w2.T, grad)
+                dx = col2im(dcols, x.shape, kh, kw, stride, padding)
+                x._accumulate(dx.astype(x.data.dtype, copy=False))
+        else:
+            gg = grad.reshape(n, groups, f_per_group, p)
+            if weight.requires_grad:
+                gf = gg.transpose(1, 2, 0, 3).reshape(groups, f_per_group, n * p)
+                ck = cols_g.transpose(1, 2, 0, 3).reshape(groups, k, n * p)
+                dw = np.matmul(gf, ck.swapaxes(1, 2))
+                weight._accumulate(dw.reshape(weight.shape))
+            if x.requires_grad:
+                dcols = np.matmul(w2.swapaxes(1, 2), gg)
+                dx = col2im(dcols.reshape(n, c * kh * kw, p),
+                            x.shape, kh, kw, stride, padding)
+                x._accumulate(dx.astype(x.data.dtype, copy=False))
 
     return x._make(out_data, (x, weight), backward)
 

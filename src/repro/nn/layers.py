@@ -10,10 +10,11 @@ from typing import Optional
 
 import numpy as np
 
+from ..fastpath import flags
 from . import functional as F
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, gelu
+from .tensor import Tensor, gelu, grad_enabled
 
 
 def _default_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
@@ -88,11 +89,27 @@ class BatchNorm2d(Module):
                 (1 - m) * self._buffers["running_var"] + m * var.data.reshape(-1)
             )
         else:
+            if not grad_enabled() and flags().vectorized_autograd:
+                return self._eval_fast(x)
             mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
             var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
         inv = (var + self.eps) ** -0.5
         normed = (x - mean) * inv
         return normed * self.gamma.reshape(1, -1, 1, 1) + self.beta.reshape(1, -1, 1, 1)
+
+    def _eval_fast(self, x: Tensor) -> Tensor:
+        """Raw-numpy eval normalisation, used only under ``no_grad``.
+
+        Performs the exact operation sequence of the Tensor path —
+        ``(var + eps) ** -0.5`` then ``((x - mean) * inv) * gamma + beta``
+        with the same float64 broadcasts — so outputs are bit-identical;
+        it merely skips boxing each intermediate in a Tensor.
+        """
+        rm = self._buffers["running_mean"].reshape(1, -1, 1, 1)
+        rv = self._buffers["running_var"].reshape(1, -1, 1, 1)
+        inv = (rv + self.eps) ** -0.5
+        out = ((x.data - rm) * inv) * self.gamma.data.reshape(1, -1, 1, 1)
+        return Tensor(out + self.beta.data.reshape(1, -1, 1, 1))
 
 
 class LayerNorm(Module):

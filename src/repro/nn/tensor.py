@@ -14,6 +14,8 @@ operands are reduced back to the operand's shape by :func:`_unbroadcast`.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager, nullcontext
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -21,6 +23,43 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _DEFAULT_DTYPE = np.float64
+
+_GRAD_MODE = threading.local()
+
+
+def grad_enabled() -> bool:
+    """Whether new ops record autograd graph nodes (thread-local)."""
+    return getattr(_GRAD_MODE, "enabled", True)
+
+
+@contextmanager
+def no_grad():
+    """Disable graph construction for forward-only code.
+
+    The data math is untouched — every op computes the exact same numpy
+    arrays — only the backward closures and parent links are skipped, so
+    inference paths (classify, feature extraction) avoid building and
+    retaining a graph they never traverse.  Thread-local, reentrant.
+    """
+    previous = grad_enabled()
+    _GRAD_MODE.enabled = False
+    try:
+        yield
+    finally:
+        _GRAD_MODE.enabled = previous
+
+
+def inference_mode():
+    """:func:`no_grad` when the vectorized-autograd fast path is on.
+
+    Forward-only call sites (classify, feature extraction, offline
+    relabel) wrap themselves in this; under ``scalar_mode()`` it is a
+    null context so the historical graph-building behaviour is preserved
+    for perf A/B runs.
+    """
+    from ..fastpath import flags  # local import: fastpath has no nn dep
+
+    return no_grad() if flags().vectorized_autograd else nullcontext()
 
 
 def _as_array(data: ArrayLike) -> np.ndarray:
@@ -162,7 +201,7 @@ class Tensor:
         return other if isinstance(other, Tensor) else Tensor(other)
 
     def _make(self, data, parents, backward) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        requires = grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _parents=tuple(parents) if requires else ())
         if requires:
             out._backward = backward
@@ -404,7 +443,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
-    requires = any(t.requires_grad for t in tensors)
+    requires = grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(out_data, requires_grad=requires,
                  _parents=tuple(tensors) if requires else ())
 

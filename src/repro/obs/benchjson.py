@@ -8,17 +8,27 @@ gives the bench harness one JSON schema:
 
     {
       "bench": "fig12_npe_ablation",
-      "schema_version": 1,
+      "schema_version": 2,
       "config": {"model": "ResNet50", "scale": "fast"},
       "results": [
         {"metric": "npe_throughput_ips", "value": 2129.0,
-         "unit": "images/s", "labels": {"level": "+Batch"}}
+         "unit": "images/s", "labels": {"level": "+Batch"},
+         "direction": "higher_is_better"}
       ]
     }
 
-Values are plain floats/ints, labels are flat string maps, and nothing
-time- or host-dependent is written, so two runs of the same code produce
-byte-identical files and the results directory diffs cleanly across PRs.
+Values are plain floats/ints and labels are flat string maps.  The
+figure benches write nothing time- or host-dependent, so two runs of
+the same code produce byte-identical files; the perf-trajectory
+harness (:mod:`repro.bench`) additionally records measured wall
+seconds, which vary run to run and are gated with a tolerance instead
+of diffed exactly.
+
+Schema v2 adds the optional per-result ``direction`` field —
+``higher_is_better`` / ``lower_is_better`` / ``exact`` — which tells
+the perf regression gate how to compare a metric against its committed
+baseline.  Results without a direction are informational: recorded and
+diffed for presence, never failed on value.
 """
 
 from __future__ import annotations
@@ -28,21 +38,37 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-__all__ = ["BenchResult", "bench_payload", "write_bench_json"]
+__all__ = ["BenchResult", "bench_payload", "write_bench_json",
+           "load_bench_json", "load_bench_payload", "DIRECTIONS"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: how the perf gate compares a metric against its baseline
+DIRECTIONS = ("higher_is_better", "lower_is_better", "exact")
 
 Number = Union[int, float]
 
 
 @dataclass(frozen=True)
 class BenchResult:
-    """One measured number: name, value, unit, and identifying labels."""
+    """One measured number: name, value, unit, and identifying labels.
+
+    ``direction`` (optional) declares how the regression gate should
+    compare this metric across runs; ``None`` means informational.
+    """
 
     metric: str
     value: Number
     unit: str
     labels: Dict[str, str] = field(default_factory=dict)
+    direction: Optional[str] = None
+
+    def __post_init__(self):
+        if self.direction is not None and self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS} or None, "
+                f"got {self.direction!r}"
+            )
 
     def to_dict(self) -> Dict:
         out: Dict = {
@@ -52,6 +78,8 @@ class BenchResult:
         }
         if self.labels:
             out["labels"] = {k: str(v) for k, v in sorted(self.labels.items())}
+        if self.direction is not None:
+            out["direction"] = self.direction
         return out
 
 
@@ -92,6 +120,12 @@ def load_bench_json(path: Union[str, Path]) -> List[BenchResult]:
             value=entry["value"],
             unit=entry["unit"],
             labels=dict(entry.get("labels", {})),
+            direction=entry.get("direction"),
         )
         for entry in payload["results"]
     ]
+
+
+def load_bench_payload(path: Union[str, Path]) -> Dict:
+    """Read a results file back as the raw payload dict (config included)."""
+    return json.loads(Path(path).read_text())

@@ -11,6 +11,8 @@ import zlib
 
 import numpy as np
 
+from ..fastpath import flags
+
 _HEADER = b"NDPZ"
 
 
@@ -23,6 +25,10 @@ def inflate(blob: bytes) -> bytes:
     """Decompress a :func:`deflate` frame."""
     if not blob.startswith(_HEADER):
         raise ValueError("not a deflate frame (bad magic)")
+    if flags().zero_copy:
+        # slice through a memoryview: no intermediate bytes copy of the
+        # compressed payload before zlib reads it
+        return zlib.decompress(memoryview(blob)[len(_HEADER):])
     return zlib.decompress(blob[len(_HEADER):])
 
 
@@ -45,4 +51,9 @@ def decompress_array(blob: bytes) -> np.ndarray:
     dtype = np.dtype(raw[:dtype_end].decode())
     shape_text = raw[dtype_end + 1:shape_end].decode()
     shape = tuple(int(x) for x in shape_text.split(",")) if shape_text else ()
+    if flags().zero_copy:
+        # frombuffer(offset=...) reads in place; the single .copy() below
+        # (needed for a writable result) is the only payload copy
+        array = np.frombuffer(raw, dtype=dtype, offset=shape_end + 1)
+        return array.reshape(shape).copy()
     return np.frombuffer(raw[shape_end + 1:], dtype=dtype).reshape(shape).copy()

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..fastpath import flags
+
 _MAGIC = b"NDPJ"
 _HEADER_FMT = ">4sBHHHI"  # magic, channels, height, width, pad_kb, payload_len
 
@@ -55,7 +57,10 @@ def decode_photo(blob: bytes) -> np.ndarray:
     )
     if magic != _MAGIC:
         raise CodecError("bad photo magic")
-    payload = blob[header_size:header_size + payload_len]
+    if flags().zero_copy:
+        payload = memoryview(blob)[header_size:header_size + payload_len]
+    else:
+        payload = blob[header_size:header_size + payload_len]
     raw = zlib.decompress(payload)
     pixels = np.frombuffer(raw, dtype=np.uint8).astype(np.float64) / 255.0
     expected = c * h * w
@@ -81,8 +86,31 @@ def decode_preprocessed(blob: bytes) -> np.ndarray:
     magic, c, h, w = struct.unpack(">4sBHH", blob[:header_size])
     if magic != b"NDPP":
         raise CodecError("bad preprocessed-binary magic")
-    data = np.frombuffer(blob[header_size:], dtype=np.float32)
+    if flags().zero_copy:
+        # read the payload in place; the .copy() (for writability) is the
+        # only allocation instead of slice-copy + frombuffer + copy
+        data = np.frombuffer(blob, dtype=np.float32, offset=header_size)
+    else:
+        data = np.frombuffer(blob[header_size:], dtype=np.float32)
     return data.reshape(c, h, w).copy()
+
+
+def decode_preprocessed_into(blob: bytes, out: np.ndarray) -> None:
+    """Decode one preprocessed binary directly into a preallocated slot.
+
+    The batch-decode fast path fills rows of one ``(N, C, H, W)`` array
+    with this, skipping the per-photo ``.copy()`` + ``np.stack`` of the
+    scalar path.  Byte-for-byte the same values land in ``out``.
+    """
+    header_size = struct.calcsize(">4sBHH")
+    magic, c, h, w = struct.unpack(">4sBHH", blob[:header_size])
+    if magic != b"NDPP":
+        raise CodecError("bad preprocessed-binary magic")
+    if out.shape != (c, h, w):
+        raise CodecError(
+            f"output slot {out.shape} does not match payload {(c, h, w)}")
+    data = np.frombuffer(blob, dtype=np.float32, offset=header_size)
+    out[...] = data.reshape(c, h, w)
 
 
 @dataclass(frozen=True)

@@ -278,6 +278,52 @@ class TestStatsAcrossRuns:
         assert items.value(pipeline="p", stage="noop") == 10
 
 
+class TestAbortedRunStats:
+    """Regression: an aborted ``run()`` used to fold its partial stats
+    into ``cumulative_stats`` (and the bound metrics), so the retry after
+    a failure double-counted every item the aborted run had already
+    pushed through."""
+
+    def _flaky_pipe(self, fail_on_call, metrics=None):
+        calls = {"n": 0}
+
+        def work(x):
+            calls["n"] += 1
+            if calls["n"] == fail_on_call:
+                raise RuntimeError("boom")
+            return x
+
+        return ThreadedPipeline([("work", work)], name="flaky",
+                                metrics=metrics)
+
+    def test_abort_does_not_pollute_cumulative_stats(self):
+        pipe = self._flaky_pipe(fail_on_call=3)
+        with pytest.raises(RuntimeError, match="boom"):
+            pipe.run(range(6))
+        assert pipe.cumulative_stats[0].items == 0
+        assert pipe.aborted_stats[0].items >= 2  # the pre-crash progress
+
+    def test_retry_after_abort_counts_each_item_once(self):
+        pipe = self._flaky_pipe(fail_on_call=3)
+        with pytest.raises(RuntimeError):
+            pipe.run(range(6))
+        assert pipe.run(range(6)) == list(range(6))
+        # the retried run contributes exactly its 6 items; the aborted
+        # run's partial progress stays out of the lifetime view
+        assert pipe.cumulative_stats[0].items == 6
+
+    def test_metrics_skip_aborted_runs(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        pipe = self._flaky_pipe(fail_on_call=3, metrics=reg)
+        with pytest.raises(RuntimeError):
+            pipe.run(range(6))
+        pipe.run(range(6))
+        items = reg.get("npe_stage_items_total")
+        assert items.value(pipeline="flaky", stage="work") == 6
+
+
 class TestSharedCpuStage:
     """Regression: throughput took max() over subtasks, but Preproc and
     Decomp share the CPU stage — the bottleneck is their sum."""

@@ -1,0 +1,221 @@
+"""Bit-exactness of every vectorized hot path against its scalar reference.
+
+The fast paths behind :mod:`repro.fastpath` are only admissible because
+they change *how fast* numbers are produced, never *which* numbers.
+These property tests sweep seeded shape/dtype/stride/padding/group
+grids and demand exact float equality — ``assert_array_equal``, not
+``allclose`` — between the scalar reference implementation and the
+vectorized one, for forward values and for every gradient.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fastpath import overrides
+from repro.nn.functional import conv2d
+from repro.nn.layers import BatchNorm2d
+from repro.nn.tensor import Tensor, no_grad
+from repro.storage.compression import compress_array, decompress_array, deflate, inflate
+from repro.storage.imageformat import (
+    decode_photo,
+    decode_preprocessed,
+    decode_preprocessed_into,
+    encode_photo,
+    encode_preprocessed,
+    preprocess,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    HAVE_HYPOTHESIS = False
+
+
+def _conv_operands(seed, dtype, groups, with_grad=True):
+    rng = np.random.default_rng(seed)
+    n, c_per, f_per, hw, k = 3, 2, 3, 7, 3
+    x = rng.standard_normal((n, c_per * groups, hw, hw)).astype(dtype)
+    w = rng.standard_normal(
+        (f_per * groups, c_per, k, k)).astype(dtype) * 0.3
+    return x, w
+
+
+def _run_conv(x, w, stride, padding, groups, vectorized, upstream):
+    with overrides(vectorized_autograd=vectorized):
+        xt = Tensor(x.copy(), requires_grad=True)
+        wt = Tensor(w.copy(), requires_grad=True)
+        out = conv2d(xt, wt, stride=stride, padding=padding, groups=groups)
+        out.backward(upstream(out.shape))
+        return out.data, xt.grad, wt.grad
+
+
+class TestConvBitIdentical:
+    """The batched-matmul conv == the per-group scalar conv, bit for bit."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("groups", [1, 2, 3])
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_forward_and_gradients(self, dtype, groups, stride, padding):
+        x, w = _conv_operands(11, dtype, groups)
+        g_rng = np.random.default_rng(12)
+        cache = {}
+
+        def upstream(shape):
+            # the same upstream gradient must reach both implementations
+            if shape not in cache:
+                cache[shape] = g_rng.standard_normal(shape).astype(x.dtype)
+            return cache[shape]
+
+        out_s, dx_s, dw_s = _run_conv(x, w, stride, padding, groups,
+                                      vectorized=False, upstream=upstream)
+        out_v, dx_v, dw_v = _run_conv(x, w, stride, padding, groups,
+                                      vectorized=True, upstream=upstream)
+        np.testing.assert_array_equal(out_s, out_v)
+        np.testing.assert_array_equal(dx_s, dx_v)
+        np.testing.assert_array_equal(dw_s, dw_v)
+        assert out_v.dtype == dtype and dx_v.dtype == dtype
+
+    def test_seeded_shape_sweep(self):
+        """Random small shapes, both dtypes, forward exactness."""
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            n = int(rng.integers(1, 4))
+            groups = int(rng.choice([1, 2]))
+            c_per = int(rng.integers(1, 4))
+            f_per = int(rng.integers(1, 4))
+            hw = int(rng.integers(4, 9))
+            k = int(rng.choice([1, 3]))
+            dtype = [np.float64, np.float32][trial % 2]
+            x = rng.standard_normal(
+                (n, c_per * groups, hw, hw)).astype(dtype)
+            w = rng.standard_normal(
+                (f_per * groups, c_per, k, k)).astype(dtype)
+            with overrides(vectorized_autograd=False):
+                ref = conv2d(Tensor(x), Tensor(w), padding=1,
+                             groups=groups).data
+            with overrides(vectorized_autograd=True):
+                vec = conv2d(Tensor(x), Tensor(w), padding=1,
+                             groups=groups).data
+            np.testing.assert_array_equal(ref, vec)
+
+
+class TestBatchNormEvalFastPath:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_eval_forward_bit_identical(self, dtype):
+        rng = np.random.default_rng(5)
+        bn = BatchNorm2d(6)
+        bn._buffers["running_mean"] = rng.standard_normal(6)
+        bn._buffers["running_var"] = rng.uniform(0.2, 2.0, 6)
+        bn.gamma.data = rng.standard_normal(6)
+        bn.beta.data = rng.standard_normal(6)
+        bn.eval()
+        x = rng.standard_normal((4, 6, 5, 5)).astype(dtype)
+        with no_grad():
+            with overrides(vectorized_autograd=False):
+                ref = bn(Tensor(x)).data
+            with overrides(vectorized_autograd=True):
+                fast = bn(Tensor(x)).data
+        np.testing.assert_array_equal(ref, fast)
+
+    def test_fast_path_keeps_parameter_gradients(self):
+        """The raw-numpy path must not engage while gradients are on —
+        gamma/beta still train even when the input itself is frozen."""
+        rng = np.random.default_rng(6)
+        bn = BatchNorm2d(3)
+        bn.eval()
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)))  # requires_grad=False
+        with overrides(vectorized_autograd=True):
+            out = bn(x)
+            out.sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+
+class TestPreprocessBatching:
+    def test_batched_equals_per_sample(self):
+        rng = np.random.default_rng(7)
+        batch = rng.uniform(0, 1, (5, 16, 16, 3)).astype(np.float32)
+        with overrides(vectorized_preprocess=True):
+            whole = preprocess(batch)
+        with overrides(vectorized_preprocess=False):
+            singles = np.stack([preprocess(img) for img in batch])
+        np.testing.assert_array_equal(whole, singles)
+        assert whole.dtype == np.float32
+
+
+class TestCodecZeroCopy:
+    def _photo(self, seed=8):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(0, 1, (16, 16, 3)).astype(np.float32)
+
+    def test_decode_photo_identical(self):
+        blob = encode_photo(self._photo())
+        with overrides(zero_copy=False):
+            ref = decode_photo(blob)
+        with overrides(zero_copy=True):
+            fast = decode_photo(blob)
+        np.testing.assert_array_equal(ref, fast)
+
+    def test_decode_preprocessed_identical_and_writable(self):
+        tensor = preprocess(self._photo()).transpose(2, 0, 1)
+        blob = encode_preprocessed(tensor)
+        with overrides(zero_copy=False):
+            ref = decode_preprocessed(blob)
+        with overrides(zero_copy=True):
+            fast = decode_preprocessed(blob)
+        np.testing.assert_array_equal(ref, fast)
+        fast[0, 0, 0] = 42.0  # zero-copy decode still hands back owned memory
+
+    def test_decode_into_matches_decode(self):
+        tensor = preprocess(self._photo()).transpose(2, 0, 1)
+        blob = encode_preprocessed(tensor)
+        out = np.empty_like(tensor)
+        decode_preprocessed_into(inflate(deflate(blob)), out)
+        np.testing.assert_array_equal(out, decode_preprocessed(blob))
+
+    def test_inflate_and_array_roundtrip_identical(self):
+        rng = np.random.default_rng(9)
+        arr = rng.standard_normal((5, 7)).astype(np.float32)
+        blob = compress_array(arr)
+        payload = deflate(b"some raw bytes" * 20)
+        with overrides(zero_copy=False):
+            ref_arr = decompress_array(blob)
+            ref_raw = inflate(payload)
+        with overrides(zero_copy=True):
+            fast_arr = decompress_array(blob)
+            fast_raw = inflate(payload)
+        np.testing.assert_array_equal(ref_arr, fast_arr)
+        assert ref_raw == fast_raw
+        fast_arr[0, 0] = 1.0  # decompressed array is writable
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 4),
+        f=st.integers(1, 4),
+        hw=st.integers(3, 8),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+        seed=st.integers(0, 2**16),
+        use_f32=st.booleans(),
+    )
+    def test_conv_forward_property(n, c, f, hw, stride, padding, seed,
+                                   use_f32):
+        """Hypothesis: any small conv agrees exactly across both paths."""
+        dtype = np.float32 if use_f32 else np.float64
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c, hw, hw)).astype(dtype)
+        w = rng.standard_normal((f, c, 3, 3)).astype(dtype)
+        with overrides(vectorized_autograd=False):
+            ref = conv2d(Tensor(x), Tensor(w), stride=stride,
+                         padding=padding).data
+        with overrides(vectorized_autograd=True):
+            vec = conv2d(Tensor(x), Tensor(w), stride=stride,
+                         padding=padding).data
+        np.testing.assert_array_equal(ref, vec)

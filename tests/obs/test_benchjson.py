@@ -41,6 +41,28 @@ class TestPayload:
             bench_payload("b", [("x", 1, "count")])
 
 
+class TestDirections:
+    def test_direction_serialised_and_loaded(self, tmp_path):
+        results = [
+            BenchResult("ips", 94.0, "images/s",
+                        direction="higher_is_better"),
+            BenchResult("note", 1.0, "x"),  # informational
+        ]
+        path = write_bench_json(tmp_path, "b", results)
+        loaded = load_bench_json(path)
+        assert loaded == results
+        assert loaded[0].direction == "higher_is_better"
+        assert loaded[1].direction is None
+
+    def test_direction_omitted_from_json_when_none(self, tmp_path):
+        path = write_bench_json(tmp_path, "b", [BenchResult("x", 1, "n")])
+        assert "direction" not in json.loads(path.read_text())["results"][0]
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            BenchResult("x", 1, "n", direction="bigger_is_nicer")
+
+
 class TestRoundTrip:
     def test_write_and_load(self, tmp_path):
         results = [

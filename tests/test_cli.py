@@ -86,3 +86,44 @@ class TestObservabilityCommands:
         names = {e["name"] for e in payload["traceEvents"]}
         assert {"cluster.ingest", "cluster.finetune",
                 "cluster.offline_relabel"} <= names
+
+
+class TestPerfCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.scale == "smoke"
+        assert args.tolerance == 0.15
+        assert args.attempts == 3
+        assert args.baseline_dir == "benchmarks/results"
+        assert not args.check and not args.bless
+
+    def test_bless_and_check_are_exclusive(self, capsys):
+        assert main(["perf", "--bless", "--check"]) == 2
+
+    def test_bless_records_baselines(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "results"
+        assert main(["perf", "--scenario", "ingest", "--bless",
+                     "--baseline-dir", str(base)]) == 0
+        payload = json.loads((base / "BENCH_ingest.json").read_text())
+        assert payload["schema_version"] == 2
+        assert payload["config"]["scale"] == "smoke"
+        out = capsys.readouterr().out
+        assert "ingest_speed_factor" in out
+
+    def test_check_gates_against_blessed_baselines(self, tmp_path, capsys):
+        base = tmp_path / "results"
+        assert main(["perf", "--scenario", "ingest", "--bless",
+                     "--baseline-dir", str(base)]) == 0
+        capsys.readouterr()
+        # generous tolerance: this is a plumbing test, not a perf test
+        assert main(["perf", "--scenario", "ingest", "--check",
+                     "--tolerance", "2.0",
+                     "--baseline-dir", str(base)]) == 0
+        assert "perf gate" in capsys.readouterr().out
+
+    def test_check_without_baselines_errors(self, tmp_path, capsys):
+        assert main(["perf", "--scenario", "ingest", "--check",
+                     "--baseline-dir", str(tmp_path / "void")]) == 2
+        assert "no committed baseline" in capsys.readouterr().err

@@ -8,12 +8,15 @@ fine-tune produces the same classifier weights as a single-host
 fine-tune on the same data, to floating-point equality.
 """
 
+import zlib
+
 import numpy as np
 import pytest
 
 from repro.core.cluster import NDPipeCluster
 from repro.core.ftdmp import FTDMPTrainer
 from repro.data.loader import normalize_images
+from repro.fastpath import overrides, scalar_mode
 from repro.models.registry import tiny_model
 from repro.storage.imageformat import preprocess
 from repro.train.fulltrain import full_train
@@ -115,6 +118,67 @@ class TestDistributedEqualsCentralised:
                                           rng=np.random.default_rng(99))
             results.append(cluster.evaluate(x_test, y_test)[0])
         assert abs(results[0] - results[1]) < 0.08
+
+    def _fastpath_lifecycle(self, state, x, y):
+        """One seeded ingest + finetune under whatever flags are active."""
+        cluster = NDPipeCluster(lambda: make_model(state), num_stores=2,
+                                nominal_raw_bytes=4096, lr=LR,
+                                batch_size=BATCH, seed=SEED)
+        cluster.ingest(x, train_labels=y)
+        cluster.finetune(epochs=2)
+        return cluster
+
+    def test_vectorized_lifecycle_matches_scalar_weights(self, setup):
+        """ISSUE 6 lockdown: the fully vectorized ingest + finetune learns
+        the exact same classifier the historical scalar paths learned."""
+        world, state, x, y = setup
+        with scalar_mode():
+            scalar = self._fastpath_lifecycle(state, x, y)
+        with overrides():  # all fast paths on (the defaults)
+            vector = self._fastpath_lifecycle(state, x, y)
+        s_clf = scalar.tuner.model.classifier.state_dict()
+        v_clf = vector.tuner.model.classifier.state_dict()
+        for key in s_clf:
+            np.testing.assert_array_equal(s_clf[key], v_clf[key],
+                                          err_msg=key)
+        # the byte accounting is identical too: vectorization moves the
+        # same photos, features, and deltas over the fabric
+        assert scalar.traffic_summary() == vector.traffic_summary()
+
+    def test_golden_checkpoint_crc_survives_vectorization(self, setup):
+        """Golden-output test: with the ingest *schedule* held fixed
+        (``batched_ingest`` on in both runs), toggling every bit-neutral
+        fast path — vectorized preprocess/autograd, batch decode,
+        zero-copy — yields a byte-identical cluster checkpoint.  CRCs of
+        the blobs are compared first for a readable failure, then the
+        full bytes."""
+        world, state, x, y = setup
+        with overrides(vectorized_preprocess=False,
+                       vectorized_autograd=False, batch_decode=False,
+                       zero_copy=False):
+            reference = self._fastpath_lifecycle(state, x, y).checkpoint()
+        with overrides():
+            vectorized = self._fastpath_lifecycle(state, x, y).checkpoint()
+        assert zlib.crc32(reference) == zlib.crc32(vectorized)
+        assert reference == vectorized
+
+    def test_batched_ingest_same_labels_close_confidences(self, setup):
+        """``batched_ingest`` is a scheduling change, not bit-neutral:
+        labels (argmax) must agree exactly, confidences only to float
+        tolerance (batch-N GEMM reduces differently than N batch-1)."""
+        world, state, x, y = setup
+        with overrides(batched_ingest=False):
+            single = self._fastpath_lifecycle(state, x, y)
+        with overrides(batched_ingest=True):
+            batched = self._fastpath_lifecycle(state, x, y)
+        ids = sorted(single.database._records)
+        assert ids == sorted(batched.database._records)
+        for pid in ids:
+            a, b = single.database.lookup(pid), batched.database.lookup(pid)
+            assert a.label == b.label, pid
+            assert a.location == b.location, pid
+            np.testing.assert_allclose(a.confidence, b.confidence,
+                                       rtol=1e-9, atol=1e-12)
 
     def test_features_are_deterministic_across_replicas(self, setup):
         world, state, x, y = setup
