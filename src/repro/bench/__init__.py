@@ -22,12 +22,14 @@ from .harness import (
     bless_harness,
     run_harness,
     serving_payload,
+    serving_stream_payload,
     write_results,
 )
 
 __all__ = [
     "HarnessScale", "SCALES", "SCENARIOS",
-    "run_harness", "bless_harness", "serving_payload", "write_results",
+    "run_harness", "bless_harness", "serving_payload",
+    "serving_stream_payload", "write_results",
     "GateError", "GateFinding", "DEFAULT_TOLERANCE",
     "compare_payloads", "gate_directories", "render_findings",
 ]

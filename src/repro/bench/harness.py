@@ -51,12 +51,17 @@ from ..data.drift import DriftingPhotoWorld, WorldConfig
 from ..models.registry import tiny_model
 from ..obs.benchjson import BenchResult, bench_payload, write_bench_json
 from ..obs.tracing import wall_clock
-from ..serving.bench import BENCH_DEFAULTS, run_serving_comparison
+from ..serving.bench import (
+    BENCH_DEFAULTS,
+    STREAM_BENCH_DEFAULTS,
+    run_serving_comparison,
+    run_streaming_bench,
+)
 
 __all__ = [
     "HarnessScale", "SCALES", "SCENARIOS",
     "run_harness", "bless_harness", "write_results", "serving_payload",
-    "machine_calibration_s",
+    "serving_stream_payload", "machine_calibration_s",
 ]
 
 HIGHER = "higher_is_better"
@@ -152,7 +157,7 @@ SCALES: Dict[str, HarnessScale] = {
                           relabel_repeats=4),
 }
 
-SCENARIOS = ("ingest", "finetune", "relabel", "serving")
+SCENARIOS = ("ingest", "finetune", "relabel", "serving", "serving_stream")
 
 
 def _percentile(samples: Sequence[float], q: float) -> float:
@@ -356,6 +361,74 @@ def serving_payload(result: Dict) -> Dict:
         "model": result["config"]["model"],
         "accelerator": result["config"]["accelerator"],
         "replicas": result["config"]["replicas"],
+        # accounting fix (PR 7): makespan is the last batch's completion
+        # time, not its start time — throughput_rps dropped accordingly
+        "makespan_accounting": "t_done",
+    })
+
+
+def serving_stream_payload(result: Dict) -> Dict:
+    """The canonical BENCH_serving_stream payload for one streaming run.
+
+    Shared by the harness and ``benchmarks/bench_serving_stream.py``.
+    The streaming bench runs entirely on the logical clock, so *every*
+    number is deterministic: counters gate ``exact`` (including the
+    ``queue_full == 0`` protocol guarantee), rates and latencies gate
+    directionally.
+    """
+    s = result["streaming"]
+    sync = result["sync"]
+    rows: List[BenchResult] = [
+        BenchResult("stream_throughput_rps", s["throughput_rps"],
+                    "requests/s", direction=HIGHER),
+        BenchResult("stream_p50_latency_s", s["p50_latency_s"], "s",
+                    direction=LOWER),
+        BenchResult("stream_p99_latency_s", s["p99_latency_s"], "s",
+                    direction=LOWER),
+        BenchResult("stream_p99_credit_wait_s", s["p99_credit_wait_s"], "s",
+                    direction=LOWER),
+        BenchResult("stream_completed", s["completed"], "requests",
+                    direction=EXACT),
+        BenchResult("stream_cancelled", s["cancelled"], "requests",
+                    direction=EXACT),
+        BenchResult("stream_expired", s["expired"], "requests",
+                    direction=EXACT),
+        # the protocol guarantee the gate pins at zero forever
+        BenchResult("stream_queue_full", s["queue_full"], "requests",
+                    direction=EXACT),
+        BenchResult("stream_out_of_order", s["out_of_order"], "completions",
+                    direction=EXACT),
+        BenchResult("stream_redispatches", s["redispatches"], "requests",
+                    direction=EXACT),
+        BenchResult("stream_scale_ups", s["scale_ups"], "events",
+                    direction=EXACT),
+        BenchResult("stream_scale_downs", s["scale_downs"], "events",
+                    direction=EXACT),
+        BenchResult("stream_peak_replicas", s["peak_replicas"], "replicas",
+                    direction=EXACT),
+        BenchResult("stream_mean_batch", s["mean_batch"], "images"),
+        # the synchronous PR 5 front end on the same trace: it must shed
+        # where the credit window merely delays
+        BenchResult("sync_completed", sync["completed"], "requests",
+                    direction=EXACT),
+        BenchResult("sync_queue_full", sync["shed"]["queue_full"],
+                    "requests", direction=EXACT),
+        BenchResult("sync_throughput_rps", sync["throughput_rps"],
+                    "requests/s"),
+    ]
+    return bench_payload("BENCH_serving_stream", rows, config={
+        **{k: STREAM_BENCH_DEFAULTS[k]
+           for k in ("num_requests", "pool_size", "skew", "base_rps",
+                     "flash_rps", "flash_start_s", "flash_duration_s")},
+        "seed": result["seed"],
+        "trace": result["trace"],
+        "latency_budget_s": result["latency_budget_s"],
+        "model": result["config"]["model"],
+        "accelerator": result["config"]["accelerator"],
+        "replicas": result["config"]["replicas"],
+        "credits": result["stream_config"]["credits"],
+        "min_replicas": result["stream_config"]["min_replicas"],
+        "max_replicas": result["stream_config"]["max_replicas"],
     })
 
 
@@ -373,6 +446,9 @@ def run_harness(scale: HarnessScale, seed: int = 0,
     if "serving" in wanted:
         payloads["BENCH_serving"] = serving_payload(
             run_serving_comparison(seed=seed))
+    if "serving_stream" in wanted:
+        payloads["BENCH_serving_stream"] = serving_stream_payload(
+            run_streaming_bench(seed=seed))
     return payloads
 
 

@@ -524,6 +524,58 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_stream(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .serving.bench import run_streaming_bench
+    from .serving.config import ServingConfig, StreamConfig
+
+    config = ServingConfig(replicas=args.replicas, slo_s=args.slo,
+                           deadline_s=args.deadline, seed=args.seed)
+    stream = StreamConfig(credits=args.credits,
+                          min_replicas=args.replicas,
+                          max_replicas=args.max_replicas,
+                          autoscale=not args.no_autoscale)
+    result = run_streaming_bench(
+        seed=args.seed, trace=args.trace, num_requests=args.requests,
+        config=config, stream=stream,
+    )
+    if args.format == "json":
+        _emit(json.dumps(result, indent=2), args.out)
+        return 0
+    s, sync = result["streaming"], result["sync"]
+    rows = [
+        ["streaming", s["offered"], s["completed"],
+         s["cancelled"] + s["expired"], s["queue_full"],
+         f"{s['throughput_rps']:.0f}",
+         f"{s['p50_latency_s'] * 1e3:.1f}",
+         f"{s['p99_latency_s'] * 1e3:.1f}",
+         f"{s['mean_batch']:.1f}"],
+        ["sync", sync["offered"], sync["completed"],
+         sync["shed"]["deadline"], sync["shed"]["queue_full"],
+         f"{sync['throughput_rps']:.0f}",
+         f"{sync['p50_latency_s'] * 1e3:.1f}",
+         f"{sync['p99_latency_s'] * 1e3:.1f}",
+         f"{sync['mean_batch']:.1f}"],
+    ]
+    _emit("\n".join([
+        format_table(
+            ["frontend", "offered", "completed", "late/expired",
+             "queue_full", "rps", "p50 (ms)", "p99 (ms)", "mean batch"],
+            rows,
+            title=(f"serve-stream [{result['trace']}] "
+                   f"budget {result['latency_budget_s'] * 1e3:.0f} ms"),
+        ),
+        "",
+        f"out-of-order completions: {s['out_of_order']}  "
+        f"redispatches: {s['redispatches']}",
+        f"replicas: {result['config']['replicas']} -> "
+        f"{s['final_replicas']} (peak {s['peak_replicas']}, "
+        f"+{s['scale_ups']}/-{s['scale_downs']})  "
+        f"p99 credit wait: {s['p99_credit_wait_s'] * 1e3:.1f} ms",
+    ]), args.out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="NDPipe reproduction CLI",
@@ -613,13 +665,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_flags(serve)
     serve.set_defaults(func=_cmd_serve_bench)
 
+    serve_stream = sub.add_parser(
+        "serve-stream",
+        help="benchmark the streaming credit-window protocol vs the "
+             "synchronous front end on a bursty trace")
+    serve_stream.add_argument("--trace",
+                              choices=("flash", "diurnal", "poisson"),
+                              default="flash",
+                              help="arrival-trace shape (default flash)")
+    serve_stream.add_argument("--requests", type=int, default=800,
+                              help="requests in the trace (default 800)")
+    serve_stream.add_argument("--replicas", type=int, default=1,
+                              help="starting (and minimum) replica count")
+    serve_stream.add_argument("--max-replicas", type=int, default=6,
+                              help="autoscaler ceiling (default 6)")
+    serve_stream.add_argument("--credits", type=int, default=256,
+                              help="client send-credit window (default 256)")
+    serve_stream.add_argument("--slo", type=float, default=0.1,
+                              help="latency SLO in seconds (default 0.1)")
+    serve_stream.add_argument("--deadline", type=float, default=1.0,
+                              help="per-request deadline in seconds "
+                                   "(default 1.0)")
+    serve_stream.add_argument("--no-autoscale", action="store_true",
+                              help="pin the replica set (no elasticity)")
+    _add_common_flags(serve_stream)
+    serve_stream.set_defaults(func=_cmd_serve_stream)
+
     perf = sub.add_parser(
         "perf",
         help="run the perf-trajectory harness; --check gates against the "
              "committed baselines, --bless re-records them")
     perf.add_argument("--scenario", action="append",
-                      choices=("ingest", "finetune", "relabel", "serving"),
-                      help="scenario to run (repeatable; default: all four)")
+                      choices=("ingest", "finetune", "relabel", "serving",
+                               "serving_stream"),
+                      help="scenario to run (repeatable; default: all five)")
     perf.add_argument("--scale", choices=("smoke", "fast", "paper"),
                       default="smoke",
                       help="harness size (default smoke — the scale the "

@@ -39,7 +39,7 @@ def content_key(pixels: np.ndarray) -> str:
 
 
 @guarded_by("_lock", "_entries", "_resident_bytes", "_hits", "_misses",
-            "_evictions")
+            "_evictions", "_rejected_oversize")
 class TensorCache:
     """LRU cache of deflate-compressed preprocessed tensors."""
 
@@ -59,6 +59,7 @@ class TensorCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._rejected_oversize = 0
 
     def lookup(self, pixels: np.ndarray,
                ) -> Tuple[str, Optional[np.ndarray], int]:
@@ -81,9 +82,12 @@ class TensorCache:
     def insert(self, key: str, tensor: np.ndarray) -> int:
         """Store a freshly preprocessed tensor; returns its blob size."""
         blob = compress_array(tensor, level=self.compression_level)
-        if len(blob) > self.capacity_bytes:
-            return len(blob)  # would evict everything and still not fit
         with self._lock:
+            if len(blob) > self.capacity_bytes:
+                # would evict everything and still not fit; count it so a
+                # never-cacheable photo re-preprocessed forever is visible
+                self._rejected_oversize += 1
+                return len(blob)
             old = self._entries.pop(key, None)
             if old is not None:
                 self._resident_bytes -= len(old)
@@ -116,4 +120,5 @@ class TensorCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "rejected_oversize": self._rejected_oversize,
             }

@@ -24,7 +24,7 @@ from ..sim.specs import (
     TESLA_V100,
 )
 
-__all__ = ["ServingConfig", "ACCELERATORS"]
+__all__ = ["ServingConfig", "StreamConfig", "ACCELERATORS"]
 
 #: accelerators the serving layer can model, by catalog name
 ACCELERATORS: Dict[str, AcceleratorSpec] = {
@@ -156,3 +156,74 @@ class ServingConfig:
     @classmethod
     def field_names(cls) -> frozenset:
         return frozenset(f.name for f in cls.__dataclass_fields__.values())
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of the streaming protocol layered on a ServingConfig.
+
+    Covers the credit window (backpressure), and the elasticity
+    controller bounds/policy.  Batching, SLO, cache, and dispatch knobs
+    stay on :class:`ServingConfig` — a StreamConfig only adds what the
+    asynchronous protocol introduces.
+    """
+
+    #: send credits granted to the client population; the server never
+    #: holds more than this many unresolved requests, and arrivals
+    #: beyond it wait client-side instead of being shed
+    credits: int = 256
+    #: replica-set bounds for the elasticity controller
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: grow/shrink the replica set from SLO headroom (False = static set)
+    autoscale: bool = True
+    #: scale up when the windowed median worst-batch latency exceeds
+    #: ``slo_s * scale_up_headroom``
+    scale_up_headroom: float = 1.0
+    #: scale down when every latency in the window sits under
+    #: ``slo_s * scale_down_headroom``
+    scale_down_headroom: float = 0.4
+    #: batches of signal required before the autoscaler may act
+    window: int = 8
+    #: batches that must pass between two scaling actions
+    cooldown: int = 16
+
+    def validated(self) -> "StreamConfig":
+        """Return self after checking every field; raises ``ValueError``."""
+        if self.credits < 1:
+            raise ValueError(f"credits must be >= 1, got {self.credits}")
+        if self.min_replicas < 1:
+            raise ValueError(
+                f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas {self.max_replicas} must be >= min_replicas "
+                f"{self.min_replicas}")
+        if not math.isfinite(self.scale_up_headroom) or \
+                self.scale_up_headroom <= 0:
+            raise ValueError(
+                f"scale_up_headroom must be positive, got "
+                f"{self.scale_up_headroom}")
+        if not 0.0 < self.scale_down_headroom < self.scale_up_headroom:
+            raise ValueError(
+                f"scale_down_headroom must be in (0, scale_up_headroom), "
+                f"got {self.scale_down_headroom}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+        return self
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StreamConfig":
+        """Build and validate a config from a plain dict (strict keys)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown StreamConfig fields {unknown}; known fields: "
+                f"{sorted(known)}")
+        return cls(**data).validated()

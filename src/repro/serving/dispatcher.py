@@ -14,7 +14,7 @@ delayed — chaos tests cover the serving path like every other flow.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,7 +47,11 @@ class ReplicaDispatcher:
         self._free_at = [0.0] * len(self.replicas)
         self.batches_dispatched = 0
         self.batches_failed = 0
+        #: modelled work only: service + wire seconds of delivered batches
         self.busy_s = 0.0
+        #: waiting, not working: retry backoff, injected fault latency,
+        #: and the failure path's lost time
+        self.stalled_s = 0.0
 
     # -- timeline -----------------------------------------------------------
     def earliest_free_s(self) -> float:
@@ -55,6 +59,32 @@ class ReplicaDispatcher:
 
     def _pick_replica(self) -> int:
         return min(range(len(self._free_at)), key=self._free_at.__getitem__)
+
+    # -- elasticity ---------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    def add_replica(self, replica, now_s: float) -> None:
+        """Grow the fleet: the new replica is free from ``now_s`` on."""
+        self.replicas.append(replica)
+        self._free_at.append(now_s)
+
+    def remove_idle_replica(self, now_s: float) -> Optional[str]:
+        """Retire one idle replica (highest index first, deterministic).
+
+        Returns the retired replica's name, or ``None`` when every
+        replica is busy or only one remains — the caller decides whether
+        to retry later.  Busy replicas are never interrupted.
+        """
+        if len(self.replicas) <= 1:
+            return None
+        for index in range(len(self.replicas) - 1, -1, -1):
+            if self._free_at[index] <= now_s:
+                replica = self.replicas.pop(index)
+                del self._free_at[index]
+                return replica.name
+        return None
 
     # -- the calibrated service model ---------------------------------------
     def min_service_s(self) -> float:
@@ -110,19 +140,22 @@ class ReplicaDispatcher:
         except TransientFaultError:
             self.batches_failed += 1
             # the replica was tied up for the retries and backoff even
-            # though no inference happened
-            lost_s = (self.retry.backoff_s - backoff_before) + (
-                self.network.injected_latency_s - injected_before)
-            self._free_at[index] = t_start + max(lost_s, 1e-6)
+            # though no inference happened — waiting, not working
+            lost_s = max((self.retry.backoff_s - backoff_before)
+                         + (self.network.injected_latency_s - injected_before),
+                         1e-6)
+            self._free_at[index] = t_start + lost_s
+            self.stalled_s += lost_s
             raise
         injected_s = self.network.injected_latency_s - injected_before
+        backoff_s = self.retry.backoff_s - backoff_before
         wire_s = payload_bytes / self.network.spec.bytes_per_s
-        service_s = (self.service_s(len(batch), num_misses, hit_bytes)
-                     + wire_s + injected_s
-                     + (self.retry.backoff_s - backoff_before))
+        work_s = self.service_s(len(batch), num_misses, hit_bytes) + wire_s
+        stall_s = injected_s + backoff_s
         results = replica.classify_preprocessed(batch)
-        t_done = t_start + service_s
+        t_done = t_start + work_s + stall_s
         self._free_at[index] = t_done
         self.batches_dispatched += 1
-        self.busy_s += service_s
+        self.busy_s += work_s
+        self.stalled_s += stall_s
         return results, t_done, replica.name

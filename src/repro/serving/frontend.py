@@ -40,6 +40,7 @@ from .batcher import SloController, slo_batch_size
 from .cache import TensorCache
 from .config import ServingConfig
 from .dispatcher import ReplicaDispatcher
+from .metrics import ServingMetrics
 
 __all__ = ["ServeOutcome", "ServingReport", "ServingFrontend",
            "SHED_REASONS"]
@@ -78,6 +79,7 @@ class ServingReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_rejected_oversize: int = 0
     final_batch_target: int = 0
     completed_requests: List[ServeOutcome] = field(default_factory=list)
 
@@ -130,6 +132,7 @@ class ServingReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "cache_rejected_oversize": self.cache_rejected_oversize,
         }
 
 
@@ -166,35 +169,9 @@ class ServingFrontend:
             max_batch=self.config.max_batch, initial_batch=initial,
             headroom=self.config.slo_headroom,
             additive_step=self.config.additive_step)
-        self._m_offered = self.metrics.counter(
-            "serving_requests_offered_total",
-            "requests offered to the serving front end")
-        self._m_completed = self.metrics.counter(
-            "serving_requests_completed_total",
-            "requests classified and answered in time")
-        self._m_shed = self.metrics.counter(
-            "serving_requests_shed_total",
-            "requests shed by admission control", label_names=("reason",))
-        self._m_depth = self.metrics.gauge(
-            "serving_queue_depth", "admission-queue depth after each batch")
-        self._m_batch = self.metrics.histogram(
-            "serving_batch_size", "dispatched micro-batch sizes",
-            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
-        self._m_latency = self.metrics.histogram(
-            "serving_latency_seconds", "request latency, arrival to answer")
-        self._m_hits = self.metrics.counter(
-            "serving_cache_hits_total", "preprocessed-tensor cache hits")
-        self._m_misses = self.metrics.counter(
-            "serving_cache_misses_total",
-            "cache misses paying host preprocessing")
-        self._m_evictions = self.metrics.counter(
-            "serving_cache_evictions_total",
-            "cache entries evicted by the LRU byte budget")
-        self._m_batches = self.metrics.counter(
-            "serving_batches_dispatched_total",
-            "micro-batches dispatched per replica",
-            label_names=("replica",))
+        self.m = ServingMetrics(self.metrics)
         self._evictions_seen = 0
+        self._rejected_seen = 0
 
     # -- the deterministic event loop ---------------------------------------
     def serve(self, requests: Sequence[ServeRequest],
@@ -202,12 +179,13 @@ class ServingFrontend:
         """Play an arrival trace to completion; returns the report."""
         arrivals = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         report = ServingReport(offered=len(arrivals))
-        self._m_offered.inc(len(arrivals))
+        self.m.offered.inc(len(arrivals))
         queue = AdmissionQueue(self.config.queue_capacity,
                                self.config.effective_deadline_s)
         min_service_s = self.dispatcher.min_service_s()
         next_arrival = 0
         now_s = 0.0
+        last_done_s = 0.0
         batch_index = 0
         with self.tracer.span("serving.serve", offered=len(arrivals)):
             while next_arrival < len(arrivals) or queue.depth() > 0:
@@ -227,20 +205,27 @@ class ServingFrontend:
                 if not ready:
                     continue
                 batch_index += 1
-                self._run_batch(ready, t_start, batch_index, report,
-                                collect_tensors)
-                self._m_depth.set(queue.depth())
-        report.makespan_s = now_s
+                t_done = self._run_batch(ready, t_start, batch_index, report,
+                                         collect_tensors)
+                if t_done is not None:
+                    # replicas finish out of step, so the last completion
+                    # is a max over batches, not the final t_done
+                    last_done_s = max(last_done_s, t_done)
+                self.m.queue_depth.set(queue.depth())
+        # the run ends when the last batch *finishes*, not when it starts
+        report.makespan_s = last_done_s
         stats = self.cache.stats()
         report.cache_hits = stats["hits"]
         report.cache_misses = stats["misses"]
         report.cache_evictions = stats["evictions"]
+        report.cache_rejected_oversize = stats["rejected_oversize"]
         report.final_batch_target = self.controller.batch_size
         return report
 
     def _run_batch(self, ready: List[ServeRequest], t_start: float,
                    batch_index: int, report: ServingReport,
-                   collect_tensors: bool) -> None:
+                   collect_tensors: bool) -> Optional[float]:
+        """Serve one batch; returns its ``t_done`` (None when shed)."""
         tensors: List[np.ndarray] = []
         hits: List[bool] = []
         num_misses = 0
@@ -265,10 +250,10 @@ class ServingFrontend:
         except TransientFaultError:
             for _ in ready:
                 self._shed(report, "dispatch_failed")
-            return
+            return None
         report.batch_sizes.append(len(ready))
-        self._m_batch.observe(len(ready))
-        self._m_batches.inc(replica=replica)
+        self.m.batch.observe(len(ready))
+        self.m.batches.inc(replica=replica)
         worst_latency_s = 0.0
         for row, request in enumerate(ready):
             label, confidence = results[row]
@@ -276,8 +261,8 @@ class ServingFrontend:
             worst_latency_s = max(worst_latency_s, latency_s)
             report.latencies_s.append(latency_s)
             report.completed += 1
-            self._m_completed.inc()
-            self._m_latency.observe(latency_s)
+            self.m.completed.inc()
+            self.m.latency.observe(latency_s)
             report.completed_requests.append(ServeOutcome(
                 request=request, label=label, confidence=confidence,
                 latency_s=latency_s, batch_index=batch_index,
@@ -286,15 +271,21 @@ class ServingFrontend:
                 preprocessed=tensors[row] if collect_tensors else None))
         hit_count = sum(hits)
         if hit_count:
-            self._m_hits.inc(hit_count)
+            self.m.cache_hits.inc(hit_count)
         if num_misses:
-            self._m_misses.inc(num_misses)
-        evictions = self.cache.stats()["evictions"]
-        if evictions > self._evictions_seen:
-            self._m_evictions.inc(evictions - self._evictions_seen)
-            self._evictions_seen = evictions
+            self.m.cache_misses.inc(num_misses)
+        stats = self.cache.stats()
+        if stats["evictions"] > self._evictions_seen:
+            self.m.cache_evictions.inc(stats["evictions"]
+                                       - self._evictions_seen)
+            self._evictions_seen = stats["evictions"]
+        if stats["rejected_oversize"] > self._rejected_seen:
+            self.m.cache_rejected.inc(stats["rejected_oversize"]
+                                      - self._rejected_seen)
+            self._rejected_seen = stats["rejected_oversize"]
         self.controller.observe(worst_latency_s)
+        return t_done
 
     def _shed(self, report: ServingReport, reason: str) -> None:
         report.shed[reason] += 1
-        self._m_shed.inc(reason=reason)
+        self.m.shed.inc(reason=reason)

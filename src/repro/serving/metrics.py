@@ -1,0 +1,86 @@
+"""One registration site for every serving metric family (ND004).
+
+Both front ends — the synchronous :class:`~repro.serving.frontend.
+ServingFrontend` and the streaming :class:`~repro.serving.stream.
+StreamingFrontend` — report into the same metric families, and ND004
+requires each family to have exactly one registration call site
+repo-wide.  This module is that site: a :class:`ServingMetrics` bundle
+registers (or re-binds, via the registry's get-or-create semantics)
+every family and hands out the instrument handles.
+"""
+
+from __future__ import annotations
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["ServingMetrics"]
+
+
+class ServingMetrics:
+    """Instrument handles for the serving layer, one registry namespace.
+
+    Constructing this against the same :class:`MetricsRegistry` twice
+    returns handles to the same underlying families (registration is
+    get-or-create), so a cluster can host both front ends without
+    forking the accounting.
+    """
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.registry = metrics
+        # -- shared request accounting ----------------------------------
+        self.offered = metrics.counter(
+            "serving_requests_offered_total",
+            "requests offered to the serving front end")
+        self.completed = metrics.counter(
+            "serving_requests_completed_total",
+            "requests classified and answered in time")
+        self.shed = metrics.counter(
+            "serving_requests_shed_total",
+            "requests shed by admission control", label_names=("reason",))
+        self.queue_depth = metrics.gauge(
+            "serving_queue_depth", "admission-queue depth after each batch")
+        self.batch = metrics.histogram(
+            "serving_batch_size", "dispatched micro-batch sizes",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+        self.latency = metrics.histogram(
+            "serving_latency_seconds", "request latency, arrival to answer")
+        self.batches = metrics.counter(
+            "serving_batches_dispatched_total",
+            "micro-batches dispatched per replica",
+            label_names=("replica",))
+        # -- preprocessed-tensor cache ----------------------------------
+        self.cache_hits = metrics.counter(
+            "serving_cache_hits_total", "preprocessed-tensor cache hits")
+        self.cache_misses = metrics.counter(
+            "serving_cache_misses_total",
+            "cache misses paying host preprocessing")
+        self.cache_evictions = metrics.counter(
+            "serving_cache_evictions_total",
+            "cache entries evicted by the LRU byte budget")
+        self.cache_rejected = metrics.counter(
+            "serving_cache_rejected_total",
+            "cache inserts rejected because one blob exceeds the whole "
+            "byte budget")
+        # -- streaming protocol -----------------------------------------
+        self.stream_requests = metrics.counter(
+            "serving_stream_requests_total",
+            "streaming requests resolved, by terminal status",
+            label_names=("status",))
+        self.stream_inflight = metrics.gauge(
+            "serving_stream_inflight",
+            "streaming requests dispatched and awaiting completion")
+        self.stream_credits = metrics.gauge(
+            "serving_stream_credits_available",
+            "client send credits currently available")
+        self.stream_credit_wait = metrics.histogram(
+            "serving_stream_credit_wait_seconds",
+            "client-side wait for a send credit before submission")
+        self.stream_redispatches = metrics.counter(
+            "serving_stream_redispatches_total",
+            "requests re-queued after a failed batch dispatch")
+        # -- elasticity --------------------------------------------------
+        self.replica_count = metrics.gauge(
+            "serving_replica_count", "replicas behind the dispatcher")
+        self.scale_events = metrics.counter(
+            "serving_scale_events_total",
+            "autoscaler replica-set changes", label_names=("direction",))

@@ -1,0 +1,205 @@
+"""Streaming serving protocol: credits, statuses, outcomes, report.
+
+The streaming front end replaces the synchronous request/response loop
+with a request-id'd protocol.  Every client submission moves through a
+small state machine::
+
+    backlog -> pending -> inflight -> completed
+        \\         \\          \\-----> cancelled   (cancel latched in flight)
+         \\         \\--------------> cancelled | expired
+          \\-----------------------> cancelled
+
+``backlog`` holds submissions waiting for a send credit (client side),
+``pending`` holds credited requests queued at the server, ``inflight``
+requests ride a dispatched micro-batch.  Terminal states are exactly
+``completed``, ``cancelled``, ``expired`` — there is no shed path, so
+conservation reads ``offered == completed + cancelled + expired``.
+
+Backpressure is a fixed credit window: the invariant checked on every
+transition is ``granted == in_flight + available``.  A client may only
+submit while it holds a credit; credits replenish when the server
+resolves the request, so overload degrades to *delay* (backlog wait)
+rather than drops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "COMPLETED",
+    "CANCELLED",
+    "EXPIRED",
+    "TERMINAL_STATUSES",
+    "CreditWindow",
+    "StreamOutcome",
+    "StreamingReport",
+    "exact_percentile",
+]
+
+COMPLETED = "completed"
+CANCELLED = "cancelled"
+EXPIRED = "expired"
+TERMINAL_STATUSES = (COMPLETED, CANCELLED, EXPIRED)
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """Exact order-statistic percentile (no interpolation) so reported
+    tails are deterministic for a deterministic trace."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class CreditWindow:
+    """Fixed-size send-credit window with a checked conservation law.
+
+    ``granted`` credits exist for the lifetime of the window; at any
+    instant each one is either ``available`` to the client or pinned to
+    an ``in_flight`` request (pending or dispatched).  Every transition
+    re-checks ``granted == in_flight + available`` and raises if the
+    books ever disagree — a lost or double-spent credit is a protocol
+    bug, not a tolerable drift.
+    """
+
+    def __init__(self, granted: int):
+        if granted < 1:
+            raise ValueError(f"granted credits must be >= 1, got {granted}")
+        self.granted = int(granted)
+        self.available = int(granted)
+        self.in_flight = 0
+
+    def acquire(self) -> bool:
+        """Take one credit; ``False`` (no side effect) when exhausted."""
+        if self.available == 0:
+            self.check()
+            return False
+        self.available -= 1
+        self.in_flight += 1
+        self.check()
+        return True
+
+    def release(self) -> None:
+        """Return one credit on request resolution."""
+        if self.in_flight == 0:
+            raise RuntimeError("credit released without a matching acquire")
+        self.in_flight -= 1
+        self.available += 1
+        self.check()
+
+    def check(self) -> None:
+        if self.granted != self.in_flight + self.available:
+            raise RuntimeError(
+                f"credit conservation violated: granted={self.granted} != "
+                f"in_flight={self.in_flight} + available={self.available}")
+
+
+@dataclass
+class StreamOutcome:
+    """Terminal record for one request-id'd submission."""
+
+    request_id: str
+    status: str
+    t_resolved_s: float
+    label: Optional[int] = None
+    confidence: Optional[float] = None
+    latency_s: Optional[float] = None
+    replica: Optional[str] = None
+    batch_index: Optional[int] = None
+    batch_size: Optional[int] = None
+    cache_hit: Optional[bool] = None
+
+    def __post_init__(self):
+        if self.status not in TERMINAL_STATUSES:
+            raise ValueError(f"unknown terminal status {self.status!r}")
+
+
+@dataclass
+class StreamingReport:
+    """Everything one StreamingFrontend.serve() run measured."""
+
+    offered: int = 0
+    completed: int = 0
+    cancelled: int = 0
+    expired: int = 0
+    # structurally zero under credit flow — kept (and gated at zero) to
+    # prove the protocol never sheds on a full queue
+    queue_full: int = 0
+    makespan_s: float = 0.0
+    redispatches: int = 0
+    out_of_order: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    final_replicas: int = 0
+    peak_replicas: int = 0
+    final_batch_target: int = 0
+    replica_busy_s: float = 0.0
+    replica_stalled_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_rejected_oversize: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    credit_waits_s: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    completion_order: List[str] = field(default_factory=list)
+    outcomes: List[StreamOutcome] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> int:
+        return self.completed + self.cancelled + self.expired
+
+    @property
+    def conserved(self) -> bool:
+        return self.offered == self.resolved
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.completed / self.makespan_s
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def latency_percentile(self, q: float) -> float:
+        return exact_percentile(self.latencies_s, q)
+
+    def credit_wait_percentile(self, q: float) -> float:
+        return exact_percentile(self.credit_waits_s, q)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+            "queue_full": self.queue_full,
+            "conserved": self.conserved,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_latency_s": self.latency_percentile(50),
+            "p99_latency_s": self.latency_percentile(99),
+            "p99_credit_wait_s": self.credit_wait_percentile(99),
+            "mean_batch": self.mean_batch,
+            "out_of_order": self.out_of_order,
+            "redispatches": self.redispatches,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "final_replicas": self.final_replicas,
+            "peak_replicas": self.peak_replicas,
+            "final_batch_target": self.final_batch_target,
+            "replica_busy_s": self.replica_busy_s,
+            "replica_stalled_s": self.replica_stalled_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_rejected_oversize": self.cache_rejected_oversize,
+        }

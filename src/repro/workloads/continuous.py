@@ -10,8 +10,9 @@ label freshness, update counts, and network traffic per day.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 import numpy as np
 
@@ -104,6 +105,108 @@ def open_loop_requests(num_requests: int, rate_rps: float, seed: int = 0,
             train_label=rank % 10,
         ))
     return requests
+
+
+def _zipf_pool(pool_size: int, skew: float, image_size: int, channels: int,
+               pool_seed: int):
+    """The shared photo population: pool tensor + popularity weights."""
+    if pool_size < 1:
+        raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    pool_rng = np.random.default_rng(pool_seed)
+    pool = pool_rng.random((pool_size, channels, image_size, image_size))
+    weights = 1.0 / np.arange(1, pool_size + 1) ** skew
+    return pool, weights / weights.sum()
+
+
+def _rate_modulated_requests(num_requests: int,
+                             rate_fn: Callable[[float], float],
+                             max_rate_rps: float, seed: int,
+                             pool_size: int, skew: float, image_size: int,
+                             channels: int, pool_seed: int,
+                             id_prefix: str) -> List[ServeRequest]:
+    """Nonhomogeneous Poisson arrivals by thinning (Lewis–Shedler).
+
+    Candidate arrivals are drawn at the envelope ``max_rate_rps`` and
+    kept with probability ``rate_fn(t) / max_rate_rps`` — the standard
+    exact sampler for a time-varying Poisson process.  Pool convention
+    matches :func:`open_loop_requests` (separate ``pool_seed``, Zipf
+    popularity), so all trace shapes offer the same photo population.
+    """
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    if max_rate_rps <= 0:
+        raise ValueError(f"max_rate_rps must be > 0, got {max_rate_rps}")
+    pool, probabilities = _zipf_pool(pool_size, skew, image_size, channels,
+                                     pool_seed)
+    rng = np.random.default_rng(seed)
+    requests: List[ServeRequest] = []
+    t = 0.0
+    while len(requests) < num_requests:
+        t += float(rng.exponential(1.0 / max_rate_rps))
+        rate = rate_fn(t)
+        if not 0.0 <= rate <= max_rate_rps:
+            raise ValueError(
+                f"rate_fn({t}) = {rate} outside [0, {max_rate_rps}]")
+        if rng.random() >= rate / max_rate_rps:
+            continue
+        rank = int(rng.choice(pool_size, p=probabilities))
+        requests.append(ServeRequest(
+            request_id=f"{id_prefix}-{len(requests):06d}",
+            arrival_s=t,
+            pixels=pool[rank],
+            train_label=rank % 10,
+        ))
+    return requests
+
+
+def diurnal_requests(num_requests: int, base_rps: float, peak_rps: float,
+                     period_s: float, seed: int = 0, pool_size: int = 64,
+                     skew: float = 1.1, image_size: int = 16,
+                     channels: int = 3, pool_seed: int = 1234,
+                     ) -> List[ServeRequest]:
+    """A day-night cycle: sinusoidal rate from ``base_rps`` (trough, at
+    t=0) up to ``peak_rps`` (mid-period) with period ``period_s``.  Use a
+    short ``period_s`` to compress a simulated day into bench time."""
+    if base_rps <= 0 or peak_rps < base_rps:
+        raise ValueError(
+            f"need 0 < base_rps <= peak_rps, got {base_rps}, {peak_rps}")
+    if period_s <= 0:
+        raise ValueError(f"period_s must be > 0, got {period_s}")
+
+    def rate(t: float) -> float:
+        phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / period_s))
+        return base_rps + (peak_rps - base_rps) * phase
+
+    return _rate_modulated_requests(
+        num_requests, rate, peak_rps, seed, pool_size, skew, image_size,
+        channels, pool_seed, id_prefix="diurnal")
+
+
+def flash_crowd_requests(num_requests: int, base_rps: float,
+                         flash_rps: float, flash_start_s: float,
+                         flash_duration_s: float, seed: int = 0,
+                         pool_size: int = 64, skew: float = 1.1,
+                         image_size: int = 16, channels: int = 3,
+                         pool_seed: int = 1234) -> List[ServeRequest]:
+    """A viral burst: steady ``base_rps`` except for a window of
+    ``flash_rps`` starting at ``flash_start_s`` — the trace that sheds on
+    a hard-bounded queue and merely delays under backpressure credits."""
+    if base_rps <= 0 or flash_rps < base_rps:
+        raise ValueError(
+            f"need 0 < base_rps <= flash_rps, got {base_rps}, {flash_rps}")
+    if flash_start_s < 0 or flash_duration_s <= 0:
+        raise ValueError("flash window must start >= 0 and last > 0 seconds")
+
+    def rate(t: float) -> float:
+        if flash_start_s <= t < flash_start_s + flash_duration_s:
+            return flash_rps
+        return base_rps
+
+    return _rate_modulated_requests(
+        num_requests, rate, flash_rps, seed, pool_size, skew, image_size,
+        channels, pool_seed, id_prefix="flash")
 
 
 def run_continuous_operation(cluster: NDPipeCluster,

@@ -19,6 +19,7 @@ from repro.bench.harness import (
     machine_calibration_s,
     run_harness,
     serving_payload,
+    serving_stream_payload,
     write_results,
 )
 from repro.obs.benchjson import BenchResult, bench_payload
@@ -246,7 +247,8 @@ class TestHarnessPieces:
 
     def test_scales_registry(self):
         assert set(SCALES) == {"smoke", "fast", "paper"}
-        assert SCENARIOS == ("ingest", "finetune", "relabel", "serving")
+        assert SCENARIOS == ("ingest", "finetune", "relabel", "serving",
+                             "serving_stream")
         assert SCALES["smoke"].photos < SCALES["fast"].photos
         assert SCALES["fast"].photos < SCALES["paper"].photos
 
@@ -275,6 +277,42 @@ class TestHarnessPieces:
                       for e in payload["results"]}
         assert directions["serving_speedup"] == "higher_is_better"
         assert directions["serving_mean_batch"] is None
+
+    def test_serving_stream_payload_shape(self):
+        """serving_stream_payload pins the protocol guarantees as exact
+        gate metrics — queue_full must stay zero forever."""
+        stream_report = {
+            "throughput_rps": 1300.0, "p50_latency_s": 0.1,
+            "p99_latency_s": 0.8, "p99_credit_wait_s": 0.7,
+            "completed": 3000, "cancelled": 0, "expired": 0,
+            "queue_full": 0, "out_of_order": 79, "redispatches": 0,
+            "scale_ups": 5, "scale_downs": 0, "peak_replicas": 6,
+            "mean_batch": 1.6,
+        }
+        sync_report = {
+            "completed": 1644, "shed": {"queue_full": 1356, "deadline": 0,
+                                        "dispatch_failed": 0},
+            "throughput_rps": 728.0,
+        }
+        result = {
+            "seed": 0, "trace": "flash", "latency_budget_s": 1.0,
+            "streaming": stream_report, "sync": sync_report,
+            "config": {"model": "ResNet50", "accelerator": "Tesla V100",
+                       "replicas": 1},
+            "stream_config": {"credits": 256, "min_replicas": 1,
+                              "max_replicas": 6},
+        }
+        payload = serving_stream_payload(result)
+        assert payload["bench"] == "BENCH_serving_stream"
+        directions = {e["metric"]: e.get("direction")
+                      for e in payload["results"]}
+        assert directions["stream_queue_full"] == "exact"
+        assert directions["stream_out_of_order"] == "exact"
+        assert directions["stream_throughput_rps"] == "higher_is_better"
+        assert directions["stream_p99_credit_wait_s"] == "lower_is_better"
+        assert directions["sync_queue_full"] == "exact"
+        assert payload["config"]["trace"] == "flash"
+        assert payload["config"]["credits"] == 256
 
     def test_percentiles_match_numpy(self):
         from repro.bench.harness import _percentile

@@ -80,3 +80,21 @@ def test_take_rejects_nonpositive_max_items():
     queue = AdmissionQueue(capacity=4, deadline_s=1.0)
     with pytest.raises(ValueError):
         queue.take(0, now_s=0.0, min_service_s=0.0)
+
+
+def test_expired_behind_a_full_batch_stay_queued_unscanned():
+    """take() stops scanning once ready fills: an expired request that
+    ends up at the head stays queued for the *next* take, it is not shed
+    as a side effect of forming an unrelated batch."""
+    queue = AdmissionQueue(capacity=8, deadline_s=1.0)
+    queue.offer(_request(0, arrival_s=5.0))   # fresh
+    queue.offer(_request(1, arrival_s=5.0))   # fresh
+    queue.offer(_request(2, arrival_s=0.0))   # long expired, behind them
+    ready, expired = queue.take(2, now_s=5.0, min_service_s=0.0)
+    assert [r.request_id for r in ready] == ["req-000", "req-001"]
+    assert expired == []
+    assert queue.depth() == 1
+    ready, expired = queue.take(2, now_s=5.0, min_service_s=0.0)
+    assert ready == []
+    assert [r.request_id for r in expired] == ["req-002"]
+    assert queue.depth() == 0

@@ -85,3 +85,26 @@ def test_controller_validation():
     ctl = SloController(slo_s=0.1, min_batch=1, max_batch=8, initial_batch=4)
     with pytest.raises(ValueError):
         ctl.observe(-1.0)
+
+
+def test_controller_counters_do_not_drift_when_clamped():
+    """At min_batch a violation cannot shrink and must not count as a
+    decrease; at max_batch headroom cannot grow and must not count as an
+    increase — the counters record *actions*, not intents."""
+    ctl = SloController(slo_s=0.1, min_batch=4, max_batch=64,
+                        initial_batch=4)
+    for _ in range(5):
+        assert ctl.observe(1.0) == 4
+    assert ctl.decreases == 0 and ctl.increases == 0
+
+    ctl = SloController(slo_s=0.1, min_batch=1, max_batch=8,
+                        initial_batch=8, additive_step=4)
+    for _ in range(5):
+        assert ctl.observe(0.001) == 8
+    assert ctl.increases == 0 and ctl.decreases == 0
+
+    # one step off the clamp and the counters move again
+    ctl = SloController(slo_s=0.1, min_batch=4, max_batch=64,
+                        initial_batch=8, additive_step=4)
+    assert ctl.observe(1.0) == 4 and ctl.decreases == 1
+    assert ctl.observe(0.001) == 8 and ctl.increases == 1

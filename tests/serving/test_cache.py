@@ -98,3 +98,21 @@ def test_reinsert_same_key_does_not_double_count():
 def test_constructor_validation(kwargs):
     with pytest.raises(ValueError):
         TensorCache(**kwargs)
+
+
+def test_oversize_insert_is_rejected_and_counted():
+    cache = TensorCache(capacity_bytes=8)
+    tensor = np.random.default_rng(1).random((3, 8, 8)).astype(np.float32)
+    key, missed, _ = cache.lookup(_pixels(0))
+    assert missed is None
+    blob_bytes = cache.insert(key, tensor)
+    assert blob_bytes > 8       # the caller still learns the wire size
+    assert key not in cache     # ...but nothing was cached
+    stats = cache.stats()
+    assert stats["rejected_oversize"] == 1
+    assert stats["entries"] == 0 and stats["resident_bytes"] == 0
+    assert stats["evictions"] == 0  # rejection never evicts residents
+    # the next lookup of the same pixels is an honest miss again
+    _, again, _ = cache.lookup(_pixels(0))
+    assert again is None
+    assert cache.stats()["misses"] == 2

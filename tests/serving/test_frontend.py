@@ -170,3 +170,57 @@ def test_multi_replica_spreads_batches():
     per_replica = [batches.value(replica=f"replica-{i}") for i in range(3)]
     assert all(v > 0 for v in per_replica)
     assert sum(per_replica) == len(report.batch_sizes)
+
+
+def test_makespan_is_the_last_batch_completion():
+    """Regression: makespan_s was recorded off the last batch's t_start,
+    which collapses to the arrival time on a one-request trace."""
+    frontend = _frontend(ServingConfig(replicas=1))
+    trace = _trace(num_requests=1, rate_rps=100.0)
+    report = frontend.serve(trace)
+    assert report.completed == 1
+    arrival = trace[0].arrival_s
+    assert report.makespan_s == pytest.approx(arrival
+                                              + report.latencies_s[0])
+    assert report.makespan_s > arrival
+
+
+def test_dispatcher_splits_injected_stall_from_busy_time():
+    frontend = _frontend(ServingConfig(replicas=1))
+    FaultInjector([
+        AddLatency(at=1, seconds=0.04, count=1, kind="serve"),
+    ]).attach_fabric(frontend.network)
+    frontend.serve(_trace(num_requests=100))
+    dispatcher = frontend.dispatcher
+    # the injected fault latency is stall, not useful work
+    assert dispatcher.stalled_s == pytest.approx(0.04)
+    assert dispatcher.busy_s > 0.0
+
+
+def test_failed_dispatch_time_is_stalled_not_busy():
+    frontend = _frontend(ServingConfig(replicas=1))
+    FaultInjector([
+        DropMessages(at=1, count=4, kind="serve"),
+    ]).attach_fabric(frontend.network)
+    frontend.serve(_trace(num_requests=100))
+    dispatcher = frontend.dispatcher
+    assert dispatcher.batches_failed == 1
+    # every second the replica lost to retries/backoff is accounted as
+    # stall; busy_s only ever counts delivered work
+    assert dispatcher.stalled_s > 0.0
+    assert dispatcher.stalled_s == pytest.approx(
+        frontend.retry.backoff_s + frontend.network.injected_latency_s)
+
+
+def test_frontend_surfaces_cache_rejections():
+    # a capacity below any compressed blob rejects every insert: the
+    # cache stays empty, every request is a miss, and the rejection
+    # counter mirrors into serving_cache_rejected_total
+    frontend = _frontend(ServingConfig(replicas=1,
+                                       cache_capacity_bytes=64))
+    report = frontend.serve(_trace(num_requests=50, pool_size=8))
+    assert report.cache_hits == 0
+    assert report.cache_misses == report.completed
+    assert report.cache_rejected_oversize == report.cache_misses > 0
+    assert (frontend.metrics.get("serving_cache_rejected_total").value()
+            == report.cache_rejected_oversize)

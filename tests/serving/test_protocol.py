@@ -1,0 +1,110 @@
+"""Streaming protocol pieces: credits, outcomes, configs."""
+
+import pytest
+
+from repro.serving import StreamConfig
+from repro.serving.protocol import (
+    CANCELLED,
+    COMPLETED,
+    EXPIRED,
+    TERMINAL_STATUSES,
+    CreditWindow,
+    StreamOutcome,
+    StreamingReport,
+    exact_percentile,
+)
+
+
+class TestCreditWindow:
+    def test_acquire_release_round_trip(self):
+        window = CreditWindow(2)
+        assert window.acquire() and window.acquire()
+        assert window.available == 0 and window.in_flight == 2
+        assert not window.acquire()  # exhausted, no side effect
+        assert window.in_flight == 2
+        window.release()
+        assert window.available == 1 and window.in_flight == 1
+        assert window.acquire()
+
+    def test_invariant_holds_through_any_sequence(self):
+        window = CreditWindow(3)
+        for step in (1, 1, -1, 1, 1, -1, -1, -1):
+            if step > 0:
+                window.acquire()
+            else:
+                window.release()
+            assert window.granted == window.in_flight + window.available
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError, match="without a matching acquire"):
+            CreditWindow(1).release()
+
+    def test_corrupted_books_are_caught(self):
+        window = CreditWindow(2)
+        window.available = 5  # simulate a lost-credit bug
+        with pytest.raises(RuntimeError, match="credit conservation"):
+            window.check()
+
+    def test_zero_credits_rejected(self):
+        with pytest.raises(ValueError, match="credits"):
+            CreditWindow(0)
+
+
+class TestOutcomesAndReport:
+    def test_terminal_statuses_are_closed(self):
+        assert set(TERMINAL_STATUSES) == {COMPLETED, CANCELLED, EXPIRED}
+        with pytest.raises(ValueError, match="terminal status"):
+            StreamOutcome("r-0", "shed", 0.0)
+
+    def test_report_conservation_property(self):
+        report = StreamingReport(offered=10, completed=7, cancelled=2,
+                                 expired=1)
+        assert report.resolved == 10 and report.conserved
+        report.expired = 0
+        assert not report.conserved
+
+    def test_throughput_guards_zero_makespan(self):
+        assert StreamingReport(offered=0).throughput_rps == 0.0
+
+    def test_to_dict_round_trips_counts(self):
+        report = StreamingReport(offered=3, completed=3,
+                                 latencies_s=[0.01, 0.02, 0.03],
+                                 makespan_s=0.5)
+        d = report.to_dict()
+        assert d["offered"] == 3 and d["conserved"]
+        assert d["throughput_rps"] == pytest.approx(6.0)
+        assert d["p99_latency_s"] == 0.03
+
+    def test_exact_percentile_is_order_statistic(self):
+        values = [0.4, 0.1, 0.3, 0.2]
+        assert exact_percentile(values, 50) == 0.2
+        assert exact_percentile(values, 99) == 0.4
+        assert exact_percentile([], 99) == 0.0
+
+
+class TestStreamConfig:
+    def test_defaults_validate(self):
+        config = StreamConfig().validated()
+        assert config.credits >= 1
+        assert config.min_replicas <= config.max_replicas
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown StreamConfig"):
+            StreamConfig.from_dict({"credits": 8, "queue_capacity": 4})
+
+    def test_round_trip(self):
+        config = StreamConfig(credits=32, min_replicas=2, max_replicas=4)
+        assert StreamConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize("bad", [
+        {"credits": 0},
+        {"min_replicas": 0},
+        {"min_replicas": 4, "max_replicas": 2},
+        {"scale_down_headroom": 0.0},
+        {"scale_down_headroom": 1.5, "scale_up_headroom": 1.0},
+        {"window": 0},
+        {"cooldown": -1},
+    ])
+    def test_invalid_fields_raise(self, bad):
+        with pytest.raises(ValueError):
+            StreamConfig(**bad).validated()
