@@ -26,6 +26,9 @@ Subsystem tour:
   admission control, adaptive micro-batching, tensor cache, replica
   dispatch.
 * :mod:`repro.faults` — deterministic fault injection and retry.
+* :mod:`repro.ha` — control-plane robustness: heartbeat failure
+  detection, Tuner warm-standby failover with epoch fencing, automatic
+  store eviction/rejoin, and the nemesis chaos harness.
 * :mod:`repro.obs` — metrics, tracing, and the bench-JSON schema.
 * :mod:`repro.train` / :mod:`repro.inference` — training and inference
   engines including the SRV-I/P/C baselines.
@@ -42,6 +45,7 @@ from .core.config import ClusterConfig
 from .core.fabric import NetworkFabric
 from .faults.injector import FaultInjector
 from .faults.retry import RetryPolicy, call_with_retry
+from .ha import HAConfig, HAController, NemesisHarness
 from .obs.metrics import MetricsRegistry
 from .obs.tracing import Tracer
 from .serving import ServeRequest, ServingConfig, ServingFrontend
@@ -49,9 +53,12 @@ from .serving import ServeRequest, ServingConfig, ServingFrontend
 __all__ = [
     "ClusterConfig",
     "FaultInjector",
+    "HAConfig",
+    "HAController",
     "InferenceServer",
     "MetricsRegistry",
     "NDPipeCluster",
+    "NemesisHarness",
     "NetworkFabric",
     "RetryPolicy",
     "ServeRequest",

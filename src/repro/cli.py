@@ -318,6 +318,20 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         ]
     else:
         rows.append(["pending fine-tune", "none"])
+    # post-restore hygiene sweep: re-place anything orphaned on downed
+    # stores, evict stale copies, and report how much the journal shed
+    journal_before = cluster.journal_size
+    reingested = sum(
+        len(cluster.reingest_orphans(store.store_id))
+        for store in cluster.stores if not store.is_available)
+    evicted = sum(
+        len(cluster.reconcile(store))
+        for store in cluster.stores if store.is_available)
+    rows += [
+        ["orphans re-ingested", reingested],
+        ["reconcile evicted", evicted],
+        ["journal pruned", journal_before - cluster.journal_size],
+    ]
     rows.append(["tuner version (now)", cluster.tuner.version])
     if args.format == "json":
         _emit(json.dumps({str(k): str(v) for k, v in rows}, indent=2),
@@ -326,6 +340,45 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     _emit(format_table(["field", "value"], rows, title="NDPipe resume"),
           args.out)
     return 0
+
+
+def _cmd_nemesis(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .ha import InvariantViolation, NemesisHarness
+
+    harness = NemesisHarness(seed=args.seed, steps=args.steps,
+                             num_stores=args.stores,
+                             photos_per_step=args.photos)
+    violation = None
+    report = None
+    try:
+        report = harness.run()
+    except InvariantViolation as exc:
+        violation = str(exc)
+    payload = (report.to_dict() if report is not None else {
+        "seed": args.seed,
+        "steps": args.steps,
+        "num_stores": args.stores,
+        "events": harness.events,
+    })
+    payload["violation"] = violation
+    status = 0 if violation is None else 1
+    if args.format == "json":
+        _emit(json.dumps(payload, indent=2), args.out)
+        return status
+    rows = [
+        ["steps run", len(harness.events)],
+        ["faults fired", len(harness.injector.fired)],
+        ["failovers", int(payload.get("failovers", 0))],
+        ["final epoch", harness.cluster.tuner.epoch],
+        ["final model version", harness.cluster.tuner.version],
+        ["photos acknowledged", len(harness.acknowledged)],
+        ["invariant checks", payload.get("invariant_checks", "-")],
+        ["verdict", "OK" if violation is None else f"VIOLATION: {violation}"],
+    ]
+    _emit(format_table(["field", "value"], rows,
+                       title=f"NDPipe nemesis (seed {args.seed})"), args.out)
+    return status
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -642,6 +695,19 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("ckpt", help="checkpoint file written by 'checkpoint'")
     _add_common_flags(resume)
     resume.set_defaults(func=_cmd_resume)
+
+    nemesis = sub.add_parser(
+        "nemesis",
+        help="run a seeded chaos schedule and check HA invariants")
+    nemesis.add_argument("--steps", type=int, default=8,
+                         help="lifecycle actions to interleave (default 8)")
+    nemesis.add_argument("--stores", type=int, default=3)
+    nemesis.add_argument("--photos", type=int, default=4,
+                         help="photos per ingest/serve step (default 4)")
+    _add_common_flags(
+        nemesis, out_help="write the event log / summary to a file "
+                          "(use --format json for the CI artifact)")
+    nemesis.set_defaults(func=_cmd_nemesis)
 
     catalog = sub.add_parser("catalog", help="dump the hardware catalog")
     _add_common_flags(catalog)

@@ -38,7 +38,6 @@ from ..nn.tensor import Tensor, inference_mode
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from ..storage.imageformat import preprocess
-from ..storage.objectstore import CorruptObjectError, MissingObjectError
 from ..storage.persistence import (
     dump_object_store,
     dump_photo_database,
@@ -47,6 +46,7 @@ from ..storage.persistence import (
 )
 from ..storage.photodb import LabelRecord, PhotoDatabase
 from .config import ClusterConfig
+from .controlplane import RecoveryControlPlane
 from .fabric import NetworkFabric
 from .ftdmp import FinetuneReport
 from .pipestore import PipeStore, StoredPhoto, StoreUnavailableError
@@ -85,6 +85,20 @@ class InferenceServer:
         self.name = name
         self.model = model
         self.model.eval()
+        self._failed = False
+
+    # -- fault injection ----------------------------------------------------
+    @property
+    def is_available(self) -> bool:
+        return not self._failed
+
+    def fail(self) -> None:
+        """Take the front end down (targeted fault injection)."""
+        self._failed = True
+
+    def repair(self) -> None:
+        """Bring the front end back; its model replica survives."""
+        self._failed = False
 
     def classify(self, pixels: np.ndarray) -> Tuple[int, float]:
         """Label one photo (3, H, W); returns (label, confidence)."""
@@ -194,20 +208,11 @@ class NDPipeCluster:
         self.database = PhotoDatabase()
         self._ingest_counter = 0
         self._rr_next = 0
-        # the front end journals uploads (pixels + user tag) so photos
-        # orphaned on a crashed store can be re-placed onto survivors.
-        # The journal is bounded: entries whose photo left the database
-        # are pruned, and ``journal_max_entries`` caps residency (oldest
-        # entries fall out first) so raw pixel buffers cannot accumulate
-        # for the lifetime of the cluster.
-        self._journal: Optional[Dict[str, Tuple[np.ndarray, Optional[int]]]]
-        self._journal = {} if self.config.journal_uploads else None
-        self._journal_max_entries = self.config.journal_max_entries
-        self._m_journal = self.metrics.gauge(
-            "cluster_journal_entries", "upload-journal entries resident")
-        self._m_journal_pruned = self.metrics.counter(
-            "cluster_journal_pruned_total", "journal entries pruned",
-            label_names=("reason",))
+        # the recovery control plane owns the upload journal and every
+        # failure-recovery path (ROADMAP item 1: split out of this class);
+        # the HA controller (repro.ha) attaches here via enable_ha()
+        self.control = RecoveryControlPlane(self)
+        self.ha = None
         self._m_ingested = self.metrics.counter(
             "cluster_photos_ingested_total", "photos accepted by ingest")
         self._m_relabel = self.metrics.counter(
@@ -216,24 +221,9 @@ class NDPipeCluster:
         self._m_replicas_placed = self.metrics.counter(
             "durability_replicas_placed_total",
             "replica copies landed per store", label_names=("store",))
-        self._m_replicas_promoted = self.metrics.counter(
-            "durability_replicas_promoted_total",
-            "replicas promoted to primary after losing the primary's store")
         self._m_underreplicated = self.metrics.counter(
             "durability_underreplicated_total",
             "ingests that could not reach the configured replica count")
-        self._m_repaired = self.metrics.counter(
-            "durability_objects_repaired_total",
-            "corrupt objects rewritten from a healthy replica",
-            label_names=("store",))
-        self._m_restored = self.metrics.counter(
-            "durability_objects_restored_total",
-            "lost objects re-fetched from a healthy replica",
-            label_names=("store",))
-        self._m_unrecoverable = self.metrics.counter(
-            "durability_objects_unrecoverable_total",
-            "damaged objects with no healthy replica anywhere",
-            label_names=("store",))
         self._m_checkpoints = self.metrics.counter(
             "durability_checkpoints_total", "checkpoints serialised")
         self._m_checkpoint_bytes = self.metrics.gauge(
@@ -485,7 +475,7 @@ class NDPipeCluster:
                 for store in self.stores
             }
         on_run_complete = None
-        if checkpoint_sink is not None:
+        if checkpoint_sink is not None or self.ha is not None:
             def on_run_complete(run_index, plan, partial_report,
                                 _epochs=epochs, _relocate=relocate_lost):
                 progress = FinetuneProgress(
@@ -494,7 +484,12 @@ class NDPipeCluster:
                     run_plan=plan, report=partial_report.to_dict(),
                     relocate_lost=_relocate,
                 )
-                checkpoint_sink(run_index, self.checkpoint(ftdmp=progress))
+                if self.ha is not None:
+                    # keep the warm standby current: every run boundary
+                    # ships a tuner-scoped checkpoint over the fabric
+                    self.ha.ship_checkpoint(progress)
+                if checkpoint_sink is not None:
+                    checkpoint_sink(run_index, self.checkpoint(ftdmp=progress))
         with self.tracer.span("cluster.finetune", epochs=epochs,
                               num_runs=num_runs):
             report = self.tuner.finetune(
@@ -504,6 +499,10 @@ class NDPipeCluster:
                 on_run_complete=on_run_complete, report=report,
             )
             self.inference_server.sync_model(self.tuner.model.state_dict())
+        if self.ha is not None:
+            # post-distribution state: a failover after this point resumes
+            # with nothing left to train
+            self.ha.ship_checkpoint(None)
         return report
 
     def _relocate_for_training(self, store_id: str,
@@ -569,158 +568,46 @@ class NDPipeCluster:
                 )):
                     stats.labels_changed += 1
 
-    # -- upload journal -----------------------------------------------------
+    # -- upload journal (owned by the control plane) ------------------------
+    @property
+    def _journal(self) -> Optional[Dict[str, Tuple[np.ndarray, Optional[int]]]]:
+        # kept as a property: chaos tests poke the journal directly
+        return self.control.journal
+
+    @_journal.setter
+    def _journal(self, value) -> None:
+        self.control.journal = value
+
     @property
     def journal_size(self) -> int:
         """Entries currently resident in the upload journal."""
-        return 0 if self._journal is None else len(self._journal)
+        return self.control.journal_size
 
     def _journal_put(self, photo_id: str, pixels: np.ndarray,
                      train_label: Optional[int]) -> None:
-        if self._journal is None:
-            return
-        self._journal[photo_id] = (pixels, train_label)
-        cap = self._journal_max_entries
-        if cap is not None and len(self._journal) > cap:
-            # dict preserves insertion order: evict the oldest uploads
-            overflow = len(self._journal) - cap
-            for pid in list(self._journal)[:overflow]:
-                del self._journal[pid]
-            self._m_journal_pruned.inc(overflow, reason="capacity")
-        self._m_journal.set(len(self._journal))
+        self.control.journal_put(photo_id, pixels, train_label)
 
     def prune_journal(self) -> int:
         """Drop journal entries whose photo is gone from the database.
 
-        The database is the single source of truth for placement; a photo
-        that left it can never need re-ingestion, so its raw pixel buffer
-        has no business staying resident.  Returns how many entries were
-        dropped.  Called automatically by :meth:`reconcile`.
+        Delegates to the :class:`RecoveryControlPlane`; see
+        :meth:`~repro.core.controlplane.RecoveryControlPlane.prune_journal`.
         """
-        if self._journal is None:
-            return 0
-        stale = [pid for pid in self._journal if pid not in self.database]
-        for pid in stale:
-            del self._journal[pid]
-        if stale:
-            self._m_journal_pruned.inc(len(stale), reason="departed")
-        self._m_journal.set(len(self._journal))
-        return len(stale)
+        return self.control.prune_journal()
 
-    # -- failure recovery ---------------------------------------------------
+    # -- failure recovery (delegated to the control plane) -------------------
     def reingest_orphans(self, store_id: str,
                          only: Optional[Sequence[str]] = None) -> List[str]:
-        """Re-place journalled photos stranded on a crashed store.
-
-        Photos whose upload is still in the front end's journal are
-        re-preprocessed and landed on healthy stores; their database
-        records move with them (same label, same model version).  Returns
-        the ids that actually moved — anything not journalled (or not
-        placeable right now) stays orphaned until the store repairs.
-        """
-        if self._journal is None:
-            return []
-        moved: List[str] = []
-        candidates = (self.database.ids_at(store_id) if only is None
-                      else list(only))
-        with self.tracer.span("cluster.reingest_orphans", store=store_id,
-                              candidates=len(candidates)):
-            for pid in candidates:
-                if pid not in self.database:
-                    continue
-                record = self.database.lookup(pid)
-                if record.location != store_id:
-                    continue  # already moved
-                # cheapest recovery first: a healthy replica already holds
-                # the blobs and label, so promotion moves zero bytes
-                if self._promote_replica(pid, record, store_id):
-                    moved.append(pid)
-                    continue
-                if self._journal is None or pid not in self._journal:
-                    continue
-                pixels, train_label = self._journal[pid]
-                photo = StoredPhoto(
-                    photo_id=pid, pixels=pixels,
-                    preprocessed=self.inference_server.preprocess(pixels),
-                    train_label=train_label,
-                )
-                try:
-                    target = self._place_photo(photo, kind="re-ingest")
-                except StoreUnavailableError:
-                    continue
-                self.database.upsert(LabelRecord(
-                    photo_id=pid, label=record.label,
-                    model_version=record.model_version,
-                    location=target.store_id, confidence=record.confidence,
-                ))
-                old_holders = self.replicas.holders(pid)
-                self.replicas.place(pid, [target.store_id] + [
-                    h for h in old_holders
-                    if h not in (store_id, target.store_id)
-                ])
-                moved.append(pid)
-        return moved
-
-    def _promote_replica(self, pid: str, record: LabelRecord,
-                         lost_store_id: str) -> Optional[str]:
-        """Make a healthy replica the authoritative copy of one photo.
-
-        The crashed store stays in the holder list: its blobs survive the
-        outage, so on recovery it resumes replica duty (and a scrub
-        re-fetches anything that did not survive)."""
-        for holder in self.replicas.holders(pid):
-            if holder == lost_store_id:
-                continue
-            try:
-                candidate = self._resolve_store(holder)
-            except KeyError:
-                continue
-            if not candidate.is_available:
-                continue
-            if not candidate.objects.exists(candidate.objects.raw_key(pid)):
-                continue
-            self.database.upsert(LabelRecord(
-                photo_id=pid, label=record.label,
-                model_version=record.model_version,
-                location=holder, confidence=record.confidence,
-            ))
-            holders = self.replicas.holders(pid)
-            holders.remove(holder)
-            self.replicas.place(pid, [holder] + holders)
-            self._m_replicas_promoted.inc()
-            return holder
-        return None
+        """Re-place journalled photos stranded on a crashed store."""
+        return self.control.reingest_orphans(store_id, only=only)
 
     def recover(self, store: Union[str, PipeStore]) -> PipeStore:
-        """Bring a crashed store back: repair, resync the model replica it
-        missed, and evict any photo the cluster re-placed elsewhere while
-        it was down (the database location is authoritative)."""
-        store = self._resolve_store(store)
-        with self.tracer.span("cluster.recover", store=store.store_id):
-            store.repair()
-            store.slowdown = 1.0
-            self.tuner.catch_up(store)
-            self.reconcile(store)
-        return store
+        """Bring a crashed store back into service (repair + resync)."""
+        return self.control.recover(store)
 
     def reconcile(self, store: Union[str, PipeStore]) -> List[str]:
-        """Drop a store's photos whose authoritative location moved away.
-
-        Replica copies are not orphans: a photo stays if the store is in
-        its holder list, even when the database points elsewhere."""
-        store = self._resolve_store(store)
-        evicted = []
-        for pid in store.photo_ids():
-            if pid in self.database:
-                record = self.database.lookup(pid)
-                if (record.location == store.store_id
-                        or self.replicas.is_holder(pid, store.store_id)):
-                    continue
-            store.evict_photo(pid)
-            self.replicas.remove_holder(pid, store.store_id)
-            evicted.append(pid)
-        self.prune_journal()
-        return evicted
+        """Drop a store's photos whose authoritative location moved away."""
+        return self.control.reconcile(store)
 
     def _resolve_store(self, store: Union[str, PipeStore]) -> PipeStore:
         if isinstance(store, PipeStore):
@@ -732,87 +619,36 @@ class NDPipeCluster:
 
     # -- integrity: scrub and replica repair --------------------------------
     def scrub_and_repair(self) -> ClusterScrubReport:
-        """CRC-sweep every available store; heal damage from replicas.
+        """CRC-sweep every available store; heal damage from replicas."""
+        return self.control.scrub_and_repair()
 
-        Two kinds of damage are repaired: objects whose bytes rotted in
-        place (scrub finds a CRC mismatch) and objects lost outright
-        (expected by the replica map but absent).  Both are re-fetched
-        from the first healthy holder over the fabric; objects with no
-        healthy copy anywhere are reported — and counted — as
-        unrecoverable rather than silently dropped.
+    # -- high availability ---------------------------------------------------
+    def enable_ha(self, config=None, injector=None):
+        """Attach the HA layer: failure detector, warm-standby Tuner with
+        epoch-fenced failover, and automatic store eviction/rejoin.
+
+        Returns the :class:`~repro.ha.controller.HAController`; drive it
+        with ``poll()`` (the nemesis harness and serving loops do this
+        between steps).  ``injector`` ties suspicion timeouts to the
+        fault injector's logical clock.
         """
-        report = ClusterScrubReport()
-        with self.tracer.span("cluster.scrub_and_repair"):
-            for store in self.stores:
-                if not store.is_available:
-                    report.stores_skipped.append(store.store_id)
-                    continue
-                scrub = store.scrub()
-                report.scrubs.append(scrub)
-                for key in scrub.corrupt_keys:
-                    if self._repair_object(store, key):
-                        report.repaired.append((store.store_id, key))
-                        self._m_repaired.inc(store=store.store_id)
-                    else:
-                        report.unrecoverable.append((store.store_id, key))
-                        self._m_unrecoverable.inc(store=store.store_id)
-                self._restore_missing(store, report)
-        return report
+        from ..ha import HAConfig
+        from ..ha.controller import HAController
 
-    def _restore_missing(self, store: PipeStore,
-                         report: ClusterScrubReport) -> None:
-        """Re-fetch objects the replica map expects on a store but that
-        vanished (crash-lost media), including their training labels."""
-        for pid in self.replicas.photos_on(store.store_id):
-            for key in (store.objects.raw_key(pid),
-                        store.objects.preproc_key(pid)):
-                if store.objects.exists(key):
-                    continue
-                if self._repair_object(store, key):
-                    report.restored.append((store.store_id, key))
-                    self._m_restored.inc(store=store.store_id)
-                else:
-                    report.unrecoverable.append((store.store_id, key))
-                    self._m_unrecoverable.inc(store=store.store_id)
-            if not store.has_train_label(pid):
-                for holder in self.replicas.holders(pid):
-                    if holder == store.store_id:
-                        continue
-                    try:
-                        donor = self._resolve_store(holder)
-                    except KeyError:
-                        continue
-                    if donor.is_available and donor.has_train_label(pid):
-                        store.set_train_label(pid, donor.train_label(pid))
-                        break
+        if self.ha is not None:
+            return self.ha
+        config = (config if config is not None else HAConfig()).validated()
+        self.ha = HAController(self, config, injector=injector)
+        return self.ha
 
-    def _repair_object(self, target: PipeStore, key: str) -> bool:
-        """Overwrite one damaged object with a verified replica copy."""
-        pid = key.split("/", 1)[1] if "/" in key else key
-        for holder in self.replicas.holders(pid):
-            if holder == target.store_id:
-                continue
-            try:
-                donor = self._resolve_store(holder)
-            except KeyError:
-                continue
-            if not donor.is_available:
-                continue
-            try:
-                blob = donor.donate_object(key)
-            except (CorruptObjectError, MissingObjectError,
-                    StoreUnavailableError):
-                continue  # this holder cannot vouch for its copy
-            try:
-                call_with_retry(
-                    lambda b=blob, h=holder: self.network.send(
-                        h, target.store_id, len(b), "repair"),
-                    self.retry)
-            except TransientFaultError:
-                continue
-            target.accept_repair(key, blob)
-            return True
-        return False
+    def adopt_tuner(self, tuner: Tuner) -> None:
+        """Swap in a newly elected primary Tuner (HA failover).
+
+        The front end keeps serving whatever model was last distributed
+        by the old primary — the new primary's next distribution round
+        moves it forward, exactly as a surviving primary's would.
+        """
+        self.tuner = tuner
 
     # -- checkpoint / restore -----------------------------------------------
     def checkpoint(self, ftdmp: Optional[FinetuneProgress] = None) -> bytes:
@@ -976,9 +812,7 @@ class NDPipeCluster:
             self._ingest_counter = int(cluster_manifest["ingest_counter"])
             self._rr_next = int(cluster_manifest["rr_next"])
             self.replication = replication
-            if self._journal is not None and journal is not None:
-                self._journal = journal
-            self._m_journal.set(self.journal_size)
+            self.control.restore_journal(journal)
             # the front end serves whatever model was last distributed
             state = tuner_state["last_distributed"]
             if state is None:

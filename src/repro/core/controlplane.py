@@ -1,0 +1,326 @@
+"""RecoveryControlPlane — the cluster's repair brain, split out of
+:class:`~repro.core.cluster.NDPipeCluster` (ROADMAP item 1).
+
+Everything that decides how the fleet heals lives here: the bounded
+upload journal, orphan re-ingest after a store crash, replica promotion,
+store recover/reconcile, and the scrub-and-repair integrity sweep.  The
+cluster object keeps thin delegators with the historical signatures and
+owns the *data* plane (placement, ingest, serving, training); this class
+owns the *control* plane and is what the HA layer (:mod:`repro.ha`)
+drives from its failure detector instead of test code.
+
+The split is a back-reference design: the control plane holds the
+cluster and reaches through it for the fabric, database, replica map and
+store roster, so there is exactly one copy of each piece of state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..durability.integrity import ClusterScrubReport
+from ..faults.errors import TransientFaultError
+from ..faults.retry import call_with_retry
+from ..storage.objectstore import CorruptObjectError, MissingObjectError
+from ..storage.photodb import LabelRecord
+from .pipestore import PipeStore, StoredPhoto, StoreUnavailableError
+
+#: one journalled upload: raw pixels + the user's training tag (if any)
+JournalEntry = Tuple[np.ndarray, Optional[int]]
+
+
+class RecoveryControlPlane:
+    """Owns the upload journal and every failure-recovery path.
+
+    This is the sole registration site for the journal and durability
+    repair metric families (ND004); the cluster's ``__init__`` builds
+    exactly one of these.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        config = cluster.config
+        # the front end journals uploads (pixels + user tag) so photos
+        # orphaned on a crashed store can be re-placed onto survivors.
+        # The journal is bounded: entries whose photo left the database
+        # are pruned, and ``journal_max_entries`` caps residency (oldest
+        # entries fall out first) so raw pixel buffers cannot accumulate
+        # for the lifetime of the cluster.
+        self.journal: Optional[Dict[str, JournalEntry]]
+        self.journal = {} if config.journal_uploads else None
+        self._journal_max_entries = config.journal_max_entries
+        metrics = cluster.metrics
+        self._m_journal = metrics.gauge(
+            "cluster_journal_entries", "upload-journal entries resident")
+        self._m_journal_pruned = metrics.counter(
+            "cluster_journal_pruned_total", "journal entries pruned",
+            label_names=("reason",))
+        self._m_replicas_promoted = metrics.counter(
+            "durability_replicas_promoted_total",
+            "replicas promoted to primary after losing the primary's store")
+        self._m_repaired = metrics.counter(
+            "durability_objects_repaired_total",
+            "corrupt objects rewritten from a healthy replica",
+            label_names=("store",))
+        self._m_restored = metrics.counter(
+            "durability_objects_restored_total",
+            "lost objects re-fetched from a healthy replica",
+            label_names=("store",))
+        self._m_unrecoverable = metrics.counter(
+            "durability_objects_unrecoverable_total",
+            "damaged objects with no healthy replica anywhere",
+            label_names=("store",))
+
+    # -- upload journal -----------------------------------------------------
+    @property
+    def journal_size(self) -> int:
+        """Entries currently resident in the upload journal."""
+        return 0 if self.journal is None else len(self.journal)
+
+    def journal_put(self, photo_id: str, pixels: np.ndarray,
+                    train_label: Optional[int]) -> None:
+        if self.journal is None:
+            return
+        self.journal[photo_id] = (pixels, train_label)
+        cap = self._journal_max_entries
+        if cap is not None and len(self.journal) > cap:
+            # dict preserves insertion order: evict the oldest uploads
+            overflow = len(self.journal) - cap
+            for pid in list(self.journal)[:overflow]:
+                del self.journal[pid]
+            self._m_journal_pruned.inc(overflow, reason="capacity")
+        self._m_journal.set(len(self.journal))
+
+    def prune_journal(self) -> int:
+        """Drop journal entries whose photo is gone from the database.
+
+        The database is the single source of truth for placement; a photo
+        that left it can never need re-ingestion, so its raw pixel buffer
+        has no business staying resident.  Returns how many entries were
+        dropped.  Called automatically by :meth:`reconcile`.
+        """
+        if self.journal is None:
+            return 0
+        database = self.cluster.database
+        stale = [pid for pid in self.journal if pid not in database]
+        for pid in stale:
+            del self.journal[pid]
+        if stale:
+            self._m_journal_pruned.inc(len(stale), reason="departed")
+        self._m_journal.set(len(self.journal))
+        return len(stale)
+
+    def restore_journal(self,
+                        journal: Optional[Dict[str, JournalEntry]]) -> None:
+        """Adopt a checkpointed journal (no-op when journalling is off)."""
+        if self.journal is not None and journal is not None:
+            self.journal = journal
+        self._m_journal.set(self.journal_size)
+
+    # -- failure recovery ---------------------------------------------------
+    def reingest_orphans(self, store_id: str,
+                         only: Optional[Sequence[str]] = None) -> List[str]:
+        """Re-place journalled photos stranded on a crashed store.
+
+        Photos whose upload is still in the front end's journal are
+        re-preprocessed and landed on healthy stores; their database
+        records move with them (same label, same model version).  Returns
+        the ids that actually moved — anything not journalled (or not
+        placeable right now) stays orphaned until the store repairs.
+        """
+        if self.journal is None:
+            return []
+        cluster = self.cluster
+        moved: List[str] = []
+        candidates = (cluster.database.ids_at(store_id) if only is None
+                      else list(only))
+        with cluster.tracer.span("cluster.reingest_orphans", store=store_id,
+                                 candidates=len(candidates)):
+            for pid in candidates:
+                if pid not in cluster.database:
+                    continue
+                record = cluster.database.lookup(pid)
+                if record.location != store_id:
+                    continue  # already moved
+                # cheapest recovery first: a healthy replica already holds
+                # the blobs and label, so promotion moves zero bytes
+                if self._promote_replica(pid, record, store_id):
+                    moved.append(pid)
+                    continue
+                if self.journal is None or pid not in self.journal:
+                    continue
+                pixels, train_label = self.journal[pid]
+                photo = StoredPhoto(
+                    photo_id=pid, pixels=pixels,
+                    preprocessed=cluster.inference_server.preprocess(pixels),
+                    train_label=train_label,
+                )
+                try:
+                    target = cluster._place_photo(photo, kind="re-ingest")
+                except StoreUnavailableError:
+                    continue
+                cluster.database.upsert(LabelRecord(
+                    photo_id=pid, label=record.label,
+                    model_version=record.model_version,
+                    location=target.store_id, confidence=record.confidence,
+                ))
+                old_holders = cluster.replicas.holders(pid)
+                cluster.replicas.place(pid, [target.store_id] + [
+                    h for h in old_holders
+                    if h not in (store_id, target.store_id)
+                ])
+                moved.append(pid)
+        return moved
+
+    def _promote_replica(self, pid: str, record: LabelRecord,
+                         lost_store_id: str) -> Optional[str]:
+        """Make a healthy replica the authoritative copy of one photo.
+
+        The crashed store stays in the holder list: its blobs survive the
+        outage, so on recovery it resumes replica duty (and a scrub
+        re-fetches anything that did not survive)."""
+        cluster = self.cluster
+        for holder in cluster.replicas.holders(pid):
+            if holder == lost_store_id:
+                continue
+            try:
+                candidate = cluster._resolve_store(holder)
+            except KeyError:
+                continue
+            if not candidate.is_available:
+                continue
+            if not candidate.objects.exists(candidate.objects.raw_key(pid)):
+                continue
+            cluster.database.upsert(LabelRecord(
+                photo_id=pid, label=record.label,
+                model_version=record.model_version,
+                location=holder, confidence=record.confidence,
+            ))
+            holders = cluster.replicas.holders(pid)
+            holders.remove(holder)
+            cluster.replicas.place(pid, [holder] + holders)
+            self._m_replicas_promoted.inc()
+            return holder
+        return None
+
+    def recover(self, store: Union[str, PipeStore]) -> PipeStore:
+        """Bring a crashed store back: repair, resync the model replica it
+        missed, and evict any photo the cluster re-placed elsewhere while
+        it was down (the database location is authoritative)."""
+        cluster = self.cluster
+        store = cluster._resolve_store(store)
+        with cluster.tracer.span("cluster.recover", store=store.store_id):
+            store.repair()
+            store.slowdown = 1.0
+            cluster.tuner.catch_up(store)
+            self.reconcile(store)
+        return store
+
+    def reconcile(self, store: Union[str, PipeStore]) -> List[str]:
+        """Drop a store's photos whose authoritative location moved away.
+
+        Replica copies are not orphans: a photo stays if the store is in
+        its holder list, even when the database points elsewhere."""
+        cluster = self.cluster
+        store = cluster._resolve_store(store)
+        evicted = []
+        for pid in store.photo_ids():
+            if pid in cluster.database:
+                record = cluster.database.lookup(pid)
+                if (record.location == store.store_id
+                        or cluster.replicas.is_holder(pid, store.store_id)):
+                    continue
+            store.evict_photo(pid)
+            cluster.replicas.remove_holder(pid, store.store_id)
+            evicted.append(pid)
+        self.prune_journal()
+        return evicted
+
+    # -- integrity: scrub and replica repair --------------------------------
+    def scrub_and_repair(self) -> ClusterScrubReport:
+        """CRC-sweep every available store; heal damage from replicas.
+
+        Two kinds of damage are repaired: objects whose bytes rotted in
+        place (scrub finds a CRC mismatch) and objects lost outright
+        (expected by the replica map but absent).  Both are re-fetched
+        from the first healthy holder over the fabric; objects with no
+        healthy copy anywhere are reported — and counted — as
+        unrecoverable rather than silently dropped.
+        """
+        cluster = self.cluster
+        report = ClusterScrubReport()
+        with cluster.tracer.span("cluster.scrub_and_repair"):
+            for store in cluster.stores:
+                if not store.is_available:
+                    report.stores_skipped.append(store.store_id)
+                    continue
+                scrub = store.scrub()
+                report.scrubs.append(scrub)
+                for key in scrub.corrupt_keys:
+                    if self._repair_object(store, key):
+                        report.repaired.append((store.store_id, key))
+                        self._m_repaired.inc(store=store.store_id)
+                    else:
+                        report.unrecoverable.append((store.store_id, key))
+                        self._m_unrecoverable.inc(store=store.store_id)
+                self._restore_missing(store, report)
+        return report
+
+    def _restore_missing(self, store: PipeStore,
+                         report: ClusterScrubReport) -> None:
+        """Re-fetch objects the replica map expects on a store but that
+        vanished (crash-lost media), including their training labels."""
+        cluster = self.cluster
+        for pid in cluster.replicas.photos_on(store.store_id):
+            for key in (store.objects.raw_key(pid),
+                        store.objects.preproc_key(pid)):
+                if store.objects.exists(key):
+                    continue
+                if self._repair_object(store, key):
+                    report.restored.append((store.store_id, key))
+                    self._m_restored.inc(store=store.store_id)
+                else:
+                    report.unrecoverable.append((store.store_id, key))
+                    self._m_unrecoverable.inc(store=store.store_id)
+            if not store.has_train_label(pid):
+                for holder in cluster.replicas.holders(pid):
+                    if holder == store.store_id:
+                        continue
+                    try:
+                        donor = cluster._resolve_store(holder)
+                    except KeyError:
+                        continue
+                    if donor.is_available and donor.has_train_label(pid):
+                        store.set_train_label(pid, donor.train_label(pid))
+                        break
+
+    def _repair_object(self, target: PipeStore, key: str) -> bool:
+        """Overwrite one damaged object with a verified replica copy."""
+        cluster = self.cluster
+        pid = key.split("/", 1)[1] if "/" in key else key
+        for holder in cluster.replicas.holders(pid):
+            if holder == target.store_id:
+                continue
+            try:
+                donor = cluster._resolve_store(holder)
+            except KeyError:
+                continue
+            if not donor.is_available:
+                continue
+            try:
+                blob = donor.donate_object(key)
+            except (CorruptObjectError, MissingObjectError,
+                    StoreUnavailableError):
+                continue  # this holder cannot vouch for its copy
+            try:
+                call_with_retry(
+                    lambda b=blob, h=holder: cluster.network.send(
+                        h, target.store_id, len(b), "repair"),
+                    cluster.retry)
+            except TransientFaultError:
+                continue
+            target.accept_repair(key, blob)
+            return True
+        return False

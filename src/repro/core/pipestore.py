@@ -15,6 +15,7 @@ import numpy as np
 
 from ..durability.integrity import ScrubReport
 from ..fastpath import flags
+from ..faults.errors import StaleEpochError
 from ..models.split import SplitModel
 from ..nn.tensor import Tensor, inference_mode
 from ..obs.metrics import MetricsRegistry
@@ -62,6 +63,9 @@ class PipeStore:
         self.nominal_raw_bytes = nominal_raw_bytes
         self.model: Optional[SplitModel] = None
         self.model_version = -1
+        #: highest Tuner epoch whose updates this store has accepted —
+        #: the fencing token that keeps a deposed primary from writing
+        self.accepted_epoch = 0
         self.split: int = 0
         self._train_labels: Dict[str, int] = {}
         self._failed = False
@@ -219,10 +223,21 @@ class PipeStore:
         self.objects.put(key, blob)
 
     # -- model management ----------------------------------------------------
-    def install_model(self, model: SplitModel, split: int, version: int) -> None:
+    def _fence(self, epoch: int) -> None:
+        """Reject updates from a deposed primary (split-brain guard)."""
+        if epoch < self.accepted_epoch:
+            raise StaleEpochError(
+                f"{self.store_id}: update stamped epoch {epoch} but this "
+                f"store already accepted epoch {self.accepted_epoch}"
+            )
+        self.accepted_epoch = epoch
+
+    def install_model(self, model: SplitModel, split: int, version: int,
+                      epoch: int = 0) -> None:
         """Install a full model replica (the initial distribution)."""
         if not 0 <= split <= model.num_stages:
             raise ValueError(f"split {split} out of range")
+        self._fence(epoch)
         self.model = model
         self.split = split
         self.model_version = version
@@ -231,18 +246,21 @@ class PipeStore:
             self._m_model_updates.inc(store=self.store_id, mechanism="full")
 
     def apply_full_state(self, state: Dict[str, np.ndarray],
-                         version: int) -> None:
+                         version: int, epoch: int = 0) -> None:
         """Load a full-model resync into the local replica."""
         self._require_model()
+        self._fence(epoch)
         self.model.load_state_dict(state)
         self.model_version = version
         if self._metrics is not None:
             self._m_model_updates.inc(store=self.store_id, mechanism="full")
 
-    def apply_model_delta(self, blob: bytes, version: int) -> None:
+    def apply_model_delta(self, blob: bytes, version: int,
+                          epoch: int = 0) -> None:
         """Apply a Check-N-Run delta to the local replica."""
         if self.model is None:
             raise RuntimeError(f"{self.store_id}: no model installed yet")
+        self._fence(epoch)
         if version <= self.model_version:
             raise ValueError(
                 f"{self.store_id}: delta v{version} not newer than "

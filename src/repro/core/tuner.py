@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.loader import batch_iter
-from ..faults.errors import TransientFaultError
+from ..faults.errors import StaleEpochError, TransientFaultError
 from ..faults.retry import RetryPolicy, call_with_retry
 from ..models.graph import FEATURE_DTYPE_BYTES
 from ..models.split import SplitModel
@@ -48,6 +48,9 @@ class DistributionStats:
     #: stores that were behind the delta's base version (they missed an
     #: earlier round) and were resynchronised with a full model instead
     stores_resynced: List[str] = field(default_factory=list)
+    #: stores that rejected this round because it was stamped with a
+    #: stale epoch — this Tuner has been deposed and must stand down
+    stores_fenced: List[str] = field(default_factory=list)
 
     @property
     def reduction_factor(self) -> float:
@@ -57,7 +60,8 @@ class DistributionStats:
 
     @property
     def degraded(self) -> bool:
-        return bool(self.stores_missed or self.stores_resynced)
+        return bool(self.stores_missed or self.stores_resynced
+                    or self.stores_fenced)
 
 
 class Tuner:
@@ -81,6 +85,11 @@ class Tuner:
             raise ValueError("split must keep the trainable tail on the Tuner")
         self.network = network
         self.version = 0
+        #: election epoch this Tuner believes it holds the primary lease
+        #: for; stamped on every model update so stores can fence zombies
+        self.epoch = 0
+        self._failed = False
+        self._m_fenced = None
         self.lr = lr
         self.batch_size = batch_size
         self._rng = np.random.default_rng(seed)
@@ -122,7 +131,34 @@ class Tuner:
             return nullcontext()
         return self.tracer.span(name, category="ftdmp", **args)
 
+    # -- fault injection ------------------------------------------------------
+    @property
+    def is_available(self) -> bool:
+        return not self._failed
+
+    def fail(self) -> None:
+        """Take the Tuner process down (targeted fault injection)."""
+        self._failed = True
+
+    def repair(self) -> None:
+        """Revive the process — it still holds its pre-crash epoch."""
+        self._failed = False
+
+    def bind_fencing_counter(self, counter) -> None:
+        """Count updates stores rejected for carrying this Tuner's stale
+        epoch (registered once by :class:`repro.ha.metrics.HAMetrics`)."""
+        self._m_fenced = counter
+
     # -- fleet management ---------------------------------------------------
+    def adopt_fleet(self, stores: Sequence[PipeStore]) -> None:
+        """Take over an existing fleet without resending model replicas.
+
+        Used at failover: the standby already holds the primary's exact
+        training state (shipped checkpoints), so the stores' replicas are
+        current — re-registering would waste a full-model send per store.
+        """
+        self._stores = list(stores)
+
     def register(self, store: PipeStore, replica: SplitModel) -> None:
         """Attach a PipeStore and push it a full model replica."""
         state = self.model.state_dict()
@@ -133,7 +169,8 @@ class Tuner:
             lambda: self.network.send(
                 self.name, store.store_id, num_bytes, "model-full"),
             self.retry)
-        store.install_model(replica, self.split, self.version)
+        store.install_model(replica, self.split, self.version,
+                            epoch=self.epoch)
         self._stores.append(store)
         self._last_distributed = state
 
@@ -186,6 +223,12 @@ class Tuner:
                         lambda s=store: self._send_full(s, new_state),
                         self.retry)
                     stats.stores_resynced.append(store.store_id)
+            except StaleEpochError:
+                # this Tuner has been deposed: the store already accepted
+                # a newer epoch and will never take our updates again
+                stats.stores_fenced.append(store.store_id)
+                if self._m_fenced is not None:
+                    self._m_fenced.inc(node=self.name)
             except (TransientFaultError, StoreUnavailableError):
                 stats.stores_missed.append(store.store_id)
         self.distributions.append(stats)
@@ -194,7 +237,7 @@ class Tuner:
             full_bytes = checknrun.state_dict_bytes(new_state)
             num_resynced = len(stats.stores_resynced)
             num_delta = (len(self._stores) - len(stats.stores_missed)
-                         - num_resynced)
+                         - len(stats.stores_fenced) - num_resynced)
             if num_delta:
                 self._m_distributions.inc(num_delta, mechanism="delta")
                 self._m_distributed_bytes.inc(num_delta * len(blob),
@@ -208,13 +251,13 @@ class Tuner:
     def _send_delta(self, store: PipeStore, blob: bytes) -> None:
         # ndlint: allow[ND005] -- invoked only via call_with_retry thunks
         self.network.send(self.name, store.store_id, len(blob), "model-delta")
-        store.apply_model_delta(blob, self.version)
+        store.apply_model_delta(blob, self.version, epoch=self.epoch)
 
     def _send_full(self, store: PipeStore, state: Dict[str, np.ndarray]) -> None:
         num_bytes = checknrun.state_dict_bytes(state)
         # ndlint: allow[ND005] -- invoked only via call_with_retry thunks
         self.network.send(self.name, store.store_id, num_bytes, "model-full")
-        store.apply_full_state(state, self.version)
+        store.apply_full_state(state, self.version, epoch=self.epoch)
 
     # -- FT-DMP fine-tuning ----------------------------------------------------
     def finetune(self, assignments: Optional[Dict[str, Sequence[str]]] = None,
@@ -403,6 +446,7 @@ class Tuner:
 
         state: Dict = {
             "version": self.version,
+            "epoch": self.epoch,
             "split": self.split,
             "lr": self.lr,
             "rng": rng_state_to_json(self._rng),
@@ -422,6 +466,8 @@ class Tuner:
     def import_training_state(self, state: Dict) -> None:
         """Inverse of :meth:`export_training_state` on a fresh Tuner."""
         self.version = int(state["version"])
+        # epoch absent in pre-HA checkpoints: those predate elections
+        self.epoch = int(state.get("epoch", 0))
         self.model.load_state_dict(state["model"])
         self._last_distributed = state["last_distributed"]
         self._rng.bit_generator.state = state["rng"]

@@ -208,6 +208,102 @@ def read_frame(blob: bytes) -> Tuple[Dict[str, Any], List[bytes]]:
     return manifest, blobs
 
 
+# ---------------------------------------------------------------------------
+# Tuner-scoped frames (HA standby shipping)
+# ---------------------------------------------------------------------------
+#: manifest tag distinguishing a tuner-scoped HA frame from a full
+#: cluster checkpoint — both share the NDCP framing and CRC trailer
+TUNER_FRAME_KIND = "tuner-ha"
+
+
+def pack_tuner_state(tuner_state: Dict[str, Any], epoch: int,
+                     ftdmp: Optional[FinetuneProgress] = None) -> bytes:
+    """Seal one Tuner's training state into a shippable NDCP frame.
+
+    Unlike :meth:`~repro.core.cluster.NDPipeCluster.checkpoint` this
+    carries *only* the Tuner — model, optimizer moments, RNG, version
+    counters, election epoch, and the pending FT-DMP run journal — so a
+    warm standby can be kept current at run boundaries without shipping
+    (or later restoring) store snapshots the standby must not roll back.
+    """
+    blobs: List[bytes] = []
+
+    def add(blob: bytes) -> int:
+        blobs.append(blob)
+        return len(blobs) - 1
+
+    manifest: Dict[str, Any] = {
+        "kind": TUNER_FRAME_KIND,
+        "epoch": int(epoch),
+        "tuner": {
+            "version": tuner_state["version"],
+            "split": tuner_state["split"],
+            "lr": tuner_state["lr"],
+            "rng": tuner_state["rng"],
+            "model_blob": add(pack_arrays(tuner_state["model"])),
+            "last_distributed_blob": (
+                None if tuner_state["last_distributed"] is None
+                else add(pack_arrays(tuner_state["last_distributed"]))),
+            "optimizer": None,
+        },
+        "ftdmp": None if ftdmp is None else ftdmp.to_dict(),
+    }
+    if tuner_state["optimizer"] is not None:
+        opt = tuner_state["optimizer"]
+        manifest["tuner"]["optimizer"] = {
+            "t": opt["t"],
+            "m_blob": add(pack_arrays(opt["m"])),
+            "v_blob": add(pack_arrays(opt["v"])),
+        }
+    return write_frame(manifest, blobs)
+
+
+def unpack_tuner_state(blob: bytes,
+                       ) -> Tuple[Dict[str, Any], int,
+                                  Optional[FinetuneProgress]]:
+    """Inverse of :func:`pack_tuner_state`.
+
+    Returns ``(tuner_state, epoch, pending_progress)`` where
+    ``tuner_state`` feeds ``Tuner.import_training_state`` directly.
+    """
+    manifest, blobs = read_frame(blob)
+    try:
+        if manifest.get("kind") != TUNER_FRAME_KIND:
+            raise CheckpointError(
+                f"expected a {TUNER_FRAME_KIND!r} frame, got "
+                f"{manifest.get('kind')!r} (a full cluster checkpoint "
+                "cannot be shipped to a standby)"
+            )
+        tuner_manifest = manifest["tuner"]
+        last_blob = tuner_manifest["last_distributed_blob"]
+        tuner_state: Dict[str, Any] = {
+            "version": tuner_manifest["version"],
+            "epoch": manifest["epoch"],
+            "split": tuner_manifest["split"],
+            "lr": tuner_manifest["lr"],
+            "rng": tuner_manifest["rng"],
+            "model": unpack_arrays(blobs[tuner_manifest["model_blob"]]),
+            "last_distributed": (
+                None if last_blob is None
+                else unpack_arrays(blobs[last_blob])),
+            "optimizer": None,
+        }
+        if tuner_manifest["optimizer"] is not None:
+            opt = tuner_manifest["optimizer"]
+            tuner_state["optimizer"] = {
+                "t": opt["t"],
+                "m": unpack_arrays(blobs[opt["m_blob"]]),
+                "v": unpack_arrays(blobs[opt["v_blob"]]),
+            }
+        epoch = int(manifest["epoch"])
+        progress = (None if manifest["ftdmp"] is None
+                    else FinetuneProgress.from_dict(manifest["ftdmp"]))
+    except (KeyError, IndexError, TypeError) as exc:
+        raise CheckpointError(
+            f"malformed tuner frame manifest: {exc!r}") from exc
+    return tuner_state, epoch, progress
+
+
 def inspect_checkpoint(blob: bytes) -> Dict[str, Any]:
     """A cheap summary of a checkpoint (no state is reconstructed)."""
     manifest, blobs = read_frame(blob)

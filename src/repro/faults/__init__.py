@@ -16,6 +16,7 @@ from .errors import (
     FaultConfigError,
     FaultError,
     MessageDroppedError,
+    StaleEpochError,
     TransientFaultError,
     TunerCrashError,
 )
@@ -30,16 +31,17 @@ from .events import (
     StoreRecover,
     TornWrite,
     TunerCrash,
+    TunerRecover,
 )
 from .retry import RetryPolicy, call_with_retry
 from .injector import FaultInjector
 
 __all__ = [
     "FaultError", "FaultConfigError", "TransientFaultError",
-    "MessageDroppedError", "TunerCrashError",
+    "MessageDroppedError", "TunerCrashError", "StaleEpochError",
     "FaultEvent", "StoreCrash", "StoreRecover", "DropMessages",
     "AddLatency", "SlowAccelerator", "SlowStage",
-    "BitRot", "TornWrite", "TunerCrash",
+    "BitRot", "TornWrite", "TunerCrash", "TunerRecover",
     "RetryPolicy", "call_with_retry",
     "FaultInjector",
 ]

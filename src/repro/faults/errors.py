@@ -33,5 +33,21 @@ class TunerCrashError(FaultError):
 
     Deliberately *not* transient: no retry policy can bring a dead
     process back.  The operator restores the cluster from its latest
-    checkpoint and resumes from the last completed run.
+    checkpoint and resumes from the last completed run — or, with the
+    HA layer enabled (:mod:`repro.ha`), the failure detector promotes
+    the warm standby automatically.
+    """
+
+
+class StaleEpochError(FaultError):
+    """A fenced component rejected an update stamped with an old epoch.
+
+    Raised by a :class:`~repro.core.pipestore.PipeStore` when a model
+    update (Check-N-Run delta or full resync) arrives carrying an epoch
+    older than the highest epoch the store has already accepted.  This
+    is the split-brain guard: a deposed primary Tuner that comes back
+    from the dead cannot corrupt replicas the new primary owns.
+
+    Deliberately *not* transient: retrying a fenced update can never
+    succeed — the sender must observe the new epoch (i.e. stand down).
     """

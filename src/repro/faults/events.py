@@ -135,10 +135,37 @@ class TornWrite(FaultEvent):
 
 @dataclass(frozen=True)
 class TunerCrash(FaultEvent):
-    """Kill the Tuner process: every subsequent observed operation raises
-    :class:`~repro.faults.errors.TunerCrashError` until the injector is
-    detached.  Recovery means restoring from a checkpoint, not retrying.
+    """Kill a Tuner process.
+
+    With the legacy ``tuner_id=None`` form every subsequent observed
+    operation raises :class:`~repro.faults.errors.TunerCrashError`
+    until the injector is detached — recovery means restoring from a
+    checkpoint.  With an explicit ``tuner_id`` the crash is *targeted*:
+    only fabric traffic to or from that node raises, the registered
+    tuner object is failed (its heartbeats stop), and the rest of the
+    cluster keeps running — which is what lets the HA layer fail over
+    to a warm standby while the primary is down.
     """
 
+    tuner_id: Optional[str] = None
+
     def describe(self) -> str:
-        return f"t={self.at} tuner crash"
+        who = self.tuner_id or "tuner (global)"
+        return f"t={self.at} tuner crash {who}"
+
+
+@dataclass(frozen=True)
+class TunerRecover(FaultEvent):
+    """Bring a crashed Tuner process back (the split-brain scenario).
+
+    A revived Tuner still holds the epoch it crashed with; if the HA
+    layer promoted a standby in the meantime, every update the zombie
+    distributes is rejected by epoch fencing.  ``tuner_id=None``
+    clears the legacy global crash flag.
+    """
+
+    tuner_id: Optional[str] = None
+
+    def describe(self) -> str:
+        who = self.tuner_id or "tuner (global)"
+        return f"t={self.at} tuner recover {who}"

@@ -39,6 +39,7 @@ from .events import (
     StoreRecover,
     TornWrite,
     TunerCrash,
+    TunerRecover,
 )
 
 
@@ -56,7 +57,7 @@ class _Budget:
 
 @guarded_by("_lock", "clock", "_due", "_drops", "_latencies", "stage_latency",
             "fired", "dropped", "corrupted", "_tuner_crashed",
-            "injected_latency_s")
+            "_crashed_tuners", "injected_latency_s")
 class FaultInjector:
     """Replays a fault schedule against an attached cluster.
 
@@ -84,15 +85,21 @@ class FaultInjector:
         #: (store_id, key) in corruption order
         self.corrupted: List[Any] = []
         self._tuner_crashed = False
+        #: node names of tuners downed by *targeted* TunerCrash events
+        self._crashed_tuners: set = set()
         self.injected_latency_s = 0.0
         self._fabrics: List[Any] = []
         self._pipelines: List[Any] = []
+        self._tuners: Dict[str, Any] = {}
 
     # -- wiring ------------------------------------------------------------
     def attach(self, cluster: Any) -> "FaultInjector":
         """Hook the whole runnable cluster (fabric + every PipeStore)."""
         for store in cluster.stores:
             self.register_store(store)
+        tuner = getattr(cluster, "tuner", None)
+        if tuner is not None:
+            self.register_tuner(tuner)
         self.attach_fabric(cluster.network)
         return self
 
@@ -111,6 +118,11 @@ class FaultInjector:
         self._stores[store.store_id] = store
         return self
 
+    def register_tuner(self, tuner: Any) -> "FaultInjector":
+        """Make a tuner addressable by targeted TunerCrash/TunerRecover."""
+        self._tuners[tuner.name] = tuner
+        return self
+
     def detach(self) -> None:
         """Unhook everything; pending events never fire."""
         for fabric in self._fabrics:
@@ -127,6 +139,7 @@ class FaultInjector:
             self._drops.clear()
             self._latencies.clear()
             self._tuner_crashed = False
+            self._crashed_tuners.clear()
 
     # -- the logical clock -------------------------------------------------
     def advance(self, ticks: int = 1) -> None:
@@ -168,7 +181,22 @@ class FaultInjector:
             elif isinstance(event, (BitRot, TornWrite)):
                 self._corrupt(event)
             elif isinstance(event, TunerCrash):
-                self._tuner_crashed = True
+                if event.tuner_id is None:
+                    # legacy global crash: every observed operation raises
+                    self._tuner_crashed = True
+                else:
+                    self._crashed_tuners.add(event.tuner_id)
+                    tuner = self._tuners.get(event.tuner_id)
+                    if tuner is not None:
+                        tuner.fail()
+            elif isinstance(event, TunerRecover):
+                if event.tuner_id is None:
+                    self._tuner_crashed = False
+                else:
+                    self._crashed_tuners.discard(event.tuner_id)
+                    tuner = self._tuners.get(event.tuner_id)
+                    if tuner is not None:
+                        tuner.repair()
             else:
                 raise FaultConfigError(f"unknown fault event {event!r}")
             self.fired.append(event)
@@ -212,6 +240,12 @@ class FaultInjector:
         self.advance()
         self._check_tuner_alive()
         with self._lock:
+            if self._crashed_tuners and (record.src in self._crashed_tuners
+                                         or record.dst in self._crashed_tuners):
+                raise TunerCrashError(
+                    f"injected tuner crash: {record.src} -> {record.dst} "
+                    f"touches a downed tuner node"
+                )
             for budget in self._drops:
                 if budget.matches(record.kind):
                     budget.remaining -= 1
@@ -256,6 +290,11 @@ class FaultInjector:
         with self._lock:
             return self._tuner_crashed
 
+    def crashed_tuners(self) -> List[str]:
+        """Tuner node names currently downed by targeted crashes."""
+        with self._lock:
+            return sorted(self._crashed_tuners)
+
     @property
     def pending(self) -> List[FaultEvent]:
         with self._lock:
@@ -276,6 +315,7 @@ class FaultInjector:
     def random_schedule(store_ids: Sequence[str], horizon: int, seed: int,
                         num_events: Optional[int] = None,
                         max_concurrent_crashes: Optional[int] = None,
+                        tuner_id: Optional[str] = None,
                         ) -> List[FaultEvent]:
         """A seeded random crash/recover/drop/latency/slowdown schedule.
 
@@ -285,6 +325,13 @@ class FaultInjector:
         generated crash is paired with a recover inside ``horizon`` or
         left down for the test to repair explicitly.  Drop bursts are
         capped at 2 so the default :class:`RetryPolicy` can absorb them.
+
+        With ``tuner_id`` set, a ~15% band of events becomes paired
+        targeted :class:`TunerCrash`/:class:`TunerRecover` events (at
+        most one tuner outage outstanding, always recovered inside the
+        horizon) so chaos suites exercise failover.  The default
+        ``tuner_id=None`` draws the exact same RNG sequence as before,
+        keeping historical seeded schedules byte-identical.
         """
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
@@ -306,8 +353,21 @@ class FaultInjector:
                        if a < end and start < b
                        and (store is None or s == store))
 
+        # down intervals for the (single) targeted tuner, same pairing rule
+        tuner_intervals: List = []  # (start, end)
+
         for _ in range(num_events):
             tick = int(rng.integers(1, horizon + 1))
+            # extra draw happens only when tuner events are requested, so
+            # the default RNG sequence (and schedules) stay byte-identical
+            if tuner_id is not None and rng.random() < 0.15:
+                end_t = tick + int(rng.integers(1, horizon // 3 + 2))
+                if any(a < end_t and tick < b for a, b in tuner_intervals):
+                    continue  # at most one tuner outage outstanding
+                events.append(TunerCrash(at=tick, tuner_id=tuner_id))
+                events.append(TunerRecover(at=int(end_t), tuner_id=tuner_id))
+                tuner_intervals.append((tick, end_t))
+                continue
             roll = rng.random()
             if roll < 0.40:
                 if rng.random() < 0.7:  # usually recovers inside the run

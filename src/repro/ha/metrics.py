@@ -1,0 +1,58 @@
+"""HAMetrics — the sole registration site for ha/failover families.
+
+Mirrors :class:`repro.serving.metrics.ServingMetrics`: every membership
+and failover family is registered here exactly once (ND004) against the
+cluster's shared registry, and the handles are passed to collaborators
+(the fencing counter is bound onto each Tuner) instead of re-registering.
+"""
+
+from __future__ import annotations
+
+from ..obs.metrics import MetricsRegistry
+
+
+class HAMetrics:
+    """Metric handles for the membership / failover subsystem."""
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.registry = metrics
+        self.heartbeats = metrics.counter(
+            "ha_heartbeats_total",
+            "heartbeat probes observed alive, per member",
+            label_names=("member",))
+        self.suspicions = metrics.counter(
+            "ha_suspicions_total",
+            "alive->suspect transitions flagged by the failure detector",
+            label_names=("member",))
+        self.epoch = metrics.gauge(
+            "ha_epoch",
+            "election epoch of the current primary Tuner")
+        self.failovers = metrics.counter(
+            "ha_failovers_total",
+            "standby Tuner promotions after primary suspicion")
+        self.checkpoints_shipped = metrics.counter(
+            "ha_checkpoints_shipped_total",
+            "tuner-scoped NDCP frames shipped to the warm standby")
+        self.checkpoint_bytes = metrics.counter(
+            "ha_checkpoint_bytes_total",
+            "bytes shipped keeping the standby current")
+        self.store_evictions = metrics.counter(
+            "ha_store_evictions_total",
+            "suspected stores whose orphans were auto re-placed",
+            label_names=("store",))
+        self.store_rejoins = metrics.counter(
+            "ha_store_rejoins_total",
+            "suspected stores recovered back into the fleet",
+            label_names=("store",))
+        self.orphans_reingested = metrics.counter(
+            "ha_orphans_reingested_total",
+            "photos the detector-driven eviction re-placed, per lost store",
+            label_names=("store",))
+        self.replica_drains = metrics.counter(
+            "ha_replica_drains_total",
+            "serving replicas drained/undrained on suspicion",
+            label_names=("replica", "action"))
+        self.fenced_updates = metrics.counter(
+            "ha_fenced_updates_total",
+            "model updates stores rejected for carrying a stale epoch",
+            label_names=("node",))

@@ -45,6 +45,10 @@ class ReplicaDispatcher:
         self.graph = model_graph(config.model)
         self.accelerator = config.accelerator_spec()
         self._free_at = [0.0] * len(self.replicas)
+        #: replica names a failure detector has drained: no new batches
+        #: land on them until :meth:`undrain` (membership, not removal —
+        #: the timeline slot survives so a rejoin resumes where it was)
+        self._drained: set = set()
         self.batches_dispatched = 0
         self.batches_failed = 0
         #: modelled work only: service + wire seconds of delivered batches
@@ -58,7 +62,32 @@ class ReplicaDispatcher:
         return min(self._free_at)
 
     def _pick_replica(self) -> int:
-        return min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        candidates = [i for i in range(len(self._free_at))
+                      if self.replicas[i].name not in self._drained]
+        if not candidates:
+            # every replica drained: degrade to the full fleet rather
+            # than erroring — serving a suspect replica beats serving none
+            candidates = list(range(len(self._free_at)))
+        return min(candidates, key=self._free_at.__getitem__)
+
+    # -- membership (driven by the HA failure detector) ---------------------
+    def drain(self, name: str) -> bool:
+        """Stop routing new batches to ``name``; True if newly drained."""
+        if name in self._drained or not any(
+                r.name == name for r in self.replicas):
+            return False
+        self._drained.add(name)
+        return True
+
+    def undrain(self, name: str) -> bool:
+        """Resume routing to ``name``; True if it was drained."""
+        if name not in self._drained:
+            return False
+        self._drained.discard(name)
+        return True
+
+    def drained(self) -> List[str]:
+        return sorted(self._drained)
 
     # -- elasticity ---------------------------------------------------------
     @property
@@ -83,6 +112,7 @@ class ReplicaDispatcher:
             if self._free_at[index] <= now_s:
                 replica = self.replicas.pop(index)
                 del self._free_at[index]
+                self._drained.discard(replica.name)
                 return replica.name
         return None
 

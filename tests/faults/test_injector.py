@@ -15,11 +15,26 @@ from repro.faults import (
     SlowStage,
     StoreCrash,
     StoreRecover,
+    TunerCrash,
+    TunerCrashError,
+    TunerRecover,
 )
 
 
 def make_fleet(n=3):
     return [PipeStore(f"pipestore-{i}") for i in range(n)]
+
+
+class FakeTuner:
+    def __init__(self, name="tuner"):
+        self.name = name
+        self.up = True
+
+    def fail(self):
+        self.up = False
+
+    def repair(self):
+        self.up = True
 
 
 class TestScheduleFiring:
@@ -139,6 +154,52 @@ class TestPipelineHook:
         assert pipe.stats[0].busy_seconds >= 0.95 * 4 * 0.02
 
 
+class TestTunerEvents:
+    def test_targeted_crash_blocks_only_tuner_traffic(self):
+        fabric = NetworkFabric()
+        tuner = FakeTuner()
+        injector = FaultInjector([
+            TunerCrash(at=1, tuner_id="tuner"),
+            TunerRecover(at=3, tuner_id="tuner"),
+        ])
+        injector.register_tuner(tuner)
+        injector.attach_fabric(fabric)
+        with pytest.raises(TunerCrashError):
+            fabric.send("tuner", "pipestore-0", 8, "x")  # t=1: crash fires
+        assert not tuner.up
+        assert injector.crashed_tuners() == ["tuner"]
+        fabric.send("a", "b", 8, "x")  # t=2: unrelated traffic flows
+        fabric.send("a", "b", 8, "x")  # t=3: recover fires
+        assert tuner.up
+        assert injector.crashed_tuners() == []
+        fabric.send("tuner", "pipestore-0", 8, "x")
+
+    def test_traffic_to_a_crashed_tuner_also_fails(self):
+        fabric = NetworkFabric()
+        injector = FaultInjector([TunerCrash(at=1, tuner_id="tuner")])
+        injector.attach_fabric(fabric)
+        fabric.send("a", "b", 8, "x")  # t=1 arms the crash
+        with pytest.raises(TunerCrashError):
+            fabric.send("pipestore-0", "tuner", 8, "features")
+
+    def test_legacy_global_crash_raises_on_everything(self):
+        fabric = NetworkFabric()
+        injector = FaultInjector([TunerCrash(at=1)]).attach_fabric(fabric)
+        with pytest.raises(TunerCrashError):
+            fabric.send("a", "b", 8, "x")
+        assert injector.tuner_crashed
+        with pytest.raises(TunerCrashError):
+            fabric.send("c", "d", 8, "y")  # even traffic far from the tuner
+
+    def test_detach_clears_targeted_crashes(self):
+        fabric = NetworkFabric()
+        injector = FaultInjector([
+            TunerCrash(at=1, tuner_id="tuner")]).attach_fabric(fabric)
+        fabric.send("a", "b", 8, "x")
+        injector.detach()
+        assert injector.crashed_tuners() == []
+
+
 class TestRandomSchedule:
     IDS = ["pipestore-0", "pipestore-1", "pipestore-2"]
 
@@ -184,6 +245,43 @@ class TestRandomSchedule:
             FaultInjector.random_schedule([], horizon=10, seed=0)
         with pytest.raises(ValueError):
             FaultInjector.random_schedule(self.IDS, horizon=0, seed=0)
+
+    def test_tuner_band_generates_paired_events(self):
+        saw_tuner = False
+        for seed in range(25):
+            schedule = FaultInjector.random_schedule(
+                self.IDS, horizon=40, seed=seed, num_events=12,
+                tuner_id="tuner")
+            crashes = sorted((e.at for e in schedule
+                              if isinstance(e, TunerCrash)))
+            recovers = sorted((e.at for e in schedule
+                               if isinstance(e, TunerRecover)))
+            # every crash is paired with a later recover, and outages
+            # never overlap (at most one outstanding)
+            assert len(crashes) == len(recovers)
+            saw_tuner = saw_tuner or bool(crashes)
+            for crash_at, recover_at in zip(crashes, recovers):
+                assert crash_at < recover_at
+            for recover_at, next_crash_at in zip(recovers, crashes[1:]):
+                assert recover_at <= next_crash_at
+            for event in schedule:
+                if isinstance(event, (TunerCrash, TunerRecover)):
+                    assert event.tuner_id == "tuner"
+        assert saw_tuner  # the ~15% band fired somewhere in 25 seeds
+
+    def test_default_tuner_id_generates_no_tuner_events(self):
+        for seed in range(25):
+            schedule = FaultInjector.random_schedule(
+                self.IDS, horizon=40, seed=seed, num_events=12)
+            assert not any(isinstance(e, (TunerCrash, TunerRecover))
+                           for e in schedule)
+
+    def test_tuner_schedule_is_deterministic(self):
+        a = FaultInjector.random_schedule(self.IDS, horizon=40, seed=5,
+                                          tuner_id="tuner")
+        b = FaultInjector.random_schedule(self.IDS, horizon=40, seed=5,
+                                          tuner_id="tuner")
+        assert a == b
 
     def test_replay_is_deterministic_against_a_fabric(self):
         """Same schedule + same message sequence => identical drops."""
