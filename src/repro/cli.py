@@ -22,8 +22,10 @@ Commands:
   finetune / relabel / serving scenarios), write ``BENCH_*.json``
   results, and optionally gate them against the committed baselines
   (``--check``) or re-record the baselines (``--bless``);
-* ``lint``     — run the ndlint invariant rules (ND001..ND005) over the
-  package (or given paths) and exit nonzero on findings.
+* ``lint``     — run the ndlint invariant rules (intraprocedural
+  ND001..ND005 plus the interprocedural call-graph tier ND006..ND010)
+  over the package (or given paths) and exit nonzero on unbaselined
+  findings (``--baseline``/``--update-baseline`` manage the ledger).
 
 Every subcommand takes the same three plumbing flags: ``--seed`` (the
 deterministic run seed), ``--out`` (write the report to a file instead
@@ -343,9 +345,17 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_nemesis(args: argparse.Namespace) -> int:
+    import os
+
     from .analysis.tables import format_table
     from .ha import InvariantViolation, NemesisHarness
+    from .lint.sanitizer import SANITIZER
 
+    if os.environ.get("NDPIPE_SANITIZE"):
+        # mirror the test suite's conftest: guarded classes wrap their
+        # locks, the fabric cross-checks ND008, and the harness drains
+        # violations after every step
+        SANITIZER.enable(mode="record")
     harness = NemesisHarness(seed=args.seed, steps=args.steps,
                              num_stores=args.stores,
                              photos_per_step=args.photos)
@@ -477,26 +487,74 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .lint import LintEngine, package_root, render_json, render_text
+    from .lint.baseline import (
+        diff_baseline,
+        load_baseline,
+        render_baseline,
+    )
 
     engine = LintEngine()
     paths = ([Path(p) for p in args.paths] if args.paths
              else [package_root()])
     if args.update_manifest:
         # collect registrations with the manifest check disabled, rewrite
-        # METRICS.md, then lint for real against the fresh manifest
+        # both manifests, then lint for real against the fresh copies
         probe = LintEngine()
         probe.config.manifest_path = None
         probe.run(paths)
         engine.registrations = probe.registrations
         target = engine.write_manifest()
         print(f"wrote {target}", file=sys.stderr)
+        if probe.fastpath_usage:
+            engine.fastpath_usage = probe.fastpath_usage
+            target = engine.write_fastpath_manifest()
+            print(f"wrote {target}", file=sys.stderr)
     findings = engine.run(paths)
+    if args.check_manifests:
+        drift = _manifest_drift(engine)
+        for line in drift:
+            print(f"manifest drift: {line}", file=sys.stderr)
+        if drift:
+            return 1
+    if args.update_baseline:
+        target = Path(args.baseline or "lint-baseline.json")
+        target.write_text(render_baseline(findings))
+        print(f"wrote {target} ({len(findings)} baselined findings)",
+              file=sys.stderr)
+        return 0
+    if args.baseline:
+        ledger = load_baseline(Path(args.baseline))
+        findings, resolved, matched = diff_baseline(findings, ledger)
+        if matched:
+            print(f"baseline: {matched} known finding(s) tolerated",
+                  file=sys.stderr)
+        for key in resolved:
+            print(f"baseline: resolved (re-record to shrink the ledger): "
+                  f"{key}", file=sys.stderr)
     report = (render_json(findings) if args.format == "json"
               else render_text(findings))
     # write the report before deciding the exit code so the CI gate
     # always has its artifact, pass or fail
     _emit(report, args.out)
     return 1 if findings else 0
+
+
+def _manifest_drift(engine) -> list:
+    """Human-readable drift lines for METRICS.md + the fastpath manifest."""
+    drift = []
+    path = engine.config.manifest_path
+    if path is not None:
+        on_disk = path.read_text() if path.is_file() else ""
+        if on_disk != engine.render_manifest():
+            drift.append(f"{path} is stale; regenerate with "
+                         "'repro lint --update-manifest'")
+    path = engine.config.fastpath_manifest_path
+    if path is not None and engine.fastpath_usage:
+        on_disk = path.read_text() if path.is_file() else ""
+        if on_disk != engine.render_fastpath_manifest():
+            drift.append(f"{path} is stale; regenerate with "
+                         "'repro lint --update-manifest'")
+    return drift
 
 
 def _cmd_catalog(args: argparse.Namespace) -> int:
@@ -799,7 +857,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files/directories to lint (default: the "
                            "installed repro package)")
     lint.add_argument("--update-manifest", action="store_true",
-                      help="regenerate obs/METRICS.md before linting")
+                      help="regenerate obs/METRICS.md and "
+                           "fastpath_equivalence.json before linting")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="tolerate findings recorded in this "
+                           "lint-baseline.json; only new findings fail")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="record every current finding into the "
+                           "baseline ledger (--baseline or "
+                           "lint-baseline.json) and exit 0")
+    lint.add_argument("--check-manifests", action="store_true",
+                      help="fail when obs/METRICS.md or "
+                           "fastpath_equivalence.json is stale")
     _add_common_flags(lint)
     lint.set_defaults(func=_cmd_lint)
     return parser

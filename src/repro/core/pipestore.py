@@ -16,6 +16,7 @@ import numpy as np
 from ..durability.integrity import ScrubReport
 from ..fastpath import flags
 from ..faults.errors import StaleEpochError
+from ..lint.contracts import fenced_by
 from ..models.split import SplitModel
 from ..nn.tensor import Tensor, inference_mode
 from ..obs.metrics import MetricsRegistry
@@ -50,8 +51,17 @@ class StoredPhoto:
 NOMINAL_SECONDS_PER_IMAGE = 1e-3
 
 
+@fenced_by("_fence", "model", "split", "model_version")
 class PipeStore:
-    """One computational storage server."""
+    """One computational storage server.
+
+    The model replica is epoch-fenced state: every mutation of
+    ``model``/``split``/``model_version`` must sit behind a
+    :meth:`_fence` check (the :class:`~repro.faults.errors.StaleEpochError`
+    split-brain guard), and ND007 proves the dominance on every path —
+    a deposed primary's update cannot reach the replica even on a
+    branch no chaos test happens to execute.
+    """
 
     def __init__(self, store_id: str, nominal_raw_bytes: int = 8192,
                  batch_size: int = 128):

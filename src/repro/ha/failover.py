@@ -22,14 +22,23 @@ from ..durability.checkpoint import (
 )
 from ..faults.errors import FaultError
 from ..faults.retry import call_with_retry
+from ..lint.contracts import fenced_by
 from .metrics import HAMetrics
 
 #: traffic kind of standby-refresh frames on the fabric
 CHECKPOINT_KIND = "ha-checkpoint"
 
 
+@fenced_by("_check_promotable", "primary", "standby")
 class TunerFailoverManager:
-    """Owns the primary/standby pair and the election that swaps them."""
+    """Owns the primary/standby pair and the election that swaps them.
+
+    The role pair is fenced state: any method that reassigns the roles
+    or pushes training state into them must first pass
+    :meth:`_check_promotable`, and ND007 proves the dominance on every
+    path — an election can never run off a frame that never arrived or
+    onto a standby that is itself down.
+    """
 
     def __init__(self, cluster, standby, metrics: HAMetrics):
         self.cluster = cluster
@@ -75,6 +84,15 @@ class TunerFailoverManager:
     def can_promote(self) -> bool:
         return self.last_frame is not None and self.standby.is_available
 
+    def _check_promotable(self) -> None:
+        """The promotion fence: raises unless an election may proceed."""
+        if self.last_frame is None:
+            raise RuntimeError(
+                "no checkpoint has reached the standby; nothing to promote")
+        if not self.standby.is_available:
+            raise RuntimeError(
+                f"standby {self.standby.name} is itself down")
+
     def promote(self) -> Optional[FinetuneProgress]:
         """Elect the standby primary; returns any pending FT-DMP resume.
 
@@ -83,12 +101,7 @@ class TunerFailoverManager:
         epoch — every update it distributes before observing the new
         epoch is fenced by the stores.
         """
-        if self.last_frame is None:
-            raise RuntimeError(
-                "no checkpoint has reached the standby; nothing to promote")
-        if not self.standby.is_available:
-            raise RuntimeError(
-                f"standby {self.standby.name} is itself down")
+        self._check_promotable()
         state, frame_epoch, progress = unpack_tuner_state(self.last_frame)
         new_epoch = 1 + max(frame_epoch, self.primary.epoch,
                             self.standby.epoch)

@@ -1,0 +1,97 @@
+"""The ruff-style lint baseline (``lint-baseline.json``).
+
+Adopting a new rule tier over a living tree is all-or-nothing without a
+ledger of known findings: the gate either stays red until every legacy
+site is fixed, or the rule waits.  The baseline splits the difference —
+**new findings fail, legacy findings are tracked**:
+
+* ``repro lint --update-baseline`` records every current finding as a
+  fingerprint (normalized path + rule + message, with a count, so two
+  identical findings in one file are two ledger slots);
+* ``repro lint --baseline lint-baseline.json`` subtracts the ledger from
+  the run: only findings exceeding their baselined count fail the gate,
+  and fingerprints that no longer occur are reported as *resolved* drift
+  so the ledger can be re-recorded smaller.
+
+Fingerprints deliberately exclude line numbers — unrelated edits above a
+legacy site must not resurrect it — and normalize paths to the segment
+after ``src/`` so absolute and relative invocations share a ledger.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "diff_baseline",
+    "fingerprint",
+    "load_baseline",
+    "normalize_path",
+    "render_baseline",
+]
+
+
+def normalize_path(path: str) -> str:
+    """A repo-stable path: the part after ``src/`` when present."""
+    posix = Path(path).as_posix()
+    marker = "/src/"
+    at = posix.rfind(marker)
+    if at >= 0:
+        return posix[at + len(marker):]
+    if posix.startswith("src/"):
+        return posix[len("src/"):]
+    return posix.lstrip("/") if posix.startswith("/") else posix
+
+
+def fingerprint(finding: Finding) -> str:
+    return f"{normalize_path(finding.path)}::{finding.rule}::" \
+           f"{finding.message}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """The fingerprint -> tolerated-count ledger, {} when absent."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text())
+    findings = data.get("findings", {})
+    return {str(k): int(v) for k, v in findings.items()}
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "comment": "ndlint legacy-finding ledger; regenerate with "
+                   "'repro lint --update-baseline'. New findings fail "
+                   "the gate, entries here are tolerated until fixed.",
+        "version": 1,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def diff_baseline(findings: Sequence[Finding], baseline: Dict[str, int],
+                  ) -> Tuple[List[Finding], List[str], int]:
+    """(new findings, resolved fingerprints, baselined-count).
+
+    Findings are consumed against the ledger in sorted order, so which
+    duplicate of an over-budget fingerprint is "new" is deterministic.
+    """
+    budget = dict(baseline)
+    fresh: List[Finding] = []
+    matched = 0
+    for finding in sorted(findings):
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    resolved = sorted(key for key, left in budget.items() if left > 0)
+    return fresh, resolved, matched

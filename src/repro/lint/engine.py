@@ -19,12 +19,22 @@ regenerates it deterministically from the registrations it collected.
 
 from __future__ import annotations
 
+import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .callgraph import CallGraph, ProjectIndex
 from .findings import Finding
+from .interproc import (
+    check_conservation,
+    check_exception_accounting,
+    check_fastpath_manifest,
+    check_fencing,
+    check_lock_blocking,
+    collect_fastpath_usage,
+)
 from .rules import (
     MetricRegistration,
     ModuleContext,
@@ -57,6 +67,12 @@ class LintConfig:
     rule_allow: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     manifest_path: Optional[Path] = None
     manifest_scope: Optional[str] = "repro/"
+    #: run the ND006-ND010 call-graph tier
+    interprocedural: bool = True
+    #: the ND010 equivalence-test manifest (None disables the rule)
+    fastpath_manifest_path: Optional[Path] = None
+    #: emit ND000 for justified markers whose rule never fires
+    flag_unused_markers: bool = True
 
     def allows(self, rule: str, path: str) -> bool:
         posix = Path(path).as_posix()
@@ -92,6 +108,7 @@ def default_config() -> LintConfig:
             ),
         },
         manifest_path=root / "obs" / "METRICS.md",
+        fastpath_manifest_path=root / "fastpath_equivalence.json",
     )
 
 
@@ -115,6 +132,11 @@ class LintEngine:
         #: every registration seen by the last :meth:`run`
         self.registrations: List[MetricRegistration] = []
         self._inline_allows: Dict[str, Dict[int, Set[str]]] = {}
+        self._contexts: List[ModuleContext] = []
+        #: (path, line, rule) inline suppressions that actually fired
+        self._marker_hits: Set[Tuple[str, int, str]] = set()
+        #: flag -> {module -> line} from the last interprocedural run
+        self.fastpath_usage: Dict[str, Dict[str, int]] = {}
 
     # -- discovery ----------------------------------------------------------
     @staticmethod
@@ -132,6 +154,9 @@ class LintEngine:
         files = self.discover(paths)
         findings: List[Finding] = []
         self.registrations = []
+        self._contexts = []
+        self._marker_hits = set()
+        self.fastpath_usage = {}
         for file in files:
             findings.extend(self.lint_file(file))
         manifest_names: Optional[Set[str]] = None
@@ -144,13 +169,61 @@ class LintEngine:
                 manifest_scope=self.config.manifest_scope):
             if not self._suppressed(finding):
                 findings.append(finding)
+        if self.config.interprocedural and self._contexts:
+            findings.extend(self._run_interprocedural())
+        if self.config.flag_unused_markers:
+            findings.extend(self._unused_markers())
         return sorted(findings)
+
+    def _run_interprocedural(self) -> List[Finding]:
+        """The ND006-ND010 tier over every module of this run."""
+        index = ProjectIndex(self._contexts)
+        graph = CallGraph(index)
+        self.fastpath_usage = collect_fastpath_usage(index)
+        manifest: Optional[dict] = None
+        if self.config.fastpath_manifest_path is not None and \
+                self.config.fastpath_manifest_path.is_file():
+            manifest = json.loads(
+                self.config.fastpath_manifest_path.read_text())
+        findings: List[Finding] = []
+        for rule_findings in (
+            check_conservation(index, graph),
+            check_fencing(index, graph),
+            check_lock_blocking(index, graph),
+            check_exception_accounting(index, graph),
+            check_fastpath_manifest(index, manifest),
+        ):
+            for finding in rule_findings:
+                if not self._suppressed(finding):
+                    findings.append(finding)
+        return findings
+
+    def _unused_markers(self) -> List[Finding]:
+        """ND000 for justified markers whose rule never fired this run."""
+        findings: List[Finding] = []
+        for ctx in self._contexts:
+            for marker in ctx.markers:
+                for rule in marker.rules:
+                    if any((ctx.path, line, rule) in self._marker_hits
+                           for line in marker.covered):
+                        continue
+                    findings.append(Finding(
+                        path=ctx.path, line=marker.line, col=marker.col,
+                        rule="ND000",
+                        message=f"allow marker for {rule} never fired; "
+                                "delete the marker or fix the rule id so "
+                                "suppressions cannot rot"))
+        return findings
 
     def _suppressed(self, finding: Finding) -> bool:
         if self.config.allows(finding.rule, finding.path):
             return True
         allows = self._inline_allows.get(finding.path, {})
-        return finding.rule in allows.get(finding.line, ())
+        if finding.rule in allows.get(finding.line, ()):
+            self._marker_hits.add((finding.path, finding.line,
+                                   finding.rule))
+            return True
+        return False
 
     def lint_file(self, file: Path) -> List[Finding]:
         """Per-module rules for one file; ND004 data is collected aside."""
@@ -161,6 +234,7 @@ class LintEngine:
                             rule="ND000",
                             message=f"file does not parse: {exc.msg}")]
         self._inline_allows[str(file)] = ctx.allows
+        self._contexts.append(ctx)
         findings = list(ctx.allow_findings)  # ND000s are never suppressed
         for rule_findings in (
             check_determinism(ctx),
@@ -169,11 +243,8 @@ class LintEngine:
             check_retry_discipline(ctx),
         ):
             for finding in rule_findings:
-                if self.config.allows(finding.rule, finding.path):
-                    continue
-                if finding.rule in ctx.allows.get(finding.line, ()):
-                    continue
-                findings.append(finding)
+                if not self._suppressed(finding):
+                    findings.append(finding)
         self.registrations.extend(collect_metric_registrations(ctx))
         return findings
 
@@ -208,4 +279,48 @@ class LintEngine:
         if target is None:
             raise ValueError("no manifest path configured")
         target.write_text(self.render_manifest())
+        return target
+
+    # -- the fastpath equivalence manifest ----------------------------------
+    def render_fastpath_manifest(self) -> str:
+        """fastpath_equivalence.json content from the last run's usage.
+
+        The ``modules`` lists are regenerated from the call-graph scan;
+        the hand-maintained ``tests`` lists (the bit-exactness lockdown
+        for each flag) are carried over from the manifest on disk, so a
+        regeneration can never silently drop a lockdown.
+        """
+        existing: dict = {}
+        if self.config.fastpath_manifest_path is not None and \
+                self.config.fastpath_manifest_path.is_file():
+            existing = json.loads(
+                self.config.fastpath_manifest_path.read_text())
+        flags: Dict[str, dict] = {}
+        for flag, sites in sorted(self.fastpath_usage.items()):
+            previous = existing.get("flags", {}).get(flag, {})
+            flags[flag] = {
+                "modules": sorted(sites),
+                "tests": sorted(previous.get("tests", [])),
+            }
+        payload = {
+            "comment": "fastpath dual-implementation registry; module "
+                       "lists are generated by 'repro lint "
+                       "--update-manifest', the tests lists are the "
+                       "hand-maintained equivalence lockdown ND010 "
+                       "requires to be non-empty.",
+            "version": 1,
+            "flags": flags,
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    def write_fastpath_manifest(self, path: Optional[Path] = None) -> Path:
+        target = path if path is not None \
+            else self.config.fastpath_manifest_path
+        if target is None:
+            raise ValueError("no fastpath manifest path configured")
+        if not self.fastpath_usage:
+            raise ValueError(
+                "no fastpath usage collected; run the engine over a tree "
+                "containing repro/fastpath.py first")
+        target.write_text(self.render_fastpath_manifest())
         return target

@@ -32,10 +32,10 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .allowlist import parse_allows
+from .allowlist import Marker, parse_markers
 from .findings import Finding
 
 __all__ = [
@@ -79,14 +79,19 @@ class ModuleContext:
     lines: List[str]
     allows: Dict[int, Set[str]]
     allow_findings: List[Finding]
+    markers: List[Marker] = field(default_factory=list)
 
     @classmethod
     def parse(cls, path: str, source: str) -> "ModuleContext":
         tree = ast.parse(source, filename=path)
-        allows, allow_findings = parse_allows(path, source)
+        markers, allow_findings = parse_markers(path, source)
+        allows: Dict[int, Set[str]] = {}
+        for marker in markers:
+            for lineno in marker.covered:
+                allows.setdefault(lineno, set()).update(marker.rules)
         return cls(path=path, source=source, tree=tree,
                    lines=source.splitlines(), allows=allows,
-                   allow_findings=allow_findings)
+                   allow_findings=allow_findings, markers=markers)
 
 
 def _finding(ctx: ModuleContext, node: ast.AST, rule: str,

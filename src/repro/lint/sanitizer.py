@@ -11,7 +11,19 @@ lock around guarded state; this module checks the things an AST cannot:
 * **unguarded cross-thread writes** — classes annotated with
   :func:`repro.lint.guards.guarded_by` report a ``unguarded-write``
   violation when a thread other than the instance's constructing thread
-  writes a guarded attribute without holding the declared lock.
+  writes a guarded attribute without holding the declared lock;
+* **blocking-under-lock** — the fabric calls :meth:`check_blocking`
+  before every transfer, so a send issued while *any* tracked lock is
+  held records a ``blocking-under-lock`` violation: the runtime
+  cross-check of the static ND008 verdict, exercised by the nemesis
+  harness under ``NDPIPE_SANITIZE``;
+* **happens-before annotation** — each thread carries a vector clock;
+  releasing a tracked lock publishes the releaser's clock and acquiring
+  it joins that clock into the acquirer's (the lock hand-off is the
+  happens-before edge).  Lock-order cycle reports are annotated
+  ``hb=concurrent`` when the two conflicting acquisitions were causally
+  unordered (genuinely racing threads — a real deadlock window) versus
+  ``hb=ordered`` (serialized, e.g. phased initialization).
 
 The sanitizer is off by default and costs one global flag check when
 off.  Tests and chaos runs switch it on (``NDPIPE_SANITIZE=1`` via the
@@ -29,7 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set
 
 __all__ = ["ConcurrencySanitizer", "SANITIZER", "SanitizerError",
-           "TrackedLock", "Violation", "sanitized"]
+           "TrackedLock", "VectorClock", "Violation", "sanitized"]
 
 
 class SanitizerError(RuntimeError):
@@ -40,8 +52,60 @@ class SanitizerError(RuntimeError):
 class Violation:
     """One concurrency-invariant breach observed at runtime."""
 
-    kind: str  # "lock-order-cycle" | "unguarded-write"
+    kind: str  # "lock-order-cycle" | "unguarded-write" | "blocking-under-lock"
     detail: str
+
+
+Clock = Dict[int, int]
+
+
+class VectorClock:
+    """Per-thread vector clocks joined across lock hand-off edges.
+
+    The only happens-before edges modelled are tracked-lock release ->
+    subsequent acquire (enough to separate phased initialization from
+    genuinely concurrent acquisition patterns); thread start/join edges
+    are deliberately out of scope, so ``ordered`` verdicts are sound but
+    not complete.
+    """
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._threads: Dict[int, Clock] = {}
+
+    def snapshot(self, ident: int) -> Clock:
+        with self._mutex:
+            return dict(self._threads.get(ident, {}))
+
+    def tick(self, ident: int) -> Clock:
+        """Advance ``ident``'s component; returns the new clock copy."""
+        with self._mutex:
+            clock = self._threads.setdefault(ident, {})
+            clock[ident] = clock.get(ident, 0) + 1
+            return dict(clock)
+
+    def join(self, ident: int, other: Optional[Clock]) -> None:
+        """Merge ``other`` into ``ident``'s clock (componentwise max)."""
+        if not other:
+            return
+        with self._mutex:
+            clock = self._threads.setdefault(ident, {})
+            for component, value in other.items():
+                if value > clock.get(component, 0):
+                    clock[component] = value
+
+    @staticmethod
+    def ordered(a: Optional[Clock], b: Optional[Clock]) -> bool:
+        """True when one clock happens-before (or equals) the other."""
+        if a is None or b is None:
+            return False
+        a_le_b = all(v <= b.get(k, 0) for k, v in a.items())
+        b_le_a = all(v <= a.get(k, 0) for k, v in b.items())
+        return a_le_b or b_le_a
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._threads.clear()
 
 
 class _LockGraph:
@@ -49,10 +113,21 @@ class _LockGraph:
 
     def __init__(self):
         self._edges: Dict[str, Set[str]] = {}
+        #: first-seen acquirer clock per edge, for hb annotation
+        self._edge_clocks: Dict[tuple, Optional[Clock]] = {}
         self._mutex = threading.Lock()  # internal; never tracked
 
-    def add_edge(self, held: str, acquired: str) -> Optional[List[str]]:
-        """Record held -> acquired; returns the cycle it closes, if any."""
+    def add_edge(self, held: str, acquired: str,
+                 clock: Optional[Clock] = None,
+                 ) -> Optional[tuple]:
+        """Record held -> acquired with the acquirer's vector clock.
+
+        Returns ``(cycle, reverse_clock)`` when the edge closes a cycle:
+        the node path, plus the clock recorded when the first edge of
+        the pre-existing reverse path was drawn (``None`` if unknown) so
+        the caller can annotate whether the conflicting acquisitions
+        were causally ordered.
+        """
         if held == acquired:
             return None
         with self._mutex:
@@ -61,8 +136,13 @@ class _LockGraph:
                 return None
             path = self._path(acquired, held)
             successors.add(acquired)
+            self._edge_clocks.setdefault((held, acquired), clock)
             if path is not None:
-                return [held] + path
+                reverse_clock = None
+                if len(path) > 1:
+                    reverse_clock = self._edge_clocks.get(
+                        (path[0], path[1]))
+                return [held] + path, reverse_clock
         return None
 
     def _path(self, src: str, dst: str) -> Optional[List[str]]:
@@ -86,6 +166,7 @@ class _LockGraph:
     def clear(self) -> None:
         with self._mutex:
             self._edges.clear()
+            self._edge_clocks.clear()
 
 
 class TrackedLock:
@@ -105,6 +186,8 @@ class TrackedLock:
         self._sanitizer = sanitizer
         self._owner: Optional[int] = None
         self._count = 0
+        #: clock published by the last releaser (the happens-before edge)
+        self._release_clock: Optional[Clock] = None
 
     # -- lock protocol ------------------------------------------------------
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
@@ -119,16 +202,26 @@ class TrackedLock:
             return False
         self._owner = ident
         self._count = 1
+        clocks = self._sanitizer.clocks
+        clocks.join(ident, self._release_clock)
+        clock = clocks.tick(ident)
         stack = self._stack()
         for held_name in stack:
-            cycle = self._sanitizer.graph.add_edge(held_name, self.name)
-            if cycle is not None:
-                # add_edge returns the cycle already closed:
-                # [held, acquired, ..., held]
+            closed = self._sanitizer.graph.add_edge(
+                held_name, self.name, clock)
+            if closed is not None:
+                # add_edge returns the cycle already closed
+                # ([held, acquired, ..., held]) plus the vector clock of
+                # the acquisition that drew the reverse edge
+                cycle, reverse_clock = closed
+                hb = ("ordered"
+                      if VectorClock.ordered(clock, reverse_clock)
+                      else "concurrent")
                 self._sanitizer.record(Violation(
                     kind="lock-order-cycle",
                     detail="lock acquisition order cycle (potential "
-                           "deadlock): " + " -> ".join(cycle),
+                           "deadlock): " + " -> ".join(cycle)
+                           + f" [hb={hb}]",
                 ))
         stack.append(self.name)
         return True
@@ -142,6 +235,9 @@ class TrackedLock:
                 stack = self._stack()
                 if self.name in stack:
                     stack.remove(self.name)
+                # publish the releaser's clock: whoever acquires next
+                # joins it, establishing release -> acquire ordering
+                self._release_clock = self._sanitizer.clocks.tick(ident)
         self._inner.release()
 
     def __enter__(self) -> "TrackedLock":
@@ -177,6 +273,7 @@ class ConcurrencySanitizer:
         self.enabled = False
         self.mode = "record"  # or "raise"
         self.graph = _LockGraph()
+        self.clocks = VectorClock()
         self._violations: List[Violation] = []
         self._mutex = threading.Lock()
 
@@ -194,6 +291,7 @@ class ConcurrencySanitizer:
         with self._mutex:
             self._violations.clear()
         self.graph.clear()
+        self.clocks.clear()
 
     # -- recording ----------------------------------------------------------
     def record(self, violation: Violation) -> None:
@@ -220,6 +318,26 @@ class ConcurrencySanitizer:
             details = "; ".join(f"{v.kind}: {v.detail}" for v in violations)
             raise SanitizerError(
                 f"{len(violations)} concurrency violation(s): {details}")
+
+    def check_blocking(self, detail: str) -> None:
+        """Runtime cross-check of ND008: fail if any tracked lock is held.
+
+        Blocking primitives (the fabric's ``send`` is the canonical one)
+        call this before doing the slow thing; if the calling thread
+        holds any :class:`TrackedLock`, the operation would stall every
+        other thread contending for it — exactly what the static ND008
+        rule proves never happens, so a hit here is either a lint escape
+        or an unjustified ``# ndlint: allow[ND008]``.
+        """
+        if not self.enabled:
+            return
+        stack = TrackedLock._stack()
+        if stack:
+            self.record(Violation(
+                kind="blocking-under-lock",
+                detail=f"{detail} while holding " + " -> ".join(stack)
+                       + " (runtime ND008 cross-check)",
+            ))
 
     # -- instrumentation ----------------------------------------------------
     def track_lock(self, lock, name: str) -> TrackedLock:

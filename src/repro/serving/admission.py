@@ -24,6 +24,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..lint.contracts import conserves
 from ..lint.guards import guarded_by
 
 __all__ = ["ServeRequest", "AdmissionQueue"]
@@ -44,9 +45,16 @@ class ServeRequest:
     deadline_s: Optional[float] = None
 
 
-@guarded_by("_lock", "_pending", "_shed_full")
+@conserves("_offered == _admitted + _shed_full")
+@guarded_by("_lock", "_pending", "_shed_full", "_offered", "_admitted")
 class AdmissionQueue:
-    """Bounded FIFO between the open-loop arrivals and the batcher."""
+    """Bounded FIFO between the open-loop arrivals and the batcher.
+
+    Every arrival is accounted exactly once at the admission boundary:
+    ``_offered == _admitted + _shed_full`` holds on every path through
+    :meth:`offer` (ND006 proves it statically; :meth:`stats` exposes the
+    ledger so callers can cross-check the serving report against it).
+    """
 
     def __init__(self, capacity: int, deadline_s: float):
         if capacity < 1:
@@ -57,15 +65,19 @@ class AdmissionQueue:
         self.deadline_s = deadline_s
         self._lock = threading.Lock()
         self._pending: Deque[ServeRequest] = deque()
+        self._offered = 0
+        self._admitted = 0
         self._shed_full = 0
 
     def offer(self, request: ServeRequest) -> bool:
         """Admit one arrival; False means it was shed (queue full)."""
         with self._lock:
+            self._offered += 1
             if len(self._pending) >= self.capacity:
                 self._shed_full += 1
                 return False
             self._pending.append(request)
+            self._admitted += 1
             return True
 
     def take(self, max_items: int, now_s: float, min_service_s: float,
@@ -109,4 +121,7 @@ class AdmissionQueue:
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
-            return {"depth": len(self._pending), "shed_full": self._shed_full}
+            return {"depth": len(self._pending),
+                    "offered": self._offered,
+                    "admitted": self._admitted,
+                    "shed_full": self._shed_full}

@@ -21,6 +21,7 @@ import numpy as np
 from ..core.fabric import NetworkFabric
 from ..faults.errors import TransientFaultError
 from ..faults.retry import RetryPolicy, call_with_retry
+from ..lint.contracts import conserves
 from ..models.catalog import model_graph
 from ..sim.specs import CpuSpec
 from .config import ServingConfig
@@ -31,8 +32,16 @@ __all__ = ["ReplicaDispatcher", "FRONTEND_NODE"]
 FRONTEND_NODE = "serving-frontend"
 
 
+@conserves("batches_attempted == batches_dispatched + batches_failed")
 class ReplicaDispatcher:
-    """Earliest-free scheduling of batches over replica servers."""
+    """Earliest-free scheduling of batches over replica servers.
+
+    Dispatch accounting is a closed ledger: every attempt lands in
+    exactly one of ``batches_dispatched`` (delivered, time charged to
+    ``busy_s``) or ``batches_failed`` (every retry dropped, lost time
+    charged to ``stalled_s``).  ND006 proves the balance on every path
+    through :meth:`dispatch`, including the raising one.
+    """
 
     def __init__(self, replicas: Sequence, config: ServingConfig,
                  network: NetworkFabric, retry_policy: RetryPolicy):
@@ -49,6 +58,7 @@ class ReplicaDispatcher:
         #: land on them until :meth:`undrain` (membership, not removal —
         #: the timeline slot survives so a rejoin resumes where it was)
         self._drained: set = set()
+        self.batches_attempted = 0
         self.batches_dispatched = 0
         self.batches_failed = 0
         #: modelled work only: service + wire seconds of delivered batches
@@ -160,6 +170,7 @@ class ReplicaDispatcher:
         """
         index = self._pick_replica()
         replica = self.replicas[index]
+        self.batches_attempted += 1
         backoff_before = self.retry.backoff_s
         injected_before = self.network.injected_latency_s
         try:

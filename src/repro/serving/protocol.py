@@ -28,6 +28,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..lint.contracts import conserves
+
 __all__ = [
     "COMPLETED",
     "CANCELLED",
@@ -55,6 +57,7 @@ def exact_percentile(values: Sequence[float], q: float) -> float:
     return ordered[rank]
 
 
+@conserves("granted == in_flight + available")
 class CreditWindow:
     """Fixed-size send-credit window with a checked conservation law.
 
@@ -118,9 +121,17 @@ class StreamOutcome:
             raise ValueError(f"unknown terminal status {self.status!r}")
 
 
+@conserves("offered == completed + cancelled + expired", mode="group")
 @dataclass
 class StreamingReport:
-    """Everything one StreamingFrontend.serve() run measured."""
+    """Everything one StreamingFrontend.serve() run measured.
+
+    The ``group`` conservation mode fits a ledger that closes at
+    end-of-run: every resolution path must bump exactly one terminal
+    counter (ND006 proves the path consistency statically), and the
+    runtime :attr:`conserved` check settles the books when the event
+    loop drains.
+    """
 
     offered: int = 0
     completed: int = 0

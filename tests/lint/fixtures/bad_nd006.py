@@ -1,0 +1,22 @@
+"""ND006 fixture: a conservation law broken three different ways."""
+
+
+@conserves("offered == admitted + shed")  # noqa: F821 — parsed, not run
+class LeakyLedger:
+    def __init__(self):
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def offer(self, ok):
+        self.offered += 1
+        if ok:
+            self.admitted += 1
+        return ok  # the shed branch never settles: offered leaks
+
+    def reset_books(self):
+        self.offered = 0  # rebind outside __init__ defeats the proof
+
+    def bulk_admit(self, n):
+        self.offered += n  # non-constant delta defeats the proof
+        self.admitted += n

@@ -1,0 +1,24 @@
+"""ND007 fixture: fenced state mutated with no dominating fence check."""
+
+
+@fenced_by("_fence", "model", "version")  # noqa: F821 — parsed, not run
+class BadStore:
+    def __init__(self):
+        self.model = None
+        self.version = 0
+        self.accepted_epoch = -1
+
+    def _fence(self, epoch):
+        if epoch < self.accepted_epoch:
+            raise ValueError("stale epoch")
+        self.accepted_epoch = epoch
+
+    def install(self, epoch, model):
+        self.model = model  # mutation precedes the fence: flagged
+        self._fence(epoch)
+        self.version += 1   # dominated by the fence: fine
+
+    def hot_swap(self, model):
+        if model is None:
+            return
+        self.model = model  # no fence on any path: flagged

@@ -1,0 +1,19 @@
+"""ND009 fixture: accounting inside a try body skipped by a caught fault."""
+
+
+@conserves("offered == done + failed")  # noqa: F821 — parsed, not run
+class FragileBooks:
+    def __init__(self, metrics):
+        self.offered = 0
+        self.done = 0
+        self.failed = 0
+        self.m = metrics
+
+    def settle(self, work):
+        self.offered += 1
+        try:
+            work()
+            self.done += 1        # conserved counter inside try: flagged
+            self.m.settled.inc()  # metric update inside try: flagged
+        except RuntimeError:
+            self.failed += 1      # handler, not try body: fine

@@ -3,8 +3,24 @@
 import threading
 
 from repro.lint import SANITIZER, SanitizerError, guarded_by, sanitized
+from repro.lint.sanitizer import VectorClock
 
 import pytest
+
+
+class FreeLock:
+    """A lock-shaped object that never blocks.
+
+    Lets tests stage the exact interleaving a real deadlock would need
+    (both threads holding their first lock before either releases) —
+    something real mutexes cannot reproduce without hanging the suite.
+    """
+
+    def acquire(self, blocking=True, timeout=-1):
+        return True
+
+    def release(self):
+        pass
 
 
 def run_in_thread(fn):
@@ -113,6 +129,123 @@ def test_raise_mode_raises_at_the_violation_site():
 
         with pytest.raises(SanitizerError, match="unguarded-write"):
             run_in_thread(write_without_lock)
+
+
+def test_cycle_from_serialized_acquisitions_is_hb_ordered():
+    """One thread trying both orders back to back: a real lint finding,
+    but the vector clocks prove the two acquisitions never raced."""
+    with sanitized() as san:
+        lock_a = san.track_lock(threading.Lock(), "Store._lock")
+        lock_b = san.track_lock(threading.Lock(), "Tuner._lock")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        violations = san.violations
+        assert [v.kind for v in violations] == ["lock-order-cycle"]
+        assert "[hb=ordered]" in violations[0].detail
+
+
+def test_cycle_from_racing_threads_is_hb_concurrent():
+    """The deadlock interleaving proper: both threads hold their first
+    lock before either releases, so no hand-off orders their clocks."""
+    with sanitized() as san:
+        lock_a = san.track_lock(FreeLock(), "Store._lock")
+        lock_b = san.track_lock(FreeLock(), "Tuner._lock")
+
+        def forward():
+            lock_a.acquire()
+            lock_b.acquire()
+
+        def backward():
+            lock_b.acquire()
+            lock_a.acquire()
+
+        run_in_thread(forward)   # neither thread ever releases, so the
+        run_in_thread(backward)  # backward thread's clock stays disjoint
+        violations = san.violations
+        assert [v.kind for v in violations] == ["lock-order-cycle"]
+        assert "[hb=concurrent]" in violations[0].detail
+
+
+def test_lock_handoff_orders_vector_clocks():
+    """Release -> acquire is the happens-before edge the clocks model."""
+    with sanitized() as san:
+        lock = san.track_lock(threading.Lock(), "Store._lock")
+        with lock:
+            pass
+        first = san.clocks.snapshot(threading.get_ident())
+
+        def other():
+            with lock:
+                pass
+            second = san.clocks.snapshot(threading.get_ident())
+            assert VectorClock.ordered(first, second)
+            # and strictly: the second acquisition saw the first
+            assert first != second
+
+        run_in_thread(other)
+
+
+def test_vector_clock_ordered_predicate():
+    assert VectorClock.ordered({1: 1}, {1: 2, 2: 1})
+    assert VectorClock.ordered({1: 2, 2: 1}, {1: 1})  # either direction
+    assert not VectorClock.ordered({1: 2}, {2: 2})    # concurrent
+    assert not VectorClock.ordered(None, {1: 1})      # unknown
+
+
+def test_check_blocking_flags_sends_under_a_tracked_lock():
+    with sanitized() as san:
+        lock = san.track_lock(threading.Lock(), "PipeStore._lock")
+        san.check_blocking("fabric send store-0 -> tuner")
+        assert san.violations == []  # lock not held: fine
+        with lock:
+            san.check_blocking("fabric send store-0 -> tuner")
+        violations = san.violations
+        assert [v.kind for v in violations] == ["blocking-under-lock"]
+        assert "PipeStore._lock" in violations[0].detail
+        assert "fabric send store-0 -> tuner" in violations[0].detail
+
+
+def test_check_blocking_is_inert_when_disabled():
+    SANITIZER.disable()
+    SANITIZER.check_blocking("fabric send a -> b")
+    assert SANITIZER.violations == []
+
+
+def test_fabric_send_cross_checks_nd008_at_runtime():
+    from repro.core.fabric import NetworkFabric
+
+    with sanitized() as san:
+        fabric = NetworkFabric()
+        lock = san.track_lock(threading.Lock(), "AdmissionQueue._lock")
+        fabric.send("a", "b", 128, "features")
+        assert san.violations == []  # unlocked send: the common case
+        fabric.send("a", "a", 128, "features")  # local handoff never blocks
+        assert san.violations == []
+        with lock:
+            fabric.send("a", "b", 64, "features")
+        violations = san.drain()
+        assert [v.kind for v in violations] == ["blocking-under-lock"]
+        assert "AdmissionQueue._lock" in violations[0].detail
+
+
+def test_nemesis_surfaces_sanitizer_violations_as_invariants():
+    from repro.ha import InvariantViolation, NemesisHarness
+    from repro.lint.sanitizer import Violation
+
+    harness = NemesisHarness(seed=11, steps=2, num_stores=2,
+                             photos_per_step=2)
+    with sanitized() as san:
+        harness.check_invariants(step=0)  # clean sanitizer: no-op
+        san.record(Violation(kind="blocking-under-lock",
+                             detail="fabric send t -> s while holding "
+                                    "PipeStore._lock"))
+        with pytest.raises(InvariantViolation, match="blocking-under-lock"):
+            harness.check_invariants(step=1)
+        assert san.violations == []  # drained into the violation
 
 
 def test_sanitized_scope_restores_global_state():

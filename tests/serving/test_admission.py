@@ -19,7 +19,11 @@ def test_offer_sheds_at_capacity():
     assert not queue.offer(_request(2, 0.0))
     assert queue.depth() == 2
     assert queue.shed_full_count() == 1
-    assert queue.stats() == {"depth": 2, "shed_full": 1}
+    stats = queue.stats()
+    assert stats == {"depth": 2, "offered": 3, "admitted": 2,
+                     "shed_full": 1}
+    # the @conserves ledger: every arrival accounted exactly once
+    assert stats["offered"] == stats["admitted"] + stats["shed_full"]
 
 
 def test_take_is_fifo_and_bounded():
