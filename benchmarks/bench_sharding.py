@@ -1,0 +1,96 @@
+"""Geo-sharded multi-tenant fleet: placement, fan-out, live rebalance.
+
+Not a paper figure — the fleet-scale deployment shape of the paper's
+production story (§3.1): one Tuner cannot unicast model updates to a
+datacenter of PipeStores, and a photo service is never single-tenant.
+One seeded run exercises the three claims recorded in
+``results/BENCH_sharding.json``:
+
+* **placement** — a multi-tenant Zipf trace over a ~1M-user population
+  spreads across the consistent-hash ring within a small constant of
+  perfectly even, and a shard join/leave re-homes at most
+  ``1/N + 10%`` of keys (join strictly onto the newcomer);
+* **fan-out** — the Check-N-Run fan-out tree distributes the identical
+  delta with strictly fewer Tuner-egress bytes than unicast at equal
+  model freshness on every store;
+* **migration** — a live ``join_shard`` settles with the migration
+  ledger balanced (``moved == received``, zero inflight) and a scrub
+  finding zero unrecoverable photos.
+"""
+
+from repro.analysis.tables import format_table
+from repro.bench.harness import sharding_payload
+from repro.obs.benchjson import BenchResult
+from repro.placement.bench import run_sharding_bench
+
+SEED = 0
+
+
+def sharding_run():
+    return run_sharding_bench(seed=SEED)
+
+
+def test_sharded_fleet(benchmark, report, bench_json):
+    result = benchmark(sharding_run)
+    placement = result["placement"]
+    fanout = result["fanout"]
+    migration = result["migration"]
+
+    text = format_table(
+        ["part", "metric", "value"],
+        [
+            ["placement", "keys placed", placement["keys"]],
+            ["placement", "user population", placement["num_users"]],
+            ["placement", "spread (max/mean)",
+             f"{placement['spread_max_over_mean']:.3f}"],
+            ["placement", "join moved",
+             f"{placement['join']['moved']} "
+             f"({placement['join']['fraction']:.4f} <= "
+             f"{placement['join']['bound']:.4f})"],
+            ["fanout", "unicast tuner egress",
+             fanout["unicast"]["tuner_egress_bytes"]],
+            ["fanout", "fan-out tuner egress",
+             fanout["fanout"]["tuner_egress_bytes"]],
+            ["fanout", "saving",
+             f"{fanout['egress_saving_fraction']:.0%}"],
+            ["migration", "objects moved == received",
+             f"{migration['ledger']['objects_moved']} == "
+             f"{migration['ledger']['objects_received']}"],
+            ["migration", "moved fraction",
+             f"{migration['join']['moved_fraction']:.4f} <= "
+             f"{migration['bound']:.4f}"],
+            ["migration", "unrecoverable", migration["unrecoverable"]],
+        ],
+        title=(f"sharded fleet @ {result['config']['num_shards']} shards, "
+               f"{len(result['config']['tenants'])} tenants"),
+    )
+    report("sharding_fleet", text)
+
+    # the perf harness (repro.bench.harness) builds the exact same
+    # payload, so the CLI gate and this bench write identical files
+    payload = sharding_payload(result)
+    bench_json("BENCH_sharding", [
+        BenchResult(e["metric"], e["value"], e["unit"],
+                    dict(e.get("labels", {})), e.get("direction"))
+        for e in payload["results"]
+    ], config=payload["config"])
+
+    # the ring's movement guarantee, counted not claimed
+    assert placement["join"]["fraction"] <= placement["join"]["bound"]
+    assert placement["leave"]["fraction"] <= placement["leave"]["bound"]
+    assert placement["join"]["all_to_new_shard"]
+    # quota admission provably rejects (and conserves) at scale
+    acme = placement["admission"]["acme"]
+    assert acme["rejected"] > 0
+    assert acme["offered"] == acme["admitted"] + acme["rejected"]
+    # fan-out strictly beats unicast on Tuner egress at equal freshness
+    assert (fanout["fanout"]["tuner_egress_bytes"]
+            < fanout["unicast"]["tuner_egress_bytes"])
+    assert fanout["freshness_equal"]
+    assert fanout["fanout"]["relayed"] > 0
+    # migration books balance and nothing is lost
+    ledger = migration["ledger"]
+    assert ledger["objects_moved"] == ledger["objects_received"]
+    assert ledger["objects_inflight"] == 0
+    assert migration["within_bound"]
+    assert migration["unrecoverable"] == 0

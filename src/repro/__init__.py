@@ -48,6 +48,7 @@ from .faults.retry import RetryPolicy, call_with_retry
 from .ha import HAConfig, HAController, NemesisHarness
 from .obs.metrics import MetricsRegistry
 from .obs.tracing import Tracer
+from .placement import ShardConfig, ShardedCluster, TenantConfig
 from .serving import ServeRequest, ServingConfig, ServingFrontend
 
 __all__ = [
@@ -64,6 +65,9 @@ __all__ = [
     "ServeRequest",
     "ServingConfig",
     "ServingFrontend",
+    "ShardConfig",
+    "ShardedCluster",
+    "TenantConfig",
     "Tracer",
     "call_with_retry",
     "nn",

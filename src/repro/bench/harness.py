@@ -51,6 +51,7 @@ from ..data.drift import DriftingPhotoWorld, WorldConfig
 from ..models.registry import tiny_model
 from ..obs.benchjson import BenchResult, bench_payload, write_bench_json
 from ..obs.tracing import wall_clock
+from ..placement.bench import SHARDING_BENCH_DEFAULTS, run_sharding_bench
 from ..serving.bench import (
     BENCH_DEFAULTS,
     STREAM_BENCH_DEFAULTS,
@@ -61,7 +62,7 @@ from ..serving.bench import (
 __all__ = [
     "HarnessScale", "SCALES", "SCENARIOS",
     "run_harness", "bless_harness", "write_results", "serving_payload",
-    "serving_stream_payload", "machine_calibration_s",
+    "serving_stream_payload", "sharding_payload", "machine_calibration_s",
 ]
 
 HIGHER = "higher_is_better"
@@ -157,7 +158,8 @@ SCALES: Dict[str, HarnessScale] = {
                           relabel_repeats=4),
 }
 
-SCENARIOS = ("ingest", "finetune", "relabel", "serving", "serving_stream")
+SCENARIOS = ("ingest", "finetune", "relabel", "serving", "serving_stream",
+             "sharding")
 
 
 def _percentile(samples: Sequence[float], q: float) -> float:
@@ -432,6 +434,88 @@ def serving_stream_payload(result: Dict) -> Dict:
     })
 
 
+def sharding_payload(result: Dict) -> Dict:
+    """The canonical BENCH_sharding payload for one sharding-bench run.
+
+    Shared by the harness, ``repro shard-bench``, and
+    ``benchmarks/bench_sharding.py``.  Every headline is a deterministic
+    integer counter for a given seed, so the gate pins them ``exact``:
+    the ring's join/leave movement, the quota ledger's admission split,
+    both distribution strategies' Tuner-egress bytes (fan-out strictly
+    below unicast at equal freshness), and the migration ledger's
+    moved/received/inflight books.  Wall-clock placement throughput is
+    recorded but informational.
+    """
+    placement = result["placement"]
+    fanout = result["fanout"]
+    migration = result["migration"]
+    rows: List[BenchResult] = [
+        BenchResult("shard_keys_placed", placement["keys"], "keys",
+                    direction=EXACT),
+        BenchResult("shard_keys_per_s", placement["keys_per_s"], "keys/s"),
+        BenchResult("shard_spread_max_over_mean",
+                    placement["spread_max_over_mean"], "x",
+                    direction=LOWER),
+        BenchResult("shard_join_keys_moved", placement["join"]["moved"],
+                    "keys", direction=EXACT),
+        BenchResult("shard_join_moved_fraction",
+                    placement["join"]["fraction"], "fraction",
+                    direction=LOWER),
+        BenchResult("shard_leave_keys_moved", placement["leave"]["moved"],
+                    "keys", direction=EXACT),
+        # movement clean-ness: every re-homed key landed on the newcomer
+        BenchResult("shard_join_all_to_new",
+                    int(placement["join"]["all_to_new_shard"]), "bool",
+                    direction=EXACT),
+    ]
+    for tenant, a in sorted(placement["admission"].items()):
+        rows += [
+            BenchResult("tenant_admitted", a["admitted"], "uploads",
+                        {"tenant": tenant}, direction=EXACT),
+            BenchResult("tenant_rejected", a["rejected"], "uploads",
+                        {"tenant": tenant}, direction=EXACT),
+        ]
+    rows += [
+        BenchResult("fanout_tuner_egress_bytes",
+                    fanout["fanout"]["tuner_egress_bytes"], "bytes",
+                    {"strategy": "fanout"}, direction=EXACT),
+        BenchResult("fanout_tuner_egress_bytes",
+                    fanout["unicast"]["tuner_egress_bytes"], "bytes",
+                    {"strategy": "unicast"}, direction=EXACT),
+        BenchResult("fanout_egress_saving_bytes",
+                    fanout["egress_saving_bytes"], "bytes",
+                    direction=EXACT),
+        BenchResult("fanout_freshness_equal",
+                    int(fanout["freshness_equal"]), "bool",
+                    direction=EXACT),
+        BenchResult("fanout_relayed", fanout["fanout"]["relayed"],
+                    "sends", direction=EXACT),
+        BenchResult("shard_objects_moved",
+                    migration["ledger"]["objects_moved"], "objects",
+                    direction=EXACT),
+        BenchResult("shard_objects_received",
+                    migration["ledger"]["objects_received"], "objects",
+                    direction=EXACT),
+        BenchResult("shard_objects_inflight",
+                    migration["ledger"]["objects_inflight"], "objects",
+                    direction=EXACT),
+        BenchResult("shard_rebalance_bytes",
+                    migration["rebalance_bytes"], "bytes",
+                    direction=EXACT),
+        BenchResult("shard_join_within_bound",
+                    int(migration["within_bound"]), "bool",
+                    direction=EXACT),
+        BenchResult("shard_unrecoverable", migration["unrecoverable"],
+                    "photos", direction=EXACT),
+    ]
+    return bench_payload("BENCH_sharding", rows, config={
+        **{k: v for k, v in SHARDING_BENCH_DEFAULTS.items()
+           if k != "tenants"},
+        "tenants": ",".join(sorted(SHARDING_BENCH_DEFAULTS["tenants"])),
+        "seed": result["seed"],
+    })
+
+
 def run_harness(scale: HarnessScale, seed: int = 0,
                 scenarios: Optional[Iterable[str]] = None) -> Dict[str, Dict]:
     """Run the requested scenarios; returns ``{bench_name: payload}``."""
@@ -440,7 +524,8 @@ def run_harness(scale: HarnessScale, seed: int = 0,
     if unknown:
         raise ValueError(f"unknown scenarios {unknown}; pick from {SCENARIOS}")
     payloads: Dict[str, Dict] = {}
-    lifecycle = [s for s in wanted if s != "serving"]
+    lifecycle = [s for s in wanted
+                 if s not in ("serving", "serving_stream", "sharding")]
     if lifecycle:
         payloads.update(_run_lifecycle(scale, seed, lifecycle))
     if "serving" in wanted:
@@ -449,6 +534,9 @@ def run_harness(scale: HarnessScale, seed: int = 0,
     if "serving_stream" in wanted:
         payloads["BENCH_serving_stream"] = serving_stream_payload(
             run_streaming_bench(seed=seed))
+    if "sharding" in wanted:
+        payloads["BENCH_sharding"] = sharding_payload(
+            run_sharding_bench(seed=seed))
     return payloads
 
 

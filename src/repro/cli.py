@@ -19,7 +19,8 @@ Commands:
 * ``serve-bench`` — run the online serving benchmark (adaptive
   micro-batching vs. the synchronous batch=1 baseline);
 * ``perf``     — run the perf-trajectory harness (seeded ingest /
-  finetune / relabel / serving scenarios), write ``BENCH_*.json``
+  finetune / relabel / serving / sharding scenarios), write
+  ``BENCH_*.json``
   results, and optionally gate them against the committed baselines
   (``--check``) or re-record the baselines (``--bless``);
 * ``lint``     — run the ndlint invariant rules (intraprocedural
@@ -600,6 +601,76 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .placement.bench import run_sharding_bench
+
+    overrides = {}
+    if args.uploads is not None:
+        overrides["num_uploads"] = args.uploads
+    if args.users is not None:
+        overrides["num_users"] = args.users
+    if args.shards is not None:
+        overrides["num_shards"] = args.shards
+    result = run_sharding_bench(seed=args.seed, overrides=overrides or None)
+    if args.format == "json":
+        _emit(json.dumps(result, indent=2), args.out)
+        return 0
+    placement = result["placement"]
+    fanout = result["fanout"]
+    migration = result["migration"]
+    tables = [
+        format_table(
+            ["tenant", "offered", "admitted", "rejected", "resident MiB"],
+            [[t, a["offered"], a["admitted"], a["rejected"],
+              f"{a['resident_bytes'] / 2**20:.1f}"]
+             for t, a in sorted(placement["admission"].items())],
+            title=(f"placement: {placement['keys']} uploads from "
+                   f"{placement['distinct_users']} of "
+                   f"{placement['num_users']} users @ "
+                   f"{placement['keys_per_s']:.0f} keys/s, "
+                   f"spread {placement['spread_max_over_mean']:.3f}x"),
+        ),
+        format_table(
+            ["event", "keys moved", "fraction", "bound"],
+            [["join", placement["join"]["moved"],
+              f"{placement['join']['fraction']:.4f}",
+              f"{placement['join']['bound']:.4f}"],
+             ["leave", placement["leave"]["moved"],
+              f"{placement['leave']['fraction']:.4f}",
+              f"{placement['leave']['bound']:.4f}"]],
+            title="ring movement (join lands only on the newcomer: "
+                  f"{placement['join']['all_to_new_shard']})",
+        ),
+        format_table(
+            ["strategy", "tuner egress (B)", "relayed", "store versions"],
+            [[name, fanout[name]["tuner_egress_bytes"],
+              fanout[name]["relayed"],
+              str(fanout[name]["store_versions"])]
+             for name in ("unicast", "fanout")],
+            title=(f"Check-N-Run distribution: fan-out saves "
+                   f"{fanout['egress_saving_bytes']} B "
+                   f"({fanout['egress_saving_fraction']:.0%}) at equal "
+                   f"freshness ({fanout['freshness_equal']})"),
+        ),
+        format_table(
+            ["metric", "value"],
+            [["objects moved", migration["ledger"]["objects_moved"]],
+             ["objects received", migration["ledger"]["objects_received"]],
+             ["objects inflight", migration["ledger"]["objects_inflight"]],
+             ["moved fraction",
+              f"{migration['join']['moved_fraction']:.4f} "
+              f"(bound {migration['bound']:.4f})"],
+             ["rebalance bytes", migration["rebalance_bytes"]],
+             ["unrecoverable", migration["unrecoverable"]]],
+            title=(f"live join -> {migration['join']['num_shards']} shards "
+                   f"(within bound: {migration['within_bound']})"),
+        ),
+    ]
+    _emit("\n\n".join(tables), args.out)
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .analysis.tables import format_table
     from .serving.bench import run_serving_comparison
@@ -815,14 +886,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_flags(serve_stream)
     serve_stream.set_defaults(func=_cmd_serve_stream)
 
+    shard = sub.add_parser(
+        "shard-bench",
+        help="benchmark the sharded fleet: ring placement at population "
+             "scale, fan-out vs unicast distribution, live rebalance")
+    shard.add_argument("--uploads", type=int, default=None,
+                       help="trace length (default 200000)")
+    shard.add_argument("--users", type=int, default=None,
+                       help="simulated user population (default 1000000)")
+    shard.add_argument("--shards", type=int, default=None,
+                       help="fleet size (default 8)")
+    _add_common_flags(shard)
+    shard.set_defaults(func=_cmd_shard_bench)
+
     perf = sub.add_parser(
         "perf",
         help="run the perf-trajectory harness; --check gates against the "
              "committed baselines, --bless re-records them")
     perf.add_argument("--scenario", action="append",
                       choices=("ingest", "finetune", "relabel", "serving",
-                               "serving_stream"),
-                      help="scenario to run (repeatable; default: all five)")
+                               "serving_stream", "sharding"),
+                      help="scenario to run (repeatable; default: all six)")
     perf.add_argument("--scale", choices=("smoke", "fast", "paper"),
                       default="smoke",
                       help="harness size (default smoke — the scale the "

@@ -16,6 +16,7 @@ from .checknrun import (
 )
 from .cluster import InferenceServer, NDPipeCluster, RelabelStats
 from .config import ClusterConfig
+from .dataplane import IngestDataPlane, RingPlacement, RoundRobinPlacement
 from .driftdetect import (
     AccuracyWindowDetector,
     DetectionPolicy,
@@ -74,6 +75,7 @@ __all__ = [
     "PipeStore", "StoredPhoto", "StoreUnavailableError", "Tuner",
     "DistributionStats",
     "NDPipeCluster", "InferenceServer", "RelabelStats", "ClusterConfig",
+    "IngestDataPlane", "RingPlacement", "RoundRobinPlacement",
     "NetworkFabric", "TransferRecord",
     "inter_run_loss_gap", "iterations_to_converge", "delta_balancedness",
     "check_pipelined_losses", "RunConvergence",

@@ -10,6 +10,16 @@ a byte-accounted fabric.  Supports the three flows the paper describes:
   Check-N-Run redistribution;
 * **offline relabel** — every PipeStore re-infers its local photos with the
   fresh model and only labels cross the network.
+
+Since the ROADMAP item-1 decomposition the cluster itself is a thin
+composition root over three planes: the
+:class:`~repro.core.dataplane.IngestDataPlane` (upload landing,
+placement, replication), the :class:`~repro.core.controlplane.
+RecoveryControlPlane` (journal, re-ingest, scrub/repair), and the
+checkpoint codec in :mod:`repro.core.snapshot`.  Every historic method
+keeps working as a delegator; the sharded fleet
+(:class:`repro.placement.fleet.ShardedCluster`) composes the same planes
+with ring placement instead.
 """
 
 from __future__ import annotations
@@ -20,36 +30,24 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..durability.checkpoint import (
-    CheckpointError,
-    FinetuneProgress,
-    pack_arrays,
-    read_frame,
-    unpack_arrays,
-    write_frame,
-)
+from ..durability.checkpoint import FinetuneProgress
 from ..durability.integrity import ClusterScrubReport
 from ..durability.replication import ReplicaMap
 from ..fastpath import flags
 from ..faults.errors import TransientFaultError
-from ..faults.retry import RetryPolicy, call_with_retry
+from ..faults.retry import RetryPolicy
 from ..models.split import SplitModel
-from ..nn.tensor import Tensor, inference_mode
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from ..storage.imageformat import preprocess
-from ..storage.persistence import (
-    dump_object_store,
-    dump_photo_database,
-    load_object_store,
-    load_photo_database,
-)
 from ..storage.photodb import LabelRecord, PhotoDatabase
 from .config import ClusterConfig
 from .controlplane import RecoveryControlPlane
+from .dataplane import InferenceServer, IngestDataPlane
 from .fabric import NetworkFabric
 from .ftdmp import FinetuneReport
 from .pipestore import PipeStore, StoredPhoto, StoreUnavailableError
+from .snapshot import build_checkpoint, restore_checkpoint
 from .tuner import Tuner
 
 
@@ -76,66 +74,6 @@ class RelabelStats:
     def degraded(self) -> bool:
         """Did any store fail to take part in this campaign?"""
         return bool(self.stores_skipped or self.photos_deferred)
-
-
-class InferenceServer:
-    """The online-inference front end: labels uploads, offloads preprocessing."""
-
-    def __init__(self, model: SplitModel, name: str = "inference-server"):
-        self.name = name
-        self.model = model
-        self.model.eval()
-        self._failed = False
-
-    # -- fault injection ----------------------------------------------------
-    @property
-    def is_available(self) -> bool:
-        return not self._failed
-
-    def fail(self) -> None:
-        """Take the front end down (targeted fault injection)."""
-        self._failed = True
-
-    def repair(self) -> None:
-        """Bring the front end back; its model replica survives."""
-        self._failed = False
-
-    def classify(self, pixels: np.ndarray) -> Tuple[int, float]:
-        """Label one photo (3, H, W); returns (label, confidence)."""
-        return self.classify_preprocessed(preprocess(pixels)[None])[0]
-
-    def classify_preprocessed(self, batch: np.ndarray,
-                              ) -> List[Tuple[int, float]]:
-        """Label a batch of already-preprocessed inputs (N, 3, H, W).
-
-        One forward pass for the whole micro-batch — the serving layer's
-        adaptive batcher feeds coalesced uploads through here instead of
-        N single-image :meth:`classify` calls.
-        """
-        with inference_mode():
-            logits = self.model(Tensor(batch)).data
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        probs = np.exp(shifted)
-        probs /= probs.sum(axis=1, keepdims=True)
-        labels = probs.argmax(axis=1)
-        return [(int(label), float(probs[row, label]))
-                for row, label in enumerate(labels)]
-
-    def classify_batch(self, images: np.ndarray) -> List[Tuple[int, float]]:
-        """Preprocess and label a raw batch (N, 3, H, W) in one pass."""
-        if flags().vectorized_preprocess:
-            # elementwise transform: one call over the whole batch lands
-            # the exact bytes of the per-photo loop
-            return self.classify_preprocessed(preprocess(images))
-        return self.classify_preprocessed(
-            np.stack([preprocess(pixels) for pixels in images]))
-
-    def preprocess(self, pixels: np.ndarray) -> np.ndarray:
-        """The offloaded preprocessing step (§5.4 +Offload)."""
-        return preprocess(pixels)
-
-    def sync_model(self, state: Dict[str, np.ndarray]) -> None:
-        self.model.load_state_dict(state)
 
 
 class NDPipeCluster:
@@ -206,28 +144,38 @@ class NDPipeCluster:
         self.inference_server = InferenceServer(model_factory())
         self.inference_server.sync_model(self.tuner.model.state_dict())
         self.database = PhotoDatabase()
-        self._ingest_counter = 0
-        self._rr_next = 0
         # the recovery control plane owns the upload journal and every
         # failure-recovery path (ROADMAP item 1: split out of this class);
         # the HA controller (repro.ha) attaches here via enable_ha()
         self.control = RecoveryControlPlane(self)
+        # the ingest data plane owns placement, replication, and the
+        # landing path; the sharded fleet swaps its placement policy
+        self.dataplane = IngestDataPlane(self)
         self.ha = None
-        self._m_ingested = self.metrics.counter(
-            "cluster_photos_ingested_total", "photos accepted by ingest")
         self._m_relabel = self.metrics.counter(
             "cluster_relabel_photos_total",
             "photos refreshed by offline relabel campaigns")
-        self._m_replicas_placed = self.metrics.counter(
-            "durability_replicas_placed_total",
-            "replica copies landed per store", label_names=("store",))
-        self._m_underreplicated = self.metrics.counter(
-            "durability_underreplicated_total",
-            "ingests that could not reach the configured replica count")
         self._m_checkpoints = self.metrics.counter(
             "durability_checkpoints_total", "checkpoints serialised")
         self._m_checkpoint_bytes = self.metrics.gauge(
             "durability_checkpoint_bytes", "size of the latest checkpoint")
+
+    # -- data-plane state (delegated; checkpoints persist these) -------------
+    @property
+    def _ingest_counter(self) -> int:
+        return self.dataplane.ingest_counter
+
+    @_ingest_counter.setter
+    def _ingest_counter(self, value: int) -> None:
+        self.dataplane.ingest_counter = value
+
+    @property
+    def _rr_next(self) -> int:
+        return self.dataplane.rr_next
+
+    @_rr_next.setter
+    def _rr_next(self, value: int) -> None:
+        self.dataplane.rr_next = value
 
     # -- ingest (online inference) flow --------------------------------------
     def ingest(self, images: np.ndarray, train_labels: Optional[Sequence[int]] = None,
@@ -281,33 +229,10 @@ class NDPipeCluster:
     def _land_upload(self, pixels: np.ndarray, preprocessed: np.ndarray,
                      label: int, confidence: float,
                      train_label: Optional[int]) -> str:
-        """Make one classified upload durable: placement, database record,
-        replica copies, and the recovery journal.  Shared by the
-        synchronous :meth:`ingest` path and the batched serving layer
-        (:meth:`serve_uploads`), which reuses the preprocessed tensor it
-        already produced instead of recomputing it."""
-        photo_id = f"photo-{self._ingest_counter:08d}"
-        self._ingest_counter += 1
-        photo = StoredPhoto(
-            photo_id=photo_id,
-            pixels=pixels,
-            preprocessed=preprocessed,
-            train_label=train_label,
-        )
-        store = self._place_photo(photo)
-        self.database.upsert(LabelRecord(
-            photo_id=photo_id, label=label,
-            model_version=self.tuner.version,
-            location=store.store_id, confidence=confidence,
-        ))
-        holders = [store.store_id]
-        holders += self._place_replicas(photo, exclude=holders)
-        self.replicas.place(photo_id, holders)
-        if len(holders) < self.replication:
-            self._m_underreplicated.inc()
-        self._journal_put(photo_id, pixels, train_label)
-        self._m_ingested.inc()
-        return photo_id
+        """Make one classified upload durable (delegates to the data
+        plane): placement, database record, replica copies, journal."""
+        return self.dataplane.land_upload(pixels, preprocessed, label,
+                                          confidence, train_label)
 
     # -- high-throughput serving flow ---------------------------------------
     def make_serving_frontend(self, config=None):
@@ -359,84 +284,29 @@ class NDPipeCluster:
 
     def _place_photo(self, photo: StoredPhoto, kind: str = "ingest",
                      ) -> PipeStore:
-        """Land one photo (raw blob + offloaded preprocessed binary) on an
-        available store, riding the retry policy around dropped transfers
-        and stores that crash between selection and write."""
-        last_error: Optional[BaseException] = None
-        for _ in range(len(self.stores)):
-            store = self._next_available_store()
-            try:
-                stored_bytes = store.store_photo(photo)
-            except StoreUnavailableError as exc:
-                last_error = exc
-                continue
-            try:
-                call_with_retry(
-                    lambda: self.network.send(self.inference_server.name,
-                                              store.store_id, stored_bytes,
-                                              kind),
-                    self.retry)
-            except TransientFaultError as exc:
-                # placement never became durable-and-acknowledged; undo and
-                # try the next store
-                store.evict_photo(photo.photo_id)
-                last_error = exc
-                continue
-            return store
-        raise StoreUnavailableError(
-            f"no PipeStore accepted {photo.photo_id}"
-        ) from last_error
+        """Land one photo on an available store (data-plane delegator)."""
+        return self.dataplane.place_photo(photo, kind=kind)
 
     def _place_replicas(self, photo: StoredPhoto,
                         exclude: Sequence[str]) -> List[str]:
-        """Land up to ``replication - 1`` extra copies on distinct stores.
-
-        Placement is best-effort: a fleet with too few healthy stores
-        leaves the photo under-replicated (counted in the metrics) rather
-        than failing the ingest — the primary copy is already durable.
-        """
-        placed: List[str] = []
-        if self.replication <= 1:
-            return placed
-        taken = set(exclude)
-        # walk the ring from the round-robin cursor for even spread
-        order = (self.stores[self._rr_next:] + self.stores[:self._rr_next])
-        for store in order:
-            if len(placed) >= self.replication - 1:
-                break
-            if store.store_id in taken or not store.is_available:
-                continue
-            try:
-                stored_bytes = store.store_photo(photo)
-                call_with_retry(
-                    lambda s=store, b=stored_bytes: self.network.send(
-                        self.inference_server.name, s.store_id, b,
-                        "replicate"),
-                    self.retry)
-            except (StoreUnavailableError, TransientFaultError):
-                if store.objects.exists(store.objects.raw_key(photo.photo_id)):
-                    store.evict_photo(photo.photo_id)
-                continue
-            placed.append(store.store_id)
-            taken.add(store.store_id)
-            self._m_replicas_placed.inc(store=store.store_id)
-        return placed
+        """Land extra replica copies (data-plane delegator)."""
+        return self.dataplane.place_replicas(photo, exclude=exclude)
 
     def _next_available_store(self) -> PipeStore:
-        """Round-robin placement that routes around failed servers."""
-        for _ in range(len(self.stores)):
-            store = self.stores[self._rr_next]
-            self._rr_next = (self._rr_next + 1) % len(self.stores)
-            if store.is_available:
-                return store
-        raise StoreUnavailableError("no PipeStore is available for ingest")
+        """Round-robin store selection (data-plane delegator)."""
+        return self.dataplane.next_available_store()
 
     # -- continuous training flow -----------------------------------------
     def finetune(self, epochs: int = 2, num_runs: int = 1,
                  relocate_lost: bool = False,
                  checkpoint_sink: Optional[Callable[[int, bytes], None]] = None,
-                 resume: Optional[FinetuneProgress] = None) -> FinetuneReport:
+                 resume: Optional[FinetuneProgress] = None,
+                 distribute: bool = True) -> FinetuneReport:
         """FT-DMP fine-tuning over every labelled photo in the fleet.
+
+        ``distribute=False`` skips the Tuner's unicast Check-N-Run round
+        at the end — the sharded fleet passes this and redistributes over
+        its fan-out tree instead.
 
         With ``relocate_lost`` the run survives losing a PipeStore
         mid-run: the dead store's shard is re-ingested from the upload
@@ -494,6 +364,7 @@ class NDPipeCluster:
                               num_runs=num_runs):
             report = self.tuner.finetune(
                 assignments=assignments, epochs=epochs, num_runs=num_runs,
+                distribute=distribute,
                 relocate=self._relocate_for_training if relocate_lost else None,
                 start_run=start_run, run_plan=run_plan,
                 on_run_complete=on_run_complete, report=report,
@@ -659,66 +530,9 @@ class NDPipeCluster:
         model replica and training labels, the label database with its
         version history, the replica map, the upload journal, and — when
         taken mid-fine-tune — the FT-DMP run journal ``ftdmp``.
+        Delegates to :func:`repro.core.snapshot.build_checkpoint`.
         """
-        blobs: List[bytes] = []
-
-        def add(blob: bytes) -> int:
-            blobs.append(blob)
-            return len(blobs) - 1
-
-        tuner_state = self.tuner.export_training_state()
-        tuner_manifest = {
-            "version": tuner_state["version"],
-            "split": tuner_state["split"],
-            "lr": tuner_state["lr"],
-            "rng": tuner_state["rng"],
-            "model_blob": add(pack_arrays(tuner_state["model"])),
-            "last_distributed_blob": (
-                None if tuner_state["last_distributed"] is None
-                else add(pack_arrays(tuner_state["last_distributed"]))),
-            "optimizer": None,
-        }
-        if tuner_state["optimizer"] is not None:
-            opt = tuner_state["optimizer"]
-            tuner_manifest["optimizer"] = {
-                "t": opt["t"],
-                "m_blob": add(pack_arrays(opt["m"])),
-                "v_blob": add(pack_arrays(opt["v"])),
-            }
-        stores_manifest = []
-        for store in self.stores:
-            stores_manifest.append({
-                "store_id": store.store_id,
-                "model_version": store.model_version,
-                "objects_blob": add(dump_object_store(store.objects)),
-                "model_blob": add(pack_arrays(store.model.state_dict())),
-                "train_labels": store.train_labels(),
-            })
-        journal_manifest = None
-        if self._journal is not None:
-            journal_manifest = {
-                "labels": {pid: label
-                           for pid, (_pixels, label) in self._journal.items()},
-                "pixels_blob": add(pack_arrays(
-                    {pid: pixels
-                     for pid, (pixels, _label) in self._journal.items()})),
-            }
-        manifest = {
-            "cluster": {
-                "ingest_counter": self._ingest_counter,
-                "rr_next": self._rr_next,
-                "replication": self.replication,
-            },
-            "tuner": tuner_manifest,
-            "stores": stores_manifest,
-            "db_blob": add(dump_photo_database(self.database)),
-            "replica_map": self.replicas.to_dict(),
-            "journal": journal_manifest,
-            "ftdmp": None if ftdmp is None else ftdmp.to_dict(),
-        }
-        with self.tracer.span("cluster.checkpoint",
-                              tuner_version=self.tuner.version):
-            blob = write_frame(manifest, blobs)
+        blob = build_checkpoint(self, ftdmp=ftdmp)
         self._m_checkpoints.inc()
         self._m_checkpoint_bytes.set(len(blob))
         return blob
@@ -731,94 +545,9 @@ class NDPipeCluster:
         Returns the pending :class:`FinetuneProgress` if the checkpoint
         was taken mid-fine-tune — pass it to :meth:`finetune` as
         ``resume`` to finish the lifecycle — or ``None``.
+        Delegates to :func:`repro.core.snapshot.restore_checkpoint`.
         """
-        manifest, blobs = read_frame(blob)
-        try:
-            checkpoint_ids = [s["store_id"] for s in manifest["stores"]]
-            cluster_ids = [s.store_id for s in self.stores]
-            if checkpoint_ids != cluster_ids:
-                raise CheckpointError(
-                    f"checkpoint describes stores {checkpoint_ids} but this "
-                    f"cluster has {cluster_ids}; size the cluster from "
-                    "inspect_checkpoint() first"
-                )
-            tuner_manifest = manifest["tuner"]
-            if tuner_manifest["split"] != self.tuner.split:
-                raise CheckpointError(
-                    f"checkpoint split {tuner_manifest['split']} does not "
-                    f"match this cluster's split {self.tuner.split}"
-                )
-            last_blob = tuner_manifest["last_distributed_blob"]
-            tuner_state = {
-                "version": tuner_manifest["version"],
-                "rng": tuner_manifest["rng"],
-                "model": unpack_arrays(blobs[tuner_manifest["model_blob"]]),
-                "last_distributed": (
-                    None if last_blob is None
-                    else unpack_arrays(blobs[last_blob])),
-                "optimizer": None,
-            }
-            if tuner_manifest["optimizer"] is not None:
-                opt = tuner_manifest["optimizer"]
-                tuner_state["optimizer"] = {
-                    "t": opt["t"],
-                    "m": unpack_arrays(blobs[opt["m_blob"]]),
-                    "v": unpack_arrays(blobs[opt["v_blob"]]),
-                }
-            store_states = [
-                (load_object_store(blobs[entry["objects_blob"]],
-                                   name=entry["store_id"]),
-                 unpack_arrays(blobs[entry["model_blob"]]),
-                 int(entry["model_version"]),
-                 dict(entry["train_labels"]))
-                for entry in manifest["stores"]
-            ]
-            database = load_photo_database(blobs[manifest["db_blob"]])
-            replicas = ReplicaMap.from_dict(manifest["replica_map"])
-            journal_manifest = manifest["journal"]
-            journal = None
-            if journal_manifest is not None:
-                pixels = unpack_arrays(blobs[journal_manifest["pixels_blob"]])
-                journal = {
-                    pid: (pixels[pid],
-                          None if label is None else int(label))
-                    for pid, label in journal_manifest["labels"].items()
-                }
-            cluster_manifest = manifest["cluster"]
-            replication = int(cluster_manifest["replication"])
-            if not 1 <= replication <= len(self.stores):
-                raise CheckpointError(
-                    f"checkpoint replication {replication} does not fit a "
-                    f"{len(self.stores)}-store cluster"
-                )
-            progress = (None if manifest["ftdmp"] is None
-                        else FinetuneProgress.from_dict(manifest["ftdmp"]))
-        except (KeyError, IndexError, TypeError) as exc:
-            raise CheckpointError(
-                f"malformed checkpoint manifest: {exc!r}") from exc
-        # everything parsed and validated — only now mutate the cluster
-        with self.tracer.span("cluster.restore",
-                              tuner_version=tuner_state["version"]):
-            self.tuner.import_training_state(tuner_state)
-            for store, (objects, model_state, version, labels) in zip(
-                    self.stores, store_states):
-                store.objects = objects
-                store.model.load_state_dict(model_state)
-                store.model_version = version
-                for pid, label in labels.items():
-                    store.set_train_label(pid, label)
-            self.database = database
-            self.replicas = replicas
-            self._ingest_counter = int(cluster_manifest["ingest_counter"])
-            self._rr_next = int(cluster_manifest["rr_next"])
-            self.replication = replication
-            self.control.restore_journal(journal)
-            # the front end serves whatever model was last distributed
-            state = tuner_state["last_distributed"]
-            if state is None:
-                state = self.tuner.model.state_dict()
-            self.inference_server.sync_model(state)
-        return progress
+        return restore_checkpoint(self, blob)
 
     # -- evaluation --------------------------------------------------------
     def evaluate(self, images: np.ndarray, labels: np.ndarray,

@@ -1,0 +1,334 @@
+"""Ingest data plane — upload landing, placement, and replication.
+
+Second cut of the ROADMAP item-1 decomposition (the recovery control
+plane came first): everything that turns a classified upload into
+durable bytes on PipeStores now lives here, behind the same
+back-reference shape as :class:`~repro.core.controlplane.
+RecoveryControlPlane` — the plane holds ``self.cluster`` and reaches
+through it for the fleet, database, replica map, and journal, while
+:class:`~repro.core.cluster.NDPipeCluster` keeps thin delegators.
+
+Placement is a policy seam.  :class:`RoundRobinPlacement` reproduces the
+historic cursor walk bit-for-bit (the default — single-shard clusters
+and their checkpoints are unaffected); :class:`RingPlacement` routes
+through a :class:`~repro.placement.ring.ConsistentHashRing` with
+bounded-load awareness, which is how the sharded fleet places and how
+fresh ingest routes around a store whose link has gone slow (the
+``_next_available_store`` queue-depth fix).
+
+The plane also hosts :class:`InferenceServer`, the online front end that
+produces the labels ingest makes durable — it moved here from
+``cluster.py`` with the rest of the data path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fastpath import flags
+from ..faults.errors import TransientFaultError
+from ..faults.retry import call_with_retry
+from ..models.split import SplitModel
+from ..nn.tensor import Tensor, inference_mode
+from ..storage.imageformat import preprocess
+from ..storage.photodb import LabelRecord
+from .pipestore import PipeStore, StoredPhoto, StoreUnavailableError
+
+__all__ = ["InferenceServer", "IngestDataPlane", "RoundRobinPlacement",
+           "RingPlacement"]
+
+
+class InferenceServer:
+    """The online-inference front end: labels uploads, offloads preprocessing."""
+
+    def __init__(self, model: SplitModel, name: str = "inference-server"):
+        self.name = name
+        self.model = model
+        self.model.eval()
+        self._failed = False
+
+    # -- fault injection ----------------------------------------------------
+    @property
+    def is_available(self) -> bool:
+        return not self._failed
+
+    def fail(self) -> None:
+        """Take the front end down (targeted fault injection)."""
+        self._failed = True
+
+    def repair(self) -> None:
+        """Bring the front end back; its model replica survives."""
+        self._failed = False
+
+    def classify(self, pixels: np.ndarray) -> Tuple[int, float]:
+        """Label one photo (3, H, W); returns (label, confidence)."""
+        return self.classify_preprocessed(preprocess(pixels)[None])[0]
+
+    def classify_preprocessed(self, batch: np.ndarray,
+                              ) -> List[Tuple[int, float]]:
+        """Label a batch of already-preprocessed inputs (N, 3, H, W).
+
+        One forward pass for the whole micro-batch — the serving layer's
+        adaptive batcher feeds coalesced uploads through here instead of
+        N single-image :meth:`classify` calls.
+        """
+        with inference_mode():
+            logits = self.model(Tensor(batch)).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        labels = probs.argmax(axis=1)
+        return [(int(label), float(probs[row, label]))
+                for row, label in enumerate(labels)]
+
+    def classify_batch(self, images: np.ndarray) -> List[Tuple[int, float]]:
+        """Preprocess and label a raw batch (N, 3, H, W) in one pass."""
+        if flags().vectorized_preprocess:
+            # elementwise transform: one call over the whole batch lands
+            # the exact bytes of the per-photo loop
+            return self.classify_preprocessed(preprocess(images))
+        return self.classify_preprocessed(
+            np.stack([preprocess(pixels) for pixels in images]))
+
+    def preprocess(self, pixels: np.ndarray) -> np.ndarray:
+        """The offloaded preprocessing step (§5.4 +Offload)."""
+        return preprocess(pixels)
+
+    def sync_model(self, state: Dict[str, np.ndarray]) -> None:
+        self.model.load_state_dict(state)
+
+
+class RoundRobinPlacement:
+    """The historic placement: a cursor walk that skips failed servers.
+
+    Candidate order, cursor advancement, and failure behaviour are
+    exactly the pre-refactor ``_place_photo``/``_next_available_store``
+    pair, so single-shard checkpoints (which persist the cursor) and the
+    even/odd placement tests stay bit-identical.
+    """
+
+    def __init__(self, plane: "IngestDataPlane"):
+        self.plane = plane
+
+    def candidates(self, photo_id: str) -> Iterator[PipeStore]:
+        for _ in range(len(self.plane.stores)):
+            yield self.plane.next_available_store()
+
+    def replica_candidates(self, photo_id: str,
+                           taken: Sequence[str]) -> Iterator[PipeStore]:
+        """Replica order: the fleet walked from the round-robin cursor."""
+        plane = self.plane
+        order = plane.stores[plane.rr_next:] + plane.stores[:plane.rr_next]
+        for store in order:
+            if store.store_id not in taken and store.is_available:
+                yield store
+
+
+class RingPlacement:
+    """Consistent-hash placement with bounded-load routing.
+
+    The first candidate is the ring's load-aware :meth:`~repro.placement.
+    ring.ConsistentHashRing.pick` — a shard whose observed ingest queue
+    (placements plus injected transfer latency) exceeds
+    ``load_factor`` x the fleet mean is skipped for its ring successor.
+    Fallback candidates on write failure are the remaining distinct ring
+    successors in clockwise order, so retries stay deterministic.
+    """
+
+    def __init__(self, plane: "IngestDataPlane", ring,
+                 load_factor: float = 1.25):
+        self.plane = plane
+        self.ring = ring
+        self.load_factor = load_factor
+
+    def candidates(self, photo_id: str) -> Iterator[PipeStore]:
+        plane = self.plane
+        first = self.ring.pick(
+            photo_id, load_of=plane.queue_depth,
+            load_factor=self.load_factor, available=plane.is_available)
+        if first != self.ring.primary(photo_id) \
+                and plane.metrics_load_skips is not None:
+            plane.metrics_load_skips.inc()
+        yield plane.store_by_id(first)
+        for shard in self.ring.replica_set(photo_id, len(self.ring)):
+            if shard != first and plane.is_available(shard):
+                yield plane.store_by_id(shard)
+
+    def replica_candidates(self, photo_id: str,
+                           taken: Sequence[str]) -> Iterator[PipeStore]:
+        """Replica order: the photo's ring successors, clockwise.
+
+        Matches :meth:`~repro.placement.ring.ConsistentHashRing.
+        replica_set`, so as long as the primary was not load-diverted the
+        holder set is exactly the ring's desired set and a later
+        membership change migrates only the keyspace that actually moved.
+        """
+        plane = self.plane
+        for shard in self.ring.replica_set(photo_id, len(self.ring)):
+            if shard not in taken and plane.is_available(shard):
+                yield plane.store_by_id(shard)
+
+
+class IngestDataPlane:
+    """Owns upload landing: ids, placement, replication, journalling."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.ingest_counter = 0
+        self.rr_next = 0
+        self.placement = RoundRobinPlacement(self)
+        #: observed ingest work per store: 1 unit per landed object plus
+        #: ``latency_penalty`` units per second of injected transfer
+        #: latency — the queue-depth signal behind load-aware placement
+        self.latency_penalty = 8.0
+        self._load: Dict[str, float] = {}
+        #: optional hook for shard_load_skips_total (bound by the fleet;
+        #: None on single-shard clusters so their metric surface is
+        #: unchanged)
+        self.metrics_load_skips = None
+        metrics = cluster.metrics
+        self._m_ingested = metrics.counter(
+            "cluster_photos_ingested_total", "photos accepted by ingest")
+        self._m_replicas_placed = metrics.counter(
+            "durability_replicas_placed_total",
+            "replica copies landed per store", label_names=("store",))
+        self._m_underreplicated = metrics.counter(
+            "durability_underreplicated_total",
+            "ingests that could not reach the configured replica count")
+
+    # -- fleet views ---------------------------------------------------------
+    @property
+    def stores(self) -> List[PipeStore]:
+        return self.cluster.stores
+
+    def store_by_id(self, store_id: str) -> PipeStore:
+        return self.cluster._resolve_store(store_id)
+
+    def is_available(self, store_id: str) -> bool:
+        return self.store_by_id(store_id).is_available
+
+    def queue_depth(self, store_id: str) -> float:
+        """Observed ingest backlog of one store, in object-equivalents."""
+        return self._load.get(store_id, 0.0)
+
+    def loads(self) -> Dict[str, float]:
+        return dict(self._load)
+
+    # -- upload landing -----------------------------------------------------
+    def land_upload(self, pixels: np.ndarray, preprocessed: np.ndarray,
+                    label: int, confidence: float,
+                    train_label: Optional[int],
+                    photo_id: Optional[str] = None) -> str:
+        """Make one classified upload durable: placement, database record,
+        replica copies, and the recovery journal.  Shared by the
+        synchronous ingest path and the batched serving layer, which
+        reuses the preprocessed tensor it already produced; the sharded
+        fleet passes a tenant-qualified ``photo_id``."""
+        cluster = self.cluster
+        if photo_id is None:
+            photo_id = f"photo-{self.ingest_counter:08d}"
+        self.ingest_counter += 1
+        photo = StoredPhoto(
+            photo_id=photo_id,
+            pixels=pixels,
+            preprocessed=preprocessed,
+            train_label=train_label,
+        )
+        store = self.place_photo(photo)
+        cluster.database.upsert(LabelRecord(
+            photo_id=photo_id, label=label,
+            model_version=cluster.tuner.version,
+            location=store.store_id, confidence=confidence,
+        ))
+        holders = [store.store_id]
+        holders += self.place_replicas(photo, exclude=holders)
+        cluster.replicas.place(photo_id, holders)
+        if len(holders) < cluster.replication:
+            self._m_underreplicated.inc()
+        cluster.control.journal_put(photo_id, pixels, train_label)
+        self._m_ingested.inc()
+        return photo_id
+
+    def place_photo(self, photo: StoredPhoto, kind: str = "ingest",
+                    ) -> PipeStore:
+        """Land one photo (raw blob + offloaded preprocessed binary) on an
+        available store, riding the retry policy around dropped transfers
+        and stores that crash between selection and write."""
+        cluster = self.cluster
+        last_error: Optional[BaseException] = None
+        for store in self.placement.candidates(photo.photo_id):
+            try:
+                stored_bytes = store.store_photo(photo)
+            except StoreUnavailableError as exc:
+                last_error = exc
+                continue
+            delay_before = cluster.network.injected_latency_s
+            try:
+                call_with_retry(
+                    lambda: cluster.network.send(
+                        cluster.inference_server.name, store.store_id,
+                        stored_bytes, kind),
+                    cluster.retry)
+            except TransientFaultError as exc:
+                # placement never became durable-and-acknowledged; undo and
+                # try the next store
+                store.evict_photo(photo.photo_id)
+                last_error = exc
+                continue
+            self._note_placement(
+                store.store_id,
+                cluster.network.injected_latency_s - delay_before)
+            return store
+        raise StoreUnavailableError(
+            f"no PipeStore accepted {photo.photo_id}"
+        ) from last_error
+
+    def _note_placement(self, store_id: str, delay_s: float) -> None:
+        self._load[store_id] = (self._load.get(store_id, 0.0) + 1.0
+                                + self.latency_penalty * max(0.0, delay_s))
+
+    def place_replicas(self, photo: StoredPhoto,
+                       exclude: Sequence[str]) -> List[str]:
+        """Land up to ``replication - 1`` extra copies on distinct stores.
+
+        Placement is best-effort: a fleet with too few healthy stores
+        leaves the photo under-replicated (counted in the metrics) rather
+        than failing the ingest — the primary copy is already durable.
+        """
+        cluster = self.cluster
+        placed: List[str] = []
+        if cluster.replication <= 1:
+            return placed
+        taken = set(exclude)
+        for store in self.placement.replica_candidates(
+                photo.photo_id, taken):
+            if len(placed) >= cluster.replication - 1:
+                break
+            if store.store_id in taken or not store.is_available:
+                continue
+            try:
+                stored_bytes = store.store_photo(photo)
+                call_with_retry(
+                    lambda s=store, b=stored_bytes: cluster.network.send(
+                        cluster.inference_server.name, s.store_id, b,
+                        "replicate"),
+                    cluster.retry)
+            except (StoreUnavailableError, TransientFaultError):
+                if store.objects.exists(store.objects.raw_key(photo.photo_id)):
+                    store.evict_photo(photo.photo_id)
+                continue
+            placed.append(store.store_id)
+            taken.add(store.store_id)
+            self._m_replicas_placed.inc(store=store.store_id)
+        return placed
+
+    def next_available_store(self) -> PipeStore:
+        """Round-robin placement that routes around failed servers."""
+        for _ in range(len(self.stores)):
+            store = self.stores[self.rr_next]
+            self.rr_next = (self.rr_next + 1) % len(self.stores)
+            if store.is_available:
+                return store
+        raise StoreUnavailableError("no PipeStore is available for ingest")

@@ -1,0 +1,202 @@
+"""Cluster checkpoint serialisation, split out of ``cluster.py``.
+
+Third cut of the ROADMAP item-1 decomposition: the CRC-trailed
+checkpoint frame format and its restore-side validation are pure
+functions of the cluster's state, so they live here as free functions.
+:meth:`~repro.core.cluster.NDPipeCluster.checkpoint` and
+:meth:`~repro.core.cluster.NDPipeCluster.restore` delegate verbatim —
+the manifest layout (including the ``"cluster"`` section's
+``ingest_counter``/``rr_next``/``replication`` keys) is unchanged, so
+pre-refactor checkpoints restore byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..durability.checkpoint import (
+    CheckpointError,
+    FinetuneProgress,
+    pack_arrays,
+    read_frame,
+    unpack_arrays,
+    write_frame,
+)
+from ..durability.replication import ReplicaMap
+from ..storage.persistence import (
+    dump_object_store,
+    dump_photo_database,
+    load_object_store,
+    load_photo_database,
+)
+
+__all__ = ["build_checkpoint", "restore_checkpoint"]
+
+
+def build_checkpoint(cluster, ftdmp: Optional[FinetuneProgress] = None,
+                     ) -> bytes:
+    """Serialise the full lifecycle into one CRC-trailed blob.
+
+    Captures everything resume needs bit-exactly: the Tuner's model,
+    optimizer moments and RNG stream, every store's object snapshot,
+    model replica and training labels, the label database with its
+    version history, the replica map, the upload journal, and — when
+    taken mid-fine-tune — the FT-DMP run journal ``ftdmp``.
+    """
+    blobs: List[bytes] = []
+
+    def add(blob: bytes) -> int:
+        blobs.append(blob)
+        return len(blobs) - 1
+
+    tuner_state = cluster.tuner.export_training_state()
+    tuner_manifest = {
+        "version": tuner_state["version"],
+        "split": tuner_state["split"],
+        "lr": tuner_state["lr"],
+        "rng": tuner_state["rng"],
+        "model_blob": add(pack_arrays(tuner_state["model"])),
+        "last_distributed_blob": (
+            None if tuner_state["last_distributed"] is None
+            else add(pack_arrays(tuner_state["last_distributed"]))),
+        "optimizer": None,
+    }
+    if tuner_state["optimizer"] is not None:
+        opt = tuner_state["optimizer"]
+        tuner_manifest["optimizer"] = {
+            "t": opt["t"],
+            "m_blob": add(pack_arrays(opt["m"])),
+            "v_blob": add(pack_arrays(opt["v"])),
+        }
+    stores_manifest = []
+    for store in cluster.stores:
+        stores_manifest.append({
+            "store_id": store.store_id,
+            "model_version": store.model_version,
+            "objects_blob": add(dump_object_store(store.objects)),
+            "model_blob": add(pack_arrays(store.model.state_dict())),
+            "train_labels": store.train_labels(),
+        })
+    journal = cluster.control.journal
+    journal_manifest = None
+    if journal is not None:
+        journal_manifest = {
+            "labels": {pid: label
+                       for pid, (_pixels, label) in journal.items()},
+            "pixels_blob": add(pack_arrays(
+                {pid: pixels
+                 for pid, (pixels, _label) in journal.items()})),
+        }
+    manifest = {
+        "cluster": {
+            "ingest_counter": cluster._ingest_counter,
+            "rr_next": cluster._rr_next,
+            "replication": cluster.replication,
+        },
+        "tuner": tuner_manifest,
+        "stores": stores_manifest,
+        "db_blob": add(dump_photo_database(cluster.database)),
+        "replica_map": cluster.replicas.to_dict(),
+        "journal": journal_manifest,
+        "ftdmp": None if ftdmp is None else ftdmp.to_dict(),
+    }
+    with cluster.tracer.span("cluster.checkpoint",
+                             tuner_version=cluster.tuner.version):
+        return write_frame(manifest, blobs)
+
+
+def restore_checkpoint(cluster, blob: bytes) -> Optional[FinetuneProgress]:
+    """Load a checkpoint into a freshly built cluster.
+
+    The cluster must have been constructed with the same store fleet the
+    checkpoint describes (``inspect_checkpoint`` reports it).  Returns
+    the pending :class:`FinetuneProgress` if the checkpoint was taken
+    mid-fine-tune, or ``None``.
+    """
+    manifest, blobs = read_frame(blob)
+    try:
+        checkpoint_ids = [s["store_id"] for s in manifest["stores"]]
+        cluster_ids = [s.store_id for s in cluster.stores]
+        if checkpoint_ids != cluster_ids:
+            raise CheckpointError(
+                f"checkpoint describes stores {checkpoint_ids} but this "
+                f"cluster has {cluster_ids}; size the cluster from "
+                "inspect_checkpoint() first"
+            )
+        tuner_manifest = manifest["tuner"]
+        if tuner_manifest["split"] != cluster.tuner.split:
+            raise CheckpointError(
+                f"checkpoint split {tuner_manifest['split']} does not "
+                f"match this cluster's split {cluster.tuner.split}"
+            )
+        last_blob = tuner_manifest["last_distributed_blob"]
+        tuner_state = {
+            "version": tuner_manifest["version"],
+            "rng": tuner_manifest["rng"],
+            "model": unpack_arrays(blobs[tuner_manifest["model_blob"]]),
+            "last_distributed": (
+                None if last_blob is None
+                else unpack_arrays(blobs[last_blob])),
+            "optimizer": None,
+        }
+        if tuner_manifest["optimizer"] is not None:
+            opt = tuner_manifest["optimizer"]
+            tuner_state["optimizer"] = {
+                "t": opt["t"],
+                "m": unpack_arrays(blobs[opt["m_blob"]]),
+                "v": unpack_arrays(blobs[opt["v_blob"]]),
+            }
+        store_states = [
+            (load_object_store(blobs[entry["objects_blob"]],
+                               name=entry["store_id"]),
+             unpack_arrays(blobs[entry["model_blob"]]),
+             int(entry["model_version"]),
+             dict(entry["train_labels"]))
+            for entry in manifest["stores"]
+        ]
+        database = load_photo_database(blobs[manifest["db_blob"]])
+        replicas = ReplicaMap.from_dict(manifest["replica_map"])
+        journal_manifest = manifest["journal"]
+        journal = None
+        if journal_manifest is not None:
+            pixels = unpack_arrays(blobs[journal_manifest["pixels_blob"]])
+            journal = {
+                pid: (pixels[pid],
+                      None if label is None else int(label))
+                for pid, label in journal_manifest["labels"].items()
+            }
+        cluster_manifest = manifest["cluster"]
+        replication = int(cluster_manifest["replication"])
+        if not 1 <= replication <= len(cluster.stores):
+            raise CheckpointError(
+                f"checkpoint replication {replication} does not fit a "
+                f"{len(cluster.stores)}-store cluster"
+            )
+        progress = (None if manifest["ftdmp"] is None
+                    else FinetuneProgress.from_dict(manifest["ftdmp"]))
+    except (KeyError, IndexError, TypeError) as exc:
+        raise CheckpointError(
+            f"malformed checkpoint manifest: {exc!r}") from exc
+    # everything parsed and validated — only now mutate the cluster
+    with cluster.tracer.span("cluster.restore",
+                             tuner_version=tuner_state["version"]):
+        cluster.tuner.import_training_state(tuner_state)
+        for store, (objects, model_state, version, labels) in zip(
+                cluster.stores, store_states):
+            store.objects = objects
+            store.model.load_state_dict(model_state)
+            store.model_version = version
+            for pid, label in labels.items():
+                store.set_train_label(pid, label)
+        cluster.database = database
+        cluster.replicas = replicas
+        cluster._ingest_counter = int(cluster_manifest["ingest_counter"])
+        cluster._rr_next = int(cluster_manifest["rr_next"])
+        cluster.replication = replication
+        cluster.control.restore_journal(journal)
+        # the front end serves whatever model was last distributed
+        state = tuner_state["last_distributed"]
+        if state is None:
+            state = cluster.tuner.model.state_dict()
+        cluster.inference_server.sync_model(state)
+    return progress

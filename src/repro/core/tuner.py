@@ -51,6 +51,9 @@ class DistributionStats:
     #: stores that rejected this round because it was stamped with a
     #: stale epoch — this Tuner has been deposed and must stand down
     stores_fenced: List[str] = field(default_factory=list)
+    #: stores whose delta arrived relayed from a peer store instead of
+    #: the Tuner (fan-out tree distribution); not a degradation
+    stores_relayed: List[str] = field(default_factory=list)
 
     @property
     def reduction_factor(self) -> float:
@@ -179,7 +182,9 @@ class Tuner:
         return list(self._stores)
 
     # -- model distribution ---------------------------------------------------
-    def distribute_update(self) -> DistributionStats:
+    def distribute_update(self, send_order: Optional[Sequence[str]] = None,
+                          senders: Optional[Dict[str, str]] = None,
+                          ) -> DistributionStats:
         """Ship the current model to every reachable PipeStore.
 
         Stores whose replica sits exactly at the delta's base version get
@@ -189,9 +194,28 @@ class Tuner:
         Every send is retried with exponential backoff; stores that stay
         unreachable are recorded in ``stores_missed`` and pick the round
         up later via :meth:`catch_up`.
+
+        ``send_order``/``senders`` route the round through a fan-out tree
+        (:class:`repro.placement.fanout.FanoutTree`): stores are visited
+        in ``send_order`` and a store whose ``senders`` parent has already
+        taken the delta this round receives it relayed from that peer —
+        the delta bytes leave the parent's NIC, not the Tuner's.  A parent
+        that missed, resynced, or got fenced falls back to a Tuner uplink,
+        and full-model resyncs always come from the Tuner (only it holds
+        the full state).  Defaults preserve exact unicast behaviour.
         """
         if self._last_distributed is None:
             raise RuntimeError("register stores before distributing updates")
+        ordered = self._stores
+        if send_order is not None:
+            by_id = {s.store_id: s for s in self._stores}
+            if sorted(send_order) != sorted(by_id):
+                raise ValueError(
+                    "send_order must cover every registered store exactly "
+                    f"once; got {sorted(send_order)} for fleet "
+                    f"{sorted(by_id)}")
+            ordered = [by_id[sid] for sid in send_order]
+        senders = dict(senders or {})
         base_version = self.version
         new_state = self.model.state_dict()
         blob = checknrun.encode_delta(self._last_distributed, new_state)
@@ -202,16 +226,23 @@ class Tuner:
             bytes_per_store=len(blob),
             used_delta=True,
         )
-        for store in self._stores:
+        delta_holders: set = set()
+        for store in ordered:
             if not store.is_available:
                 stats.stores_missed.append(store.store_id)
                 continue
+            parent = senders.get(store.store_id)
+            relay = parent if parent in delta_holders else None
             try:
                 if store.model_version == base_version:
                     try:
                         call_with_retry(
-                            lambda s=store: self._send_delta(s, blob),
+                            lambda s=store, src=relay:
+                                self._send_delta(s, blob, sender=src),
                             self.retry)
+                        delta_holders.add(store.store_id)
+                        if relay is not None:
+                            stats.stores_relayed.append(store.store_id)
                     except checknrun.DeltaError:
                         # corrupt delta on arrival: fall back to full model
                         call_with_retry(
@@ -248,9 +279,12 @@ class Tuner:
                                               mechanism="full")
         return stats
 
-    def _send_delta(self, store: PipeStore, blob: bytes) -> None:
+    def _send_delta(self, store: PipeStore, blob: bytes,
+                    sender: Optional[str] = None) -> None:
+        # the delta leaves the fan-out parent's NIC when one is routing
+        src = self.name if sender is None else sender
         # ndlint: allow[ND005] -- invoked only via call_with_retry thunks
-        self.network.send(self.name, store.store_id, len(blob), "model-delta")
+        self.network.send(src, store.store_id, len(blob), "model-delta")
         store.apply_model_delta(blob, self.version, epoch=self.epoch)
 
     def _send_full(self, store: PipeStore, state: Dict[str, np.ndarray]) -> None:

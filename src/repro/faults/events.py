@@ -57,15 +57,23 @@ class DropMessages(FaultEvent):
 
 @dataclass(frozen=True)
 class AddLatency(FaultEvent):
-    """Charge extra wire seconds to the next ``count`` matching transfers."""
+    """Charge extra wire seconds to the next ``count`` matching transfers.
+
+    ``dst`` narrows the budget to transfers landing on one node — the
+    way to model a single store whose network link has gone slow (the
+    load-aware placement tests pin a latency budget to one PipeStore and
+    assert fresh ingest routes around it).
+    """
 
     seconds: float = 0.0
     count: int = 1
     kind: Optional[str] = None
+    dst: Optional[str] = None  # None matches any destination node
 
     def describe(self) -> str:
         what = self.kind or "any"
-        return f"t={self.at} +{self.seconds:g}s on {self.count}x {what}"
+        where = f" -> {self.dst}" if self.dst else ""
+        return f"t={self.at} +{self.seconds:g}s on {self.count}x {what}{where}"
 
 
 @dataclass(frozen=True)

@@ -46,13 +46,17 @@ from .events import (
 class _Budget:
     """An armed drop/latency allowance consumed by matching transfers."""
 
-    def __init__(self, kind: Optional[str], count: int, seconds: float = 0.0):
+    def __init__(self, kind: Optional[str], count: int, seconds: float = 0.0,
+                 dst: Optional[str] = None):
         self.kind = kind
         self.remaining = count
         self.seconds = seconds
+        self.dst = dst
 
-    def matches(self, kind: str) -> bool:
-        return self.remaining > 0 and (self.kind is None or self.kind == kind)
+    def matches(self, kind: str, dst: Optional[str] = None) -> bool:
+        return (self.remaining > 0
+                and (self.kind is None or self.kind == kind)
+                and (self.dst is None or self.dst == dst))
 
 
 @guarded_by("_lock", "clock", "_due", "_drops", "_latencies", "stage_latency",
@@ -175,7 +179,8 @@ class FaultInjector:
                 self._drops.append(_Budget(event.kind, event.count))
             elif isinstance(event, AddLatency):
                 self._latencies.append(
-                    _Budget(event.kind, event.count, event.seconds))
+                    _Budget(event.kind, event.count, event.seconds,
+                            dst=event.dst))
             elif isinstance(event, SlowStage):
                 self.stage_latency[event.stage] = event.seconds
             elif isinstance(event, (BitRot, TornWrite)):
@@ -256,7 +261,7 @@ class FaultInjector:
                     )
             delay = 0.0
             for budget in self._latencies:
-                if budget.matches(record.kind):
+                if budget.matches(record.kind, record.dst):
                     budget.remaining -= 1
                     delay += budget.seconds
             self.injected_latency_s += delay

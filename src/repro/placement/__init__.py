@@ -1,0 +1,104 @@
+"""Geo-sharded multi-tenant placement layer (ROADMAP item 1).
+
+One documented namespace for the sharded-fleet API.  The fleet in three
+imports:
+
+.. code-block:: python
+
+    from repro.models.registry import tiny_model
+    from repro.placement import ShardConfig, ShardedCluster, TenantConfig
+
+    fleet = ShardedCluster(
+        lambda: tiny_model("ResNet50"),
+        ShardConfig(num_shards=8, replication=2),
+        tenants=[TenantConfig(name="acme", byte_quota=10 << 30)])
+    photo_ids, rejections = fleet.ingest(images, tenant="acme")
+    fleet.finetune()          # redistribution rides the fan-out tree
+    fleet.join_shard()        # live rebalance, <= 1/N of copies move
+
+Module tour:
+
+* :mod:`~repro.placement.config` — frozen :class:`ShardConfig` /
+  :class:`TenantConfig` value objects;
+* :mod:`~repro.placement.ring` — keyed consistent-hash ring with
+  bounded-load routing;
+* :mod:`~repro.placement.tenants` — per-tenant namespaces and
+  conservation-law quota ledgers;
+* :mod:`~repro.placement.fanout` — the Check-N-Run fan-out tree;
+* :mod:`~repro.placement.rebalance` — copy-first live migration with
+  exact moved/received/inflight accounting;
+* :mod:`~repro.placement.fleet` — :class:`ShardedCluster`, the façade
+  composing all of the above over one
+  :class:`~repro.core.cluster.NDPipeCluster`.
+
+This package also keeps deprecated aliases for placement-flavoured
+symbols that the cluster decomposition moved into
+:mod:`repro.core.dataplane`; importing them from here warns once and
+resolves to the current home.
+"""
+
+import warnings as _warnings
+
+from .config import ShardConfig, TenantConfig
+from .fanout import FanoutTree
+from .fleet import ShardedCluster
+from .metrics import PlacementMetrics
+from .rebalance import MigrationLedger, MovePlan, ShardRebalancer
+from .ring import ConsistentHashRing, RingError
+from .tenants import (
+    QuotaLedger,
+    TenantNamespace,
+    TenantRegistry,
+    UnknownTenantError,
+    split_key,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "FanoutTree",
+    "MigrationLedger",
+    "MovePlan",
+    "PlacementMetrics",
+    "QuotaLedger",
+    "RingError",
+    "ShardConfig",
+    "ShardRebalancer",
+    "ShardedCluster",
+    "TenantConfig",
+    "TenantNamespace",
+    "TenantRegistry",
+    "UnknownTenantError",
+    "split_key",
+]
+
+#: placement-policy symbols that live in the core data plane (they are
+#: the seam the single-shard cluster also uses); importable from here
+#: for discoverability, with a pointer at the canonical home
+_DEPRECATED_ALIASES = {
+    "RingPlacement": ("repro.core.dataplane", "RingPlacement",
+                      "repro.core.dataplane.RingPlacement"),
+    "RoundRobinPlacement": ("repro.core.dataplane", "RoundRobinPlacement",
+                            "repro.core.dataplane.RoundRobinPlacement"),
+    "IngestDataPlane": ("repro.core.dataplane", "IngestDataPlane",
+                        "repro.core.dataplane.IngestDataPlane"),
+}
+
+
+def __getattr__(name):
+    """PEP 562 hook: serve deprecated aliases with a warning."""
+    try:
+        module_name, attr, replacement = _DEPRECATED_ALIASES[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    _warnings.warn(
+        f"repro.placement.{name} is deprecated; import {replacement} "
+        "instead",
+        DeprecationWarning, stacklevel=2)
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_DEPRECATED_ALIASES))

@@ -1,0 +1,236 @@
+"""ShardedCluster — the geo-sharded, multi-tenant NDPipe fleet.
+
+Composes the refactored planes into the ROADMAP item-1 deployment shape:
+one :class:`~repro.core.cluster.NDPipeCluster` fleet whose ingest data
+plane places through a :class:`~repro.placement.ring.ConsistentHashRing`
+(bounded-load, replica-spreading), per-tenant quota admission in front
+of every upload, Check-N-Run distribution over a
+:class:`~repro.placement.fanout.FanoutTree` instead of Tuner unicast,
+and live membership changes (:meth:`ShardedCluster.join_shard` /
+:meth:`ShardedCluster.leave_shard`) settled by the copy-first
+:class:`~repro.placement.rebalance.ShardRebalancer`.
+
+Anything not overridden here delegates to the wrapped cluster, so the
+whole single-fleet lifecycle API (``finetune``, ``offline_relabel``,
+``scrub_and_repair``, ``checkpoint`` ...) works unchanged on a sharded
+fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cluster import NDPipeCluster
+from ..core.config import ClusterConfig
+from ..core.dataplane import RingPlacement
+from ..core.pipestore import PipeStore
+from ..core.tuner import DistributionStats
+from ..faults.retry import RetryPolicy
+from ..models.split import SplitModel
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
+from .config import ShardConfig, TenantConfig
+from .fanout import FanoutTree
+from .metrics import PlacementMetrics
+from .rebalance import MigrationLedger, ShardRebalancer
+from .ring import ConsistentHashRing
+from .tenants import TenantRegistry
+
+__all__ = ["ShardedCluster"]
+
+
+class ShardedCluster:
+    """A consistent-hash sharded fleet behind the familiar cluster API."""
+
+    def __init__(self, model_factory: Callable[[], SplitModel],
+                 shard_config: Optional[ShardConfig] = None,
+                 tenants: Iterable[TenantConfig] = (),
+                 cluster_config: Optional[ClusterConfig] = None, *,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
+        self.shard_config = (shard_config if shard_config is not None
+                             else ShardConfig()).validated()
+        base = (cluster_config if cluster_config is not None
+                else ClusterConfig()).validated()
+        # the shard layer owns fleet sizing and replica width; everything
+        # else (split, lr, journal policy, ...) rides the cluster config
+        merged = dict(base.to_dict())
+        merged["num_stores"] = self.shard_config.num_shards
+        merged["replication"] = self.shard_config.replication
+        self.cluster = NDPipeCluster(
+            model_factory, ClusterConfig.from_dict(merged),
+            retry_policy=retry_policy, metrics=metrics, tracer=tracer)
+        self.metrics = PlacementMetrics(self.cluster.metrics)
+        self.ring = ConsistentHashRing(
+            vnodes=self.shard_config.vnodes,
+            seed=self.shard_config.ring_seed,
+            shards=[s.store_id for s in self.cluster.stores])
+        plane = self.cluster.dataplane
+        plane.placement = RingPlacement(
+            plane, self.ring, load_factor=self.shard_config.load_factor)
+        plane.metrics_load_skips = self.metrics.load_skips
+        self.tenants = TenantRegistry(tenants, metrics=self.metrics)
+        self.rebalancer = ShardRebalancer(
+            self.cluster, self.ring, metrics=self.metrics,
+            batch=self.shard_config.rebalance_batch)
+        self._next_shard_index = self.shard_config.num_shards
+        self.metrics.shard_count.set(len(self.ring))
+        self.metrics.fanout_depth.set(self._tree().depth)
+
+    # anything this façade does not redefine is the plain cluster API
+    def __getattr__(self, name: str):
+        return getattr(self.cluster, name)
+
+    # -- multi-tenant ingest --------------------------------------------------
+    def ingest(self, images: np.ndarray, tenant: str = "default",
+               train_labels: Optional[Sequence[int]] = None,
+               ) -> Tuple[List[str], List[str]]:
+        """Upload a tenant's batch through quota admission + ring placement.
+
+        Returns ``(photo_ids, rejections)``: one qualified id per admitted
+        photo and one quota-reason string per rejected one.
+        """
+        if images.ndim != 4:
+            raise ValueError(
+                f"expected (N, 3, H, W) images, got {images.shape}")
+        if train_labels is not None and len(train_labels) != len(images):
+            raise ValueError("train_labels length mismatch")
+        cluster = self.cluster
+        plane = cluster.dataplane
+        ids: List[str] = []
+        rejections: List[str] = []
+        with cluster.tracer.span("fleet.ingest", tenant=tenant,
+                                 photos=len(images)):
+            for row, pixels in enumerate(images):
+                reason = self.tenants.admit(tenant, int(pixels.nbytes))
+                if reason is not None:
+                    rejections.append(reason)
+                    continue
+                label, confidence = cluster.inference_server.classify(pixels)
+                preprocessed = cluster.inference_server.preprocess(pixels)
+                train_label = (None if train_labels is None
+                               else int(train_labels[row]))
+                photo_id = (f"{tenant}/photo-"
+                            f"{plane.ingest_counter:08d}")
+                ids.append(plane.land_upload(
+                    pixels, preprocessed, label, confidence, train_label,
+                    photo_id=photo_id))
+                self.metrics.placements.inc(
+                    shard=cluster.database.lookup(photo_id).location)
+        return ids, rejections
+
+    # -- fan-out model distribution --------------------------------------------
+    def _tree(self) -> FanoutTree:
+        return FanoutTree([s.store_id for s in self.cluster.stores],
+                          fanout=self.shard_config.fanout)
+
+    def distribute(self, fanout: bool = True) -> DistributionStats:
+        """One Check-N-Run round: tree-shaped by default, unicast on demand."""
+        if not fanout:
+            return self.cluster.tuner.distribute_update()
+        tree = self._tree()
+        alive = [s.store_id for s in self.cluster.stores if s.is_available]
+        plan = tree.plan(available=alive)
+        # down stores neither receive nor relay, but the Tuner's
+        # send_order invariant covers the whole registered fleet — append
+        # them at the tail, where the round records them as missed
+        plan["send_order"] = list(plan["send_order"]) + [
+            s.store_id for s in self.cluster.stores
+            if not s.is_available]
+        stats = self.cluster.tuner.distribute_update(**plan)
+        self.metrics.fanout_rounds.inc()
+        self.metrics.fanout_depth.set(tree.depth)
+        relayed = len(stats.stores_relayed)
+        reached = (len(self.cluster.stores) - len(stats.stores_missed)
+                   - len(stats.stores_fenced))
+        if relayed:
+            self.metrics.fanout_sends.inc(relayed, hop="relay")
+        if reached - relayed > 0:
+            self.metrics.fanout_sends.inc(reached - relayed, hop="uplink")
+        return stats
+
+    def finetune(self, *args, fanout: bool = True, **kwargs):
+        """FT-DMP round; redistribution goes over the fan-out tree."""
+        kwargs["distribute"] = False
+        report = self.cluster.finetune(*args, **kwargs)
+        self.distribute(fanout=fanout)
+        return report
+
+    # -- membership ------------------------------------------------------------
+    def join_shard(self, store_id: Optional[str] = None) -> Dict:
+        """Bring one new shard into the fleet and rebalance onto it.
+
+        Returns exact movement accounting: ``photos_total``,
+        ``photos_moved`` (distinct photos whose holder set changed),
+        ``moved_fraction``, and the migration ledger snapshot.
+        """
+        cluster = self.cluster
+        if store_id is None:
+            store_id = f"pipestore-{self._next_shard_index}"
+        self._next_shard_index += 1
+        store = PipeStore(
+            store_id, nominal_raw_bytes=cluster.config.nominal_raw_bytes)
+        store.bind_metrics(cluster.metrics)
+        cluster.tuner.register(store, cluster.model_factory())
+        cluster.stores.append(store)
+        self.ring.add_shard(store_id)
+        self.metrics.shard_count.set(len(self.ring))
+        return self._settle(store_id, "join")
+
+    def leave_shard(self, store_id: str) -> Dict:
+        """Drain one shard out of the fleet: move its keyspace, then drop it.
+
+        The leaving shard stays online as a migration donor until every
+        photo it owned has landed elsewhere; it is removed from the fleet
+        afterwards (photos it still holds were evicted by the mover).
+        """
+        cluster = self.cluster
+        self.ring.remove_shard(store_id)
+        self.metrics.shard_count.set(len(self.ring))
+        summary = self._settle(store_id, "leave")
+        cluster.stores[:] = [s for s in cluster.stores
+                             if s.store_id != store_id]
+        cluster.tuner.adopt_fleet(
+            [s for s in cluster.tuner.stores if s.store_id != store_id])
+        return summary
+
+    def _settle(self, store_id: str, event: str) -> Dict:
+        photos_total = len(self.cluster.database)
+        replication = min(self.cluster.replication, max(len(self.ring), 1))
+        objects_total = photos_total * replication
+        plan = self.rebalancer.plan()
+        ledger_before = self.rebalancer.ledger.to_dict()
+        self.rebalancer.rebalance()
+        ledger = self.rebalancer.ledger.to_dict()
+        copies = {k: ledger[k] - ledger_before[k] for k in ledger}
+        return {
+            "event": event,
+            "shard": store_id,
+            "num_shards": len(self.ring),
+            "photos_total": photos_total,
+            "photos_affected": plan.photos_affected,
+            "objects_total": objects_total,
+            "objects_moved": copies["objects_moved"],
+            # the headline number: fraction of stored object copies that
+            # crossed the network for this membership change — the ring's
+            # guarantee is <= 1/N (+ vnode variance)
+            "moved_fraction": (copies["objects_moved"] / objects_total
+                               if objects_total else 0.0),
+            "copies": copies,
+            "ledger": ledger,
+        }
+
+    # -- reporting ---------------------------------------------------------------
+    def placement_summary(self) -> Dict[str, int]:
+        """Photos per shard, from the authoritative database."""
+        counts = {s.store_id: 0 for s in self.cluster.stores}
+        for pid, _label in self.cluster.database.snapshot_labels().items():
+            counts[self.cluster.database.lookup(pid).location] = \
+                counts.get(self.cluster.database.lookup(pid).location, 0) + 1
+        return counts
+
+    def ledger(self) -> MigrationLedger:
+        return self.rebalancer.ledger

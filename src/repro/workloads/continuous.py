@@ -209,6 +209,102 @@ def flash_crowd_requests(num_requests: int, base_rps: float,
         channels, pool_seed, id_prefix="flash")
 
 
+@dataclass(frozen=True)
+class TenantUpload:
+    """One upload event in a multi-tenant trace."""
+
+    tenant: str
+    user_id: int
+    photo_id: str
+
+
+@dataclass
+class MultiTenantTrace:
+    """A population-scale multi-tenant upload trace, held as arrays.
+
+    A million events live as three numpy arrays (tenant index, user
+    rank, sequence number) rather than a million Python objects;
+    :meth:`photo_ids` and :meth:`__iter__` materialise views on demand.
+    Photo ids are tenant-qualified (``tenant/u<user>/p<seq>``) in the
+    same namespace convention :class:`~repro.placement.tenants.
+    TenantNamespace` uses, so they feed straight into ring placement.
+    """
+
+    tenants: List[str]
+    tenant_idx: np.ndarray  # (N,) int — index into tenants
+    user_ids: np.ndarray    # (N,) int — Zipf-popular user ranks
+    num_users: int
+    skew: float
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.tenant_idx)
+
+    def upload(self, i: int) -> TenantUpload:
+        tenant = self.tenants[int(self.tenant_idx[i])]
+        user = int(self.user_ids[i])
+        return TenantUpload(
+            tenant=tenant, user_id=user,
+            photo_id=f"{tenant}/u{user:07d}/p{i:08d}")
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self.upload(i)
+
+    def photo_ids(self) -> List[str]:
+        """All tenant-qualified ids, in arrival order (vectorised)."""
+        names = np.asarray(self.tenants, dtype=object)[self.tenant_idx]
+        return [f"{t}/u{u:07d}/p{i:08d}"
+                for i, (t, u) in enumerate(zip(names, self.user_ids))]
+
+    def tenant_counts(self) -> Dict[str, int]:
+        counts = np.bincount(self.tenant_idx, minlength=len(self.tenants))
+        return {t: int(c) for t, c in zip(self.tenants, counts)}
+
+    def distinct_users(self) -> int:
+        return int(np.unique(self.user_ids).size)
+
+
+def multi_tenant_trace(num_uploads: int, tenants: Dict[str, float],
+                       num_users: int = 1_000_000, skew: float = 1.1,
+                       seed: int = 0) -> MultiTenantTrace:
+    """Sample a multi-tenant upload trace over a Zipf user population.
+
+    ``tenants`` maps tenant name -> relative traffic weight.  Each upload
+    first picks a tenant by weight, then a user by Zipf popularity
+    (probability of rank ``r`` proportional to ``1 / r**skew``) over a
+    ``num_users``-strong population — both draws are vectorised
+    inverse-CDF lookups, so a ~1M-user trace costs two ``searchsorted``
+    calls, not a million RNG round-trips.
+    """
+    if num_uploads < 1:
+        raise ValueError(f"num_uploads must be >= 1, got {num_uploads}")
+    if num_users < 1:
+        raise ValueError(f"num_users must be >= 1, got {num_users}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    names = sorted(tenants)
+    weights = np.array([tenants[n] for n in names], dtype=np.float64)
+    if (weights <= 0).any():
+        raise ValueError(f"tenant weights must be > 0, got {tenants}")
+    rng = np.random.default_rng(seed)
+    tenant_cdf = np.cumsum(weights)
+    tenant_cdf /= tenant_cdf[-1]
+    tenant_idx = np.searchsorted(
+        tenant_cdf, rng.random(num_uploads), side="right")
+    user_weights = 1.0 / np.arange(1, num_users + 1, dtype=np.float64) ** skew
+    user_cdf = np.cumsum(user_weights)
+    user_cdf /= user_cdf[-1]
+    user_ids = np.searchsorted(
+        user_cdf, rng.random(num_uploads), side="right")
+    return MultiTenantTrace(
+        tenants=names, tenant_idx=tenant_idx.astype(np.int64),
+        user_ids=user_ids.astype(np.int64),
+        num_users=num_users, skew=skew, seed=seed)
+
+
 def run_continuous_operation(cluster: NDPipeCluster,
                              world: DriftingPhotoWorld,
                              policy: MaintenancePolicy,

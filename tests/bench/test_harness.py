@@ -248,7 +248,7 @@ class TestHarnessPieces:
     def test_scales_registry(self):
         assert set(SCALES) == {"smoke", "fast", "paper"}
         assert SCENARIOS == ("ingest", "finetune", "relabel", "serving",
-                             "serving_stream")
+                             "serving_stream", "sharding")
         assert SCALES["smoke"].photos < SCALES["fast"].photos
         assert SCALES["fast"].photos < SCALES["paper"].photos
 

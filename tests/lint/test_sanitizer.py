@@ -155,16 +155,31 @@ def test_cycle_from_racing_threads_is_hb_concurrent():
         lock_a = san.track_lock(FreeLock(), "Store._lock")
         lock_b = san.track_lock(FreeLock(), "Tuner._lock")
 
+        # both threads stay alive until the end: sequential short-lived
+        # threads can reuse an OS thread id, which would fold the two
+        # clocks into one and hide the race entirely
+        forward_done = threading.Event()
+        backward_done = threading.Event()
+
         def forward():
             lock_a.acquire()
             lock_b.acquire()
+            forward_done.set()
+            backward_done.wait(timeout=5)
 
         def backward():
+            forward_done.wait(timeout=5)
             lock_b.acquire()
             lock_a.acquire()
+            backward_done.set()
 
-        run_in_thread(forward)   # neither thread ever releases, so the
-        run_in_thread(backward)  # backward thread's clock stays disjoint
+        threads = [threading.Thread(target=forward),
+                   threading.Thread(target=backward)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()   # neither thread ever releases, so the
+                            # backward thread's clock stays disjoint
         violations = san.violations
         assert [v.kind for v in violations] == ["lock-order-cycle"]
         assert "[hb=concurrent]" in violations[0].detail

@@ -1,0 +1,1 @@
+"""Tests for the geo-sharded placement layer (repro.placement)."""

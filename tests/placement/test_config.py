@@ -1,0 +1,85 @@
+"""ShardConfig / TenantConfig: frozen, validated, strict round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.placement import ShardConfig, TenantConfig
+
+
+class TestShardConfig:
+    def test_defaults_valid(self):
+        assert ShardConfig().validated() is not None
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ShardConfig().num_shards = 4
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("num_shards", 0, "at least one shard"),
+        ("vnodes", 0, "vnodes must be >= 1"),
+        ("replication", 0, "replication 0 must be in"),
+        ("replication", 9, "replication 9 must be in"),
+        ("fanout", 0, "fanout must be >= 1"),
+        ("load_factor", 0.5, "load_factor"),
+        ("load_factor", float("nan"), "load_factor"),
+        ("load_factor", float("inf"), "load_factor"),
+        ("rebalance_batch", 0, "rebalance_batch"),
+    ])
+    def test_bad_field_rejected(self, field, value, match):
+        config = ShardConfig(**{field: value})
+        with pytest.raises(ValueError, match=match):
+            config.validated()
+
+    def test_roundtrip(self):
+        config = ShardConfig(num_shards=4, replication=2, ring_seed=9)
+        assert ShardConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown ShardConfig fields"):
+            ShardConfig.from_dict({"num_shards": 4, "shards": 4})
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError, match="fanout"):
+            ShardConfig.from_dict({"fanout": 0})
+
+    def test_field_names(self):
+        assert "num_shards" in ShardConfig.field_names()
+        assert "vnodes" in ShardConfig.field_names()
+
+
+class TestTenantConfig:
+    def test_defaults_valid(self):
+        assert TenantConfig().validated().name == "default"
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TenantConfig().weight = 2.0
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("name", "", "tenant name"),
+        ("name", "a/b", "tenant name"),
+        ("name", " padded", "tenant name"),
+        ("byte_quota", 0, "byte_quota"),
+        ("request_quota", 0, "request_quota"),
+        ("weight", 0.0, "weight"),
+        ("weight", -1.0, "weight"),
+        ("weight", float("nan"), "weight"),
+    ])
+    def test_bad_field_rejected(self, field, value, match):
+        config = TenantConfig(**{field: value})
+        with pytest.raises(ValueError, match=match):
+            config.validated()
+
+    def test_unmetered_quotas_are_none(self):
+        config = TenantConfig(name="acme").validated()
+        assert config.byte_quota is None
+        assert config.request_quota is None
+
+    def test_roundtrip(self):
+        config = TenantConfig(name="acme", byte_quota=1 << 20, weight=2.5)
+        assert TenantConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown TenantConfig fields"):
+            TenantConfig.from_dict({"name": "acme", "quota": 1})

@@ -1,0 +1,272 @@
+"""ShardedCluster end-to-end: the fleet behind the familiar cluster API.
+
+Covers the façade's own surface (multi-tenant ingest, fan-out
+distribution, membership) plus the two regressions the ISSUE calls out:
+fresh ingest routes around a store whose link went slow (the
+``_next_available_store`` queue-depth fix, driven by an ``AddLatency``
+budget pinned to one destination), and the ``repro.placement`` package
+serves deprecated aliases with exactly one warning.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.faults import AddLatency, FaultInjector
+from repro.models.registry import tiny_model
+from repro.placement import (
+    ShardConfig,
+    ShardedCluster,
+    TenantConfig,
+    UnknownTenantError,
+    split_key,
+)
+
+SEED = 5
+
+
+def factory():
+    return tiny_model("ResNet50", num_classes=8, width=8, seed=7)
+
+
+def make_fleet(num_shards=4, replication=1, tenants=(), **shard_kwargs):
+    return ShardedCluster(
+        factory,
+        ShardConfig(num_shards=num_shards, vnodes=16,
+                    replication=replication, ring_seed=SEED,
+                    **shard_kwargs),
+        tenants=tenants)
+
+
+def images_of(n, fleet, seed=SEED):
+    rng = np.random.default_rng(seed)
+    shape = tuple(fleet.cluster.tuner.model.input_shape)
+    return (rng.random((n,) + shape).astype(np.float32),
+            rng.integers(0, 8, size=n))
+
+
+class TestMultiTenantIngest:
+    def test_ids_are_tenant_qualified(self):
+        fleet = make_fleet(tenants=[TenantConfig(name="acme")])
+        images, labels = images_of(6, fleet)
+        ids, rejections = fleet.ingest(images, tenant="acme",
+                                       train_labels=labels)
+        assert rejections == []
+        assert len(ids) == 6
+        for pid in ids:
+            tenant, _rest = split_key(pid)
+            assert tenant == "acme"
+            assert fleet.cluster.database.lookup(pid).location \
+                in fleet.ring.shards
+
+    def test_quota_rejections_do_not_consume_ids(self):
+        images, _ = images_of(4, make_fleet())
+        per_image = int(images[0].nbytes)
+        fleet = make_fleet(tenants=[
+            TenantConfig(name="acme", byte_quota=2 * per_image)])
+        ids, rejections = fleet.ingest(images, tenant="acme")
+        assert len(ids) == 2
+        assert rejections == ["byte-quota", "byte-quota"]
+        assert len(fleet.cluster.database) == 2
+        books = fleet.tenants.to_dict()["acme"]
+        assert books["offered"] == 4
+        assert books["admitted"] == 2
+        assert books["rejected"] == 2
+
+    def test_unknown_tenant_is_loud(self):
+        fleet = make_fleet(tenants=[TenantConfig(name="acme")])
+        images, _ = images_of(1, fleet)
+        with pytest.raises(UnknownTenantError):
+            fleet.ingest(images, tenant="globex")
+
+    def test_bad_shapes_rejected(self):
+        fleet = make_fleet()
+        with pytest.raises(ValueError, match="expected"):
+            fleet.ingest(np.zeros((3, 16, 16), dtype=np.float32))
+        images, _ = images_of(2, fleet)
+        with pytest.raises(ValueError, match="train_labels"):
+            fleet.ingest(images, train_labels=[1])
+
+    def test_placement_summary_accounts_every_photo(self):
+        fleet = make_fleet()
+        images, labels = images_of(20, fleet)
+        ids, _ = fleet.ingest(images, train_labels=labels)
+        summary = fleet.placement_summary()
+        assert sum(summary.values()) == len(ids)
+        assert int(fleet.metrics.placements.total()) == len(ids)
+
+
+class TestFanoutDistribution:
+    def test_fanout_moves_fewer_tuner_bytes_at_equal_freshness(self):
+        egress, versions = {}, {}
+        for strategy in ("unicast", "fanout"):
+            fleet = make_fleet(num_shards=8)
+            images, labels = images_of(16, fleet)
+            fleet.ingest(images, train_labels=labels)
+            net, tuner = fleet.cluster.network, fleet.cluster.tuner.name
+            before = sum(net.bytes_between(tuner, s.store_id)
+                         for s in fleet.cluster.stores)
+            fleet.finetune(epochs=1, num_runs=1,
+                           fanout=(strategy == "fanout"))
+            egress[strategy] = sum(
+                net.bytes_between(tuner, s.store_id)
+                for s in fleet.cluster.stores) - before
+            versions[strategy] = sorted(
+                {s.model_version for s in fleet.cluster.stores})
+        assert egress["fanout"] < egress["unicast"]
+        assert versions["fanout"] == versions["unicast"]
+        assert len(versions["fanout"]) == 1
+
+    def test_fanout_metrics_split_uplink_and_relay(self):
+        fleet = make_fleet(num_shards=8, fanout=2)
+        images, labels = images_of(16, fleet)
+        fleet.ingest(images, train_labels=labels)
+        fleet.finetune(epochs=1, num_runs=1)
+        uplinks = int(fleet.metrics.fanout_sends.value(hop="uplink"))
+        relays = int(fleet.metrics.fanout_sends.value(hop="relay"))
+        assert uplinks == 2  # the Tuner pays min(fanout, N) sends
+        assert uplinks + relays == len(fleet.cluster.stores)
+        assert int(fleet.metrics.fanout_rounds.value()) == 1
+
+    def test_unicast_fallback_is_plain_distribute(self):
+        fleet = make_fleet(num_shards=3)
+        images, labels = images_of(6, fleet)
+        fleet.ingest(images, train_labels=labels)
+        fleet.finetune(epochs=1, num_runs=1, fanout=False)
+        assert int(fleet.metrics.fanout_rounds.value()) == 0
+        assert {s.model_version for s in fleet.cluster.stores} \
+            == {fleet.cluster.tuner.version}
+
+    def test_fanout_routes_around_a_down_store(self):
+        fleet = make_fleet(num_shards=6)
+        images, labels = images_of(12, fleet)
+        fleet.ingest(images, train_labels=labels)
+        down = fleet.cluster.stores[0]
+        down.fail()
+        stats = fleet.distribute()
+        assert down.store_id in stats.stores_missed
+        alive = [s for s in fleet.cluster.stores if s is not down]
+        assert {s.model_version for s in alive} \
+            == {fleet.cluster.tuner.version}
+
+
+class TestLoadAwarePlacement:
+    def test_slowed_store_receives_fewer_placements(self):
+        """Regression for the queue-depth blind spot: a store whose link
+        is slow used to keep receiving its full round-robin share."""
+        def run(slow_store=None):
+            fleet = make_fleet()
+            if slow_store is not None:
+                FaultInjector([
+                    AddLatency(at=1, seconds=1.0, count=10_000,
+                               kind="ingest", dst=slow_store),
+                ]).attach_fabric(fleet.cluster.network)
+            images, labels = images_of(40, fleet)
+            fleet.ingest(images, train_labels=labels)
+            return fleet, fleet.placement_summary()
+
+        baseline_fleet, baseline = run()
+        slow = max(baseline, key=baseline.get)
+        slowed_fleet, slowed = run(slow_store=slow)
+        # the slowed store sheds most of its keyspace to ring successors
+        assert slowed[slow] < baseline[slow]
+        assert sum(slowed.values()) == sum(baseline.values()) == 40
+        # the slow link forces strictly more bound-exceeded diversions
+        # than the organic imbalance of an unperturbed fleet
+        assert int(slowed_fleet.metrics.load_skips.value()) \
+            > int(baseline_fleet.metrics.load_skips.value())
+        # the diversion is visible in the observed queue depths
+        loads = slowed_fleet.cluster.dataplane.loads()
+        assert loads[slow] == max(loads.values())
+
+
+class TestMembershipAccounting:
+    def test_join_summary_is_exact(self):
+        fleet = make_fleet(replication=2)
+        images, labels = images_of(24, fleet)
+        fleet.ingest(images, train_labels=labels)
+        summary = fleet.join_shard()
+        assert summary["num_shards"] == 5
+        assert summary["photos_total"] == 24
+        assert summary["objects_total"] == 48
+        copies = summary["copies"]
+        assert copies["objects_moved"] == copies["objects_received"]
+        assert copies["objects_inflight"] == 0
+        assert summary["moved_fraction"] == \
+            copies["objects_moved"] / summary["objects_total"]
+        assert int(fleet.metrics.shard_count.value()) == 5
+
+    def test_leave_shrinks_the_fleet_everywhere(self):
+        fleet = make_fleet(replication=2)
+        images, labels = images_of(12, fleet)
+        fleet.ingest(images, train_labels=labels)
+        leaver = fleet.cluster.stores[-1].store_id
+        fleet.leave_shard(leaver)
+        assert leaver not in fleet.ring
+        assert leaver not in [s.store_id for s in fleet.cluster.stores]
+        assert leaver not in [s.store_id
+                              for s in fleet.cluster.tuner.stores]
+        assert int(fleet.metrics.shard_count.value()) == 3
+
+    def test_joined_store_receives_future_model_updates(self):
+        fleet = make_fleet(num_shards=3)
+        images, labels = images_of(9, fleet)
+        fleet.ingest(images, train_labels=labels)
+        summary = fleet.join_shard()
+        fleet.finetune(epochs=1, num_runs=1)
+        newcomer = fleet.cluster._resolve_store(summary["shard"])
+        assert newcomer.model_version == fleet.cluster.tuner.version
+
+
+class TestFacade:
+    def test_everything_else_delegates_to_the_cluster(self):
+        fleet = make_fleet()
+        assert fleet.stores is fleet.cluster.stores
+        assert fleet.database is fleet.cluster.database
+        assert fleet.config.num_stores == 4
+        assert fleet.replication == 1
+        with pytest.raises(AttributeError):
+            fleet.no_such_attribute
+
+    def test_shard_config_is_validated(self):
+        with pytest.raises(ValueError, match="replication"):
+            ShardedCluster(factory,
+                           ShardConfig(num_shards=2, replication=3))
+
+
+class TestDeprecatedAliases:
+    @pytest.mark.parametrize("name", ["RingPlacement",
+                                      "RoundRobinPlacement",
+                                      "IngestDataPlane"])
+    def test_alias_warns_once_and_resolves(self, name):
+        import repro.core.dataplane as dataplane
+        import repro.placement as placement
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            alias = getattr(placement, name)
+        assert alias is getattr(dataplane, name)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.core.dataplane" in str(deprecations[0].message)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.placement as placement
+
+        with pytest.raises(AttributeError, match="NoSuchThing"):
+            placement.NoSuchThing
+
+    def test_dir_lists_curated_api_and_aliases(self):
+        import repro.placement as placement
+
+        listing = dir(placement)
+        assert "ShardedCluster" in listing
+        assert "RingPlacement" in listing
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.ShardedCluster is ShardedCluster
+        assert "ShardConfig" in repro.__all__

@@ -88,6 +88,41 @@ class TestObservabilityCommands:
                 "cluster.offline_relabel"} <= names
 
 
+class TestShardBenchCommand:
+    SMALL = ["--uploads", "2000", "--users", "5000", "--shards", "4"]
+
+    def test_text_tables(self, capsys):
+        assert main(["shard-bench"] + self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "ring movement" in out
+        assert "Check-N-Run distribution" in out
+        assert "live join" in out
+        assert "acme" in out  # per-tenant admission accounting
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(["shard-bench", "--format", "json"] + self.SMALL) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["num_shards"] == 4
+        assert payload["placement"]["keys"] == 2000
+        fanout = payload["fanout"]
+        assert fanout["fanout"]["tuner_egress_bytes"] \
+            < fanout["unicast"]["tuner_egress_bytes"]
+        assert payload["migration"]["unrecoverable"] == 0
+
+    def test_out_file(self, tmp_path, capsys):
+        out_path = tmp_path / "shard.txt"
+        assert main(["shard-bench", "--out", str(out_path)]
+                    + self.SMALL) == 0
+        assert "ring movement" in out_path.read_text()
+
+    def test_unknown_override_is_loud(self):
+        with pytest.raises(ValueError, match="unknown overrides"):
+            from repro.placement.bench import run_sharding_bench
+            run_sharding_bench(overrides={"shards": 4})
+
+
 class TestPerfCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["perf"])
